@@ -1,0 +1,146 @@
+//! Shared home-disk helper for the caching baselines.
+//!
+//! Wraps one HDD holding the full data set plus a content overlay, so the
+//! LRU and dedup caches share the same miss/write-back machinery.
+
+use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::hdd::{Hdd, HddConfig};
+use icash_storage::system::IoCtx;
+use icash_storage::time::Ns;
+use std::collections::HashMap;
+
+/// One data disk with a written-content overlay over the backing image.
+#[derive(Debug)]
+pub struct HomeDisk {
+    disk: Hdd,
+    capacity_blocks: u64,
+    overlay: HashMap<Lba, BlockBuf>,
+    /// Whether to retain written content for read-back verification.
+    keep_content: bool,
+}
+
+impl HomeDisk {
+    /// Creates a home disk covering `capacity_blocks` of data.
+    pub fn new(capacity_blocks: u64) -> Self {
+        HomeDisk {
+            disk: Hdd::new(HddConfig::seagate_sata(capacity_blocks.max(1))),
+            capacity_blocks: capacity_blocks.max(1),
+            overlay: HashMap::new(),
+            keep_content: true,
+        }
+    }
+
+    /// Disables content retention (timing-only runs with flat memory).
+    pub fn timing_only(mut self) -> Self {
+        self.keep_content = false;
+        self
+    }
+
+    /// The underlying device.
+    pub fn disk(&self) -> &Hdd {
+        &self.disk
+    }
+
+    /// Disk position backing `lba`.
+    fn pos(&self, lba: Lba) -> u64 {
+        lba.raw() % self.capacity_blocks
+    }
+
+    /// Reads `lba` from the disk: mechanical latency plus current content.
+    pub fn read(&mut self, lba: Lba, at: Ns, ctx: &mut IoCtx<'_>) -> (Ns, BlockBuf) {
+        let t = self.disk.read(at, self.pos(lba), 1);
+        let content = self
+            .overlay
+            .get(&lba)
+            .cloned()
+            .unwrap_or_else(|| ctx.backing.initial_content(lba));
+        (t, content)
+    }
+
+    /// Writes `content` to `lba`.
+    pub fn write(&mut self, lba: Lba, content: BlockBuf, at: Ns) -> Ns {
+        let t = self.disk.write(at, self.pos(lba), 1);
+        if self.keep_content {
+            self.overlay.insert(lba, content);
+        }
+        t
+    }
+
+    /// Writes a run of consecutive blocks in one sequential disk operation
+    /// (large streaming writes bypassing a cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is empty.
+    pub fn write_span(&mut self, lba: Lba, payload: &[BlockBuf], at: Ns) -> Ns {
+        assert!(!payload.is_empty(), "need at least one block");
+        let start = self.pos(lba);
+        let n = (payload.len() as u64).min(self.capacity_blocks - start) as u32;
+        let t = self.disk.write(at, start, n.max(1));
+        if self.keep_content {
+            for (i, buf) in payload.iter().enumerate() {
+                self.overlay.insert(lba.plus(i as u64), buf.clone());
+            }
+        }
+        t
+    }
+
+    /// Charges one mechanical write without touching stored content —
+    /// timing for write-backs whose logical address is unknown or
+    /// irrelevant (e.g. a dedup store flushing a shared copy).
+    pub fn writeback_timing(&mut self, pos_hint: u64, at: Ns) -> Ns {
+        self.disk.write(at, pos_hint % self.capacity_blocks, 1)
+    }
+
+    /// Records `lba`'s current content without charging a disk operation.
+    /// Used by write-back caches: the bytes live in the cache for now; the
+    /// mechanical write is charged at eviction/flush time.
+    pub fn remember(&mut self, lba: Lba, content: BlockBuf) {
+        if self.keep_content {
+            self.overlay.insert(lba, content);
+        }
+    }
+
+    /// The current content of `lba` without touching the disk (cache fills
+    /// that already paid the mechanical read).
+    pub fn content(&self, lba: Lba, ctx: &mut IoCtx<'_>) -> BlockBuf {
+        self.overlay
+            .get(&lba)
+            .cloned()
+            .unwrap_or_else(|| ctx.backing.initial_content(lba))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_storage::cpu::CpuModel;
+    use icash_storage::system::ZeroSource;
+
+    #[test]
+    fn overlay_supersedes_backing() {
+        let mut home = HomeDisk::new(1000);
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+
+        let (_, before) = home.read(Lba::new(5), Ns::ZERO, &mut ctx);
+        assert_eq!(before, BlockBuf::zeroed());
+
+        let t = home.write(Lba::new(5), BlockBuf::filled(9), Ns::from_ms(50));
+        let (_, after) = home.read(Lba::new(5), t, &mut ctx);
+        assert_eq!(after, BlockBuf::filled(9));
+    }
+
+    #[test]
+    fn vm_tagged_lbas_map_in_range() {
+        let mut home = HomeDisk::new(100);
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+        // A VM-tagged address far beyond capacity still resolves.
+        let lba = Lba::new(7).with_vm(3);
+        let (t, _) = home.read(lba, Ns::ZERO, &mut ctx);
+        assert!(t > Ns::ZERO);
+    }
+}

@@ -1,0 +1,274 @@
+//! The LRU-cache baseline: an SSD used as a block cache over one HDD
+//! (paper §4.4, baseline 4 — the classic vertical hierarchy I-CASH turns
+//! "by 90 degrees").
+//!
+//! Read hits are flash reads; misses pay the mechanical home read plus a
+//! cache fill. Writes are write-back: they land in flash (dirtying the
+//! block) and reach the disk only on eviction or flush.
+
+use crate::home::HomeDisk;
+use crate::lru_map::LruMap;
+use icash_storage::block::{Lba, BLOCK_SIZE};
+use icash_storage::request::{Completion, Op, Request};
+use icash_storage::ssd::{Ssd, SsdConfig};
+use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
+use icash_storage::time::Ns;
+
+/// Write requests at least this many blocks long bypass the cache and
+/// stream to the disk sequentially (standard large-I/O bypass; caching a
+/// 100 KB stream would evict the hot set for data never re-read soon).
+const WRITE_BYPASS_BLOCKS: u32 = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    slot: u64,
+    dirty: bool,
+}
+
+/// An SSD LRU block cache over a single data disk.
+///
+/// # Examples
+///
+/// ```
+/// use icash_baselines::LruCache;
+/// use icash_storage::cpu::CpuModel;
+/// use icash_storage::{BlockBuf, IoCtx, Lba, Ns, Request, StorageSystem, ZeroSource};
+///
+/// let mut sys = LruCache::new(1 << 20, 8 << 20); // 1 MB cache, 8 MB data
+/// let mut cpu = CpuModel::xeon();
+/// let backing = ZeroSource;
+/// let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+/// let w = Request::write(Lba::new(2), Ns::ZERO, BlockBuf::filled(5));
+/// let done = sys.submit(&w, &mut ctx).finished;
+/// let r = Request::read(Lba::new(2), done);
+/// assert_eq!(sys.submit(&r, &mut ctx).data[0], BlockBuf::filled(5));
+/// ```
+#[derive(Debug)]
+pub struct LruCache {
+    ssd: Ssd,
+    home: HomeDisk,
+    entries: LruMap<Lba, CacheEntry>,
+    free_slots: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache of `cache_bytes` of flash over `data_bytes` of disk.
+    pub fn new(cache_bytes: u64, data_bytes: u64) -> Self {
+        let ssd = Ssd::new(SsdConfig::fusion_io(cache_bytes));
+        let slots = ssd.capacity_pages();
+        LruCache {
+            ssd,
+            home: HomeDisk::new(data_bytes.div_ceil(BLOCK_SIZE as u64)),
+            entries: LruMap::new(),
+            free_slots: (0..slots).rev().collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Disables content retention (timing-only runs with flat memory).
+    pub fn timing_only(mut self) -> Self {
+        self.home = self.home.timing_only();
+        self
+    }
+
+    /// The cache SSD.
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// (hits, misses) over the run so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Frees (or steals) a slot, writing back the evicted dirty block.
+    fn take_slot(&mut self, at: Ns, ctx: &mut IoCtx<'_>) -> u64 {
+        if let Some(slot) = self.free_slots.pop() {
+            return slot;
+        }
+        let (victim, entry) = self.entries.pop_lru().expect("cache cannot be empty");
+        if entry.dirty {
+            let content = self.home.content(victim, ctx);
+            self.home.write(victim, content, at);
+        }
+        self.ssd.trim(entry.slot);
+        entry.slot
+    }
+}
+
+impl StorageSystem for LruCache {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        let mut done = req.at;
+        let mut data = Vec::new();
+        if req.op == Op::Write && req.blocks >= WRITE_BYPASS_BLOCKS {
+            // Stream to disk sequentially; drop any stale cached copies.
+            for lba in req.lbas() {
+                if let Some(entry) = self.entries.remove(&lba) {
+                    self.ssd.trim(entry.slot);
+                    self.free_slots.push(entry.slot);
+                }
+            }
+            let t = self.home.write_span(req.lba, &req.payload, req.at);
+            return Completion::with_data(t, data);
+        }
+        for (i, lba) in req.lbas().enumerate() {
+            match req.op {
+                Op::Write => {
+                    let t = match self.entries.get_mut(&lba) {
+                        Some(entry) => {
+                            entry.dirty = true;
+                            let slot = entry.slot;
+                            self.hits += 1;
+                            self.ssd.write(req.at, slot).expect("cache write")
+                        }
+                        None => {
+                            self.misses += 1;
+                            let slot = self.take_slot(req.at, ctx);
+                            self.entries.insert(lba, CacheEntry { slot, dirty: true });
+                            self.ssd.write(req.at, slot).expect("cache fill")
+                        }
+                    };
+                    // Track current content for read-back (timing already
+                    // charged; the overlay is bookkeeping, not a disk write).
+                    self.home.remember(lba, req.payload[i].clone());
+                    done = done.max(t);
+                }
+                Op::Read => {
+                    let t = match self.entries.get(&lba).copied() {
+                        Some(entry) => {
+                            self.hits += 1;
+                            self.ssd.read(req.at, entry.slot).expect("cache read")
+                        }
+                        None => {
+                            self.misses += 1;
+                            let (t, _) = self.home.read(lba, req.at, ctx);
+                            // Fill the cache; the flash program overlaps the
+                            // host response.
+                            let slot = self.take_slot(req.at, ctx);
+                            self.entries.insert(lba, CacheEntry { slot, dirty: false });
+                            self.ssd.write(t, slot).expect("cache fill");
+                            t
+                        }
+                    };
+                    if ctx.collect_data {
+                        data.push(self.home.content(lba, ctx));
+                    }
+                    done = done.max(t);
+                }
+            }
+        }
+        Completion::with_data(done, data)
+    }
+
+    fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        let dirty: Vec<Lba> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(l, _)| *l)
+            .collect();
+        let mut t = now;
+        for lba in dirty {
+            let content = self.home.content(lba, ctx);
+            t = self.home.write(lba, content, t);
+            if let Some(e) = self.entries.get_mut(&lba) {
+                e.dirty = false;
+            }
+        }
+        t
+    }
+
+    fn report(&self, elapsed: Ns) -> SystemReport {
+        SystemReport {
+            name: self.name().to_string(),
+            ssd: Some(self.ssd.stats().clone()),
+            hdd: Some(self.home.disk().stats().clone()),
+            gc: Some(*self.ssd.gc_stats()),
+            ssd_life_used: Some(self.ssd.wear().life_used()),
+            device_energy: self.ssd.energy(elapsed) + self.home.disk().energy(elapsed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_storage::block::BlockBuf;
+    use icash_storage::cpu::CpuModel;
+    use icash_storage::system::ZeroSource;
+
+    #[test]
+    fn hits_are_flash_speed_misses_are_mechanical() {
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        let mut sys = LruCache::new(1 << 20, 64 << 20).timing_only();
+
+        let r1 = Request::read(Lba::new(500_000 % (16 << 10)), Ns::ZERO);
+        let miss_done = sys.submit(&r1, &mut ctx).finished;
+        assert!(miss_done > Ns::from_ms(1), "miss pays the seek");
+
+        let r2 = Request::read(r1.lba, miss_done + Ns::from_ms(1));
+        let hit_latency = sys.submit(&r2, &mut ctx).finished - (miss_done + Ns::from_ms(1));
+        assert!(hit_latency < Ns::from_us(100), "hit is flash speed");
+        assert_eq!(sys.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_blocks() {
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        // Tiny cache: 16 KB = 4 slots.
+        let mut sys = LruCache::new(16 << 10, 64 << 20).timing_only();
+        let mut t = Ns::ZERO;
+        for i in 0..10u64 {
+            let w = Request::write(Lba::new(i), t, BlockBuf::zeroed());
+            t = sys.submit(&w, &mut ctx).finished;
+        }
+        // 10 dirty blocks through 4 slots: at least 6 write-backs.
+        assert!(sys.home.disk().stats().writes >= 6);
+    }
+
+    #[test]
+    fn read_back_returns_written_content() {
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+        let mut sys = LruCache::new(16 << 10, 64 << 20);
+        let mut t = Ns::ZERO;
+        // Write more blocks than the cache holds, then read them all back.
+        for i in 0..12u64 {
+            let w = Request::write(Lba::new(i), t, BlockBuf::filled(i as u8 + 1));
+            t = sys.submit(&w, &mut ctx).finished;
+        }
+        for i in 0..12u64 {
+            let r = Request::read(Lba::new(i), t);
+            let c = sys.submit(&r, &mut ctx);
+            t = c.finished;
+            assert_eq!(c.data[0], BlockBuf::filled(i as u8 + 1), "lba {i}");
+        }
+    }
+
+    #[test]
+    fn flush_cleans_dirty_entries() {
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        let mut sys = LruCache::new(1 << 20, 64 << 20).timing_only();
+        let w = Request::write(Lba::new(3), Ns::ZERO, BlockBuf::zeroed());
+        let t = sys.submit(&w, &mut ctx).finished;
+        let before = sys.home.disk().stats().writes;
+        let t2 = sys.flush(t, &mut ctx);
+        assert_eq!(sys.home.disk().stats().writes, before + 1);
+        // A second flush has nothing to do.
+        assert_eq!(sys.flush(t2, &mut ctx), t2);
+    }
+}

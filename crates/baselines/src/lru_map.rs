@@ -1,0 +1,186 @@
+//! A small order-tracked map used by the caching baselines.
+//!
+//! Maps keys to values while tracking recency, so the caches can evict
+//! their least recently used entry. Operations are O(log n) via a recency
+//! counter and an ordered index — plenty for cache sizes in the tens of
+//! thousands of blocks.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A map with least-recently-used eviction order.
+///
+/// # Examples
+///
+/// ```
+/// use icash_baselines::lru_map::LruMap;
+///
+/// let mut cache: LruMap<&str, u32> = LruMap::new();
+/// cache.insert("a", 1);
+/// cache.insert("b", 2);
+/// cache.get(&"a"); // refresh "a"
+/// assert_eq!(cache.pop_lru(), Some(("b", 2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruMap<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        LruMap {
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is present (does not refresh recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts or replaces `key`, marking it most recently used. Returns
+    /// the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let tick = self.bump();
+        let old = self.entries.insert(key.clone(), (value, tick));
+        if let Some((_, old_tick)) = &old {
+            self.order.remove(old_tick);
+        }
+        self.order.insert(tick, key);
+        old.map(|(v, _)| v)
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let tick = self.bump();
+        match self.entries.get_mut(key) {
+            Some((_, t)) => {
+                self.order.remove(t);
+                *t = tick;
+                self.order.insert(tick, key.clone());
+                Some(&self.entries.get(key).expect("just updated").0)
+            }
+            None => None,
+        }
+    }
+
+    /// Looks up `key` without refreshing recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    /// Mutable lookup, marking the entry most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let tick = self.bump();
+        match self.entries.get_mut(key) {
+            Some((_, t)) => {
+                self.order.remove(t);
+                *t = tick;
+                self.order.insert(tick, key.clone());
+                Some(&mut self.entries.get_mut(key).expect("just updated").0)
+            }
+            None => None,
+        }
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (v, tick) = self.entries.remove(key)?;
+        self.order.remove(&tick);
+        Some(v)
+    }
+
+    /// Removes and returns the least recently used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        let (&tick, _) = self.order.iter().next()?;
+        let key = self.order.remove(&tick).expect("just found");
+        let (v, _) = self.entries.remove(&key).expect("order/entry agree");
+        Some((key, v))
+    }
+
+    /// Iterates over entries in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, (v, _))| (k, v))
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for LruMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_order_follows_use() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(3, "c");
+        m.get(&1);
+        assert_eq!(m.pop_lru(), Some((2, "b")));
+        assert_eq!(m.pop_lru(), Some((3, "c")));
+        assert_eq!(m.pop_lru(), Some((1, "a")));
+        assert_eq!(m.pop_lru(), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_and_replaces() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.insert(1, "a2"), Some("a"));
+        assert_eq!(m.pop_lru(), Some((2, "b")));
+        assert_eq!(m.peek(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.peek(&1);
+        assert_eq!(m.pop_lru(), Some((1, "a")));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&1), Some("a"));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(&1), None);
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut m = LruMap::new();
+        m.insert(1, 10);
+        *m.get_mut(&1).unwrap() += 5;
+        assert_eq!(m.peek(&1), Some(&15));
+    }
+}

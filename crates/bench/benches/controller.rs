@@ -1,0 +1,47 @@
+//! End-to-end controller op cost: virtual-time is free, so this measures
+//! the *simulator's* wall-clock throughput (ops/second of real time) for
+//! the I-CASH write and read paths under a database-like content stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icash_core::{Icash, IcashConfig};
+use icash_storage::cpu::CpuModel;
+use icash_storage::request::Request;
+use icash_storage::system::{IoCtx, StorageSystem};
+use icash_storage::time::Ns;
+use icash_storage::Lba;
+use icash_workloads::content::{ContentModel, ContentProfile};
+use std::hint::black_box;
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icash_controller");
+    group.sample_size(20);
+
+    group.bench_function("write_read_cycle", |b| {
+        let mut sys = Icash::new(
+            IcashConfig::builder(8 << 20, 4 << 20, 64 << 20)
+                .scan_interval(500)
+                .scan_window(512)
+                .build(),
+        );
+        let mut cpu = CpuModel::xeon();
+        let mut model = ContentModel::new(1, ContentProfile::database());
+        let mut t = Ns::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            let lba = Lba::new(i % 4096);
+            let payload = model.write_payload(lba);
+            let w = Request::write(lba, t, payload);
+            let mut ctx = IoCtx::new(&model, &mut cpu);
+            t = sys.submit(&w, &mut ctx).finished;
+            let r = Request::read(lba, t);
+            let mut ctx = IoCtx::new(&model, &mut cpu);
+            t = black_box(sys.submit(&r, &mut ctx)).finished;
+            i += 1;
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

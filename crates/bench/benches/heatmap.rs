@@ -1,0 +1,78 @@
+//! Heatmap and reference-index operation costs: these run on every host
+//! I/O (record) and every scan (popularity, candidate lookup), so they
+//! must stay in the tens-of-nanoseconds range for the "cheap sums beat
+//! hashing" argument of paper §4.2 to hold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icash_core::ref_index::RefIndex;
+use icash_delta::heatmap::Heatmap;
+use icash_delta::signature::BlockSignature;
+use icash_storage::block::Lba;
+use std::hint::black_box;
+
+fn bench_heatmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heatmap");
+
+    let sigs: Vec<BlockSignature> = (0..256u64)
+        .map(|i| {
+            BlockSignature::from_raw([
+                i as u8,
+                (i * 3) as u8,
+                (i * 5) as u8,
+                (i * 7) as u8,
+                (i * 11) as u8,
+                (i * 13) as u8,
+                (i * 17) as u8,
+                (i * 19) as u8,
+            ])
+        })
+        .collect();
+
+    group.bench_function("record", |b| {
+        let mut map = Heatmap::standard();
+        let mut i = 0usize;
+        b.iter(|| {
+            map.record(black_box(&sigs[i % sigs.len()]));
+            i += 1;
+        })
+    });
+
+    group.bench_function("popularity", |b| {
+        let mut map = Heatmap::standard();
+        for s in &sigs {
+            map.record(s);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = map.popularity(black_box(&sigs[i % sigs.len()]));
+            i += 1;
+            black_box(p)
+        })
+    });
+
+    group.bench_function("decay", |b| {
+        let mut map = Heatmap::standard();
+        for s in &sigs {
+            map.record(s);
+        }
+        b.iter(|| map.decay())
+    });
+
+    group.bench_function("ref_index_candidates_4k_refs", |b| {
+        let mut index = RefIndex::new();
+        for (i, s) in sigs.iter().cycle().take(4096).enumerate() {
+            index.insert(Lba::new(i as u64), s);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let c = index.candidates(black_box(&sigs[i % sigs.len()]), 3, 3);
+            i += 1;
+            black_box(c)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_heatmap);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: the oversize-delta threshold (paper §5.3 fixes it at 2,048
+//! bytes — "for blocks that have deltas larger than the threshold value,
+//! the new data are written directly to the SSD to release delta buffer").
+//!
+//! Sweeps the threshold on SysBench: a low threshold pushes writes to the
+//! SSD (wear, latency); a high threshold keeps poorly-compressible deltas
+//! in precious RAM.
+
+use icash_core::{Icash, IcashConfig};
+use icash_metrics::report::table;
+use icash_workloads::content::ContentModel;
+use icash_workloads::driver::{run_benchmark, DriverConfig};
+use icash_workloads::sysbench;
+use icash_workloads::trace::{Trace, TracePlayer};
+
+fn main() {
+    let ops = std::env::var("ICASH_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000u64);
+    let spec = sysbench::spec().scaled_to_ops(ops);
+    let mut source = icash_workloads::MixedWorkload::new(spec.clone(), 1);
+    let trace = Trace::record(&mut source, ops);
+
+    let mut rows = Vec::new();
+    for threshold in [256usize, 512, 1_024, 2_048, 3_072, 4_096] {
+        let mut system = Icash::new(
+            IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
+                .delta_threshold(threshold)
+                .build(),
+        );
+        let mut player = TracePlayer::new(spec.clone(), trace.clone());
+        let mut model = ContentModel::new(1, spec.profile.clone());
+        let cfg = DriverConfig::new(ops).clients(spec.clients);
+        let s = run_benchmark(&mut system, &mut player, &mut model, &cfg);
+        let st = system.stats();
+        rows.push(vec![
+            format!("{threshold}"),
+            format!("{:.1}", s.transactions_per_sec()),
+            format!("{:.1}", s.write_mean_us()),
+            format!("{}", s.ssd_writes),
+            format!("{:.1}%", st.delta_write_fraction() * 100.0),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            "Ablation: oversize-delta threshold (SysBench; paper default 2048 B)",
+            &[
+                "threshold",
+                "tx/s",
+                "write_us",
+                "ssd_writes",
+                "delta_writes"
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation: the similarity-scan interval (paper §4.2 fixes it at 2,000
+//! I/Os with a 4,000-block window).
+//!
+//! Sweeps the interval across 500–16,000 I/Os on the SysBench workload and
+//! reports throughput, SSD writes (scan-time reference installs), and the
+//! CPU the scans burn. Too-frequent scans churn references and waste CPU;
+//! too-rare scans leave new content unbound.
+
+use icash_core::{Icash, IcashConfig};
+use icash_metrics::report::table;
+use icash_workloads::content::ContentModel;
+use icash_workloads::driver::{run_benchmark, DriverConfig};
+use icash_workloads::sysbench;
+use icash_workloads::trace::{Trace, TracePlayer};
+
+fn main() {
+    let ops = std::env::var("ICASH_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000u64);
+    let spec = sysbench::spec().scaled_to_ops(ops);
+    let mut source = icash_workloads::MixedWorkload::new(spec.clone(), 1);
+    let trace = Trace::record(&mut source, ops);
+
+    let mut rows = Vec::new();
+    for interval in [500u64, 1_000, 2_000, 4_000, 8_000, 16_000] {
+        let mut system = Icash::new(
+            IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
+                .scan_interval(interval)
+                .build(),
+        );
+        let mut player = TracePlayer::new(spec.clone(), trace.clone());
+        let mut model = ContentModel::new(1, spec.profile.clone());
+        let cfg = DriverConfig::new(ops).clients(spec.clients);
+        let s = run_benchmark(&mut system, &mut player, &mut model, &cfg);
+        let st = system.stats();
+        rows.push(vec![
+            format!("{interval}"),
+            format!("{:.1}", s.transactions_per_sec()),
+            format!("{:.1}", s.read_mean_us()),
+            format!("{}", s.ssd_writes),
+            format!("{}", st.ref_installs),
+            format!("{:.2}%", s.storage_cpu_utilization * 100.0),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            "Ablation: similarity-scan interval (SysBench; paper default 2000)",
+            &[
+                "interval",
+                "tx/s",
+                "read_us",
+                "ssd_writes",
+                "installs",
+                "storage_cpu"
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,52 @@
+//! Figures 8(a), 8(b) and 9: Hadoop WordCount on the five architectures.
+//!
+//! Paper results being reproduced (shape): I-CASH finishes the job fastest
+//! (18 s vs FusionIO 24, LRU 25, Dedup 26, RAID 32 — speedups 1.3–1.8×);
+//! CPU utilization is high everywhere except RAID (Fig 8b); and I-CASH's
+//! write response is an order of magnitude below the SSD-writing systems
+//! (Fig 9: 586 µs vs 7301 µs for FusionIO).
+
+use icash_bench::harness::standard_run;
+use icash_metrics::report::{bar_chart, metric_rows};
+use icash_metrics::summary::RunSummary;
+use icash_workloads::hadoop;
+
+fn main() {
+    let (_spec, summaries) = standard_run(&hadoop::spec());
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 8(a). Hadoop job execution time",
+            "s",
+            &metric_rows(&summaries, |s| s.elapsed.as_secs_f64()),
+            false,
+        )
+    );
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 8(b). Hadoop CPU utilization",
+            "%",
+            &metric_rows(&summaries, |s| s.cpu_utilization * 100.0),
+            false,
+        )
+    );
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 9. Hadoop read response time",
+            "us",
+            &metric_rows(&summaries, RunSummary::read_mean_us),
+            false,
+        )
+    );
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 9. Hadoop write response time",
+            "us",
+            &metric_rows(&summaries, RunSummary::write_mean_us),
+            false,
+        )
+    );
+}

@@ -1,0 +1,43 @@
+//! Figures 10(a), 10(b) and 11: TPC-C on the five architectures.
+//!
+//! Paper results being reproduced (shape): I-CASH processes the most
+//! transactions per second (58, +14 % over FusionIO's 51, +45 % over
+//! RAID0's 40) and cuts the application-level response time to 2.6 ms vs
+//! FusionIO's 6.6 ms and RAID0's 14 ms — the benchmark where the fast
+//! delta-write path matters most.
+
+use icash_bench::harness::standard_run;
+use icash_metrics::report::{bar_chart, metric_rows};
+use icash_workloads::tpcc;
+
+fn main() {
+    let (spec, summaries) = standard_run(&tpcc::spec());
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 10(a). TPC-C transaction rate",
+            "transactions/s",
+            &metric_rows(&summaries, |s| s.transactions_per_sec()),
+            true,
+        )
+    );
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 10(b). TPC-C CPU utilization",
+            "%",
+            &metric_rows(&summaries, |s| s.cpu_utilization * 100.0),
+            false,
+        )
+    );
+    let per_tx = spec.ops_per_transaction as f64;
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 11. TPC-C application response time",
+            "ms",
+            &metric_rows(&summaries, |s| s.mean_response_ms() * per_tx),
+            false,
+        )
+    );
+}

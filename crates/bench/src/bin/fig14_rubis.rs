@@ -1,0 +1,23 @@
+//! Figure 14: RUBiS (auction site) request rate.
+//!
+//! Paper results being reproduced (shape): over 99 % reads caps the
+//! delta-write advantage, so FusionIO wins by ~10 % (84 vs 76 req/s);
+//! I-CASH still beats RAID0 1.5×, LRU 1.04× and Dedup 1.29× — the online
+//! similarity detection stretching the same 128 MB flash budget further.
+
+use icash_bench::harness::standard_run;
+use icash_metrics::report::{bar_chart, metric_rows};
+use icash_workloads::rubis;
+
+fn main() {
+    let (_spec, summaries) = standard_run(&rubis::spec());
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 14. RUBiS request rate",
+            "requests/s",
+            &metric_rows(&summaries, |s| s.transactions_per_sec()),
+            true,
+        )
+    );
+}

@@ -1,0 +1,24 @@
+//! Figure 15: five TPC-C virtual machines, normalized transaction rate.
+//!
+//! Paper results being reproduced (shape): with five VMs multiplying the
+//! write pressure, pure flash hits its garbage-collection wall while
+//! I-CASH absorbs the writes as deltas — 2.8× FusionIO and 5–6× the other
+//! three baselines, I-CASH's biggest win in the paper.
+
+use icash_bench::harness::vm_run;
+use icash_metrics::report::{bar_chart, metric_rows, normalize};
+use icash_workloads::vm::tpcc_five_vms;
+
+fn main() {
+    let (_spec, summaries) = vm_run(tpcc_five_vms);
+    let rows = metric_rows(&summaries, |s| s.transactions_per_sec());
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 15. Five TPC-C VMs, normalized transaction rate",
+            "x FusionIO",
+            &normalize(&rows, "FusionIO"),
+            true,
+        )
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 16: five RUBiS virtual machines, normalized request rate.
+//!
+//! Paper results being reproduced (shape): the read-heavy multi-VM case —
+//! FusionIO holds up well (RUBiS is read-intensive), I-CASH still edges it
+//! out (1.2×) by serving five near-identical images from one set of
+//! reference blocks, and the address-keyed caches trail 3–6× (they cache
+//! five copies of the same content).
+
+use icash_bench::harness::vm_run;
+use icash_metrics::report::{bar_chart, metric_rows, normalize};
+use icash_workloads::vm::rubis_five_vms;
+
+fn main() {
+    let (_spec, summaries) = vm_run(rubis_five_vms);
+    let rows = metric_rows(&summaries, |s| s.transactions_per_sec());
+    print!(
+        "{}",
+        bar_chart(
+            "Figure 16. Five RUBiS VMs, normalized request rate",
+            "x FusionIO",
+            &normalize(&rows, "FusionIO"),
+            true,
+        )
+    );
+}

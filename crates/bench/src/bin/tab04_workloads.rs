@@ -1,0 +1,45 @@
+//! Table 4: characteristics of the benchmark workloads.
+//!
+//! The generators self-report their specifications; the measured columns
+//! (op counts, request sizes, data sizes) are pinned to the paper's values
+//! and asserted by each module's unit tests.
+
+use icash_metrics::report::table;
+use icash_workloads::vm::{rubis_five_vms, tpcc_five_vms};
+use icash_workloads::workload::Workload;
+use icash_workloads::{hadoop, loadsim, rubis, specsfs, sysbench, tpcc};
+
+fn main() {
+    let specs = [
+        sysbench::spec(),
+        hadoop::spec(),
+        tpcc::spec(),
+        loadsim::spec(),
+        specsfs::spec(),
+        rubis::spec(),
+        tpcc_five_vms(0).spec().clone(),
+        rubis_five_vms(0).spec().clone(),
+    ];
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{}K", s.table4_reads / 1000),
+                format!("{}K", s.table4_writes / 1000),
+                format!("{}B", s.avg_read_bytes),
+                format!("{}B", s.avg_write_bytes),
+                format!("{:.1}GB", s.data_bytes as f64 / (1 << 30) as f64),
+                format!("{}MB", s.vm_ram_bytes >> 20),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Table 4. Characteristics of benchmarks.",
+            &["Name", "#Read", "#Write", "AvgRead", "AvgWrite", "DataSize", "VM RAM"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,247 @@
+//! Shared experiment machinery.
+//!
+//! Every exhibit runs the same recorded operation trace against the five
+//! storage architectures of §4.4 — FusionIO (pure SSD), RAID0, Dedup, LRU,
+//! and I-CASH — under identical driver settings, then formats the results
+//! the way the paper's figure does. Systems run in parallel threads (they
+//! share nothing; content generation is deterministic per replay).
+
+use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
+use icash_core::{Icash, IcashConfig};
+use icash_metrics::summary::RunSummary;
+use icash_storage::system::StorageSystem;
+use icash_workloads::content::ContentModel;
+use icash_workloads::driver::{run_benchmark, DriverConfig};
+use icash_workloads::spec::WorkloadSpec;
+use icash_workloads::trace::{Trace, TracePlayer};
+use icash_workloads::workload::Workload;
+
+/// The five architectures of the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Pure SSD holding the entire data set.
+    FusionIo,
+    /// Four striped SATA disks.
+    Raid0,
+    /// Content-addressed SSD cache over one disk.
+    Dedup,
+    /// LRU SSD cache over one disk.
+    Lru,
+    /// The I-CASH storage element.
+    Icash,
+}
+
+impl SystemKind {
+    /// All five, in the paper's figure order.
+    pub const ALL: [SystemKind; 5] = [
+        SystemKind::FusionIo,
+        SystemKind::Raid0,
+        SystemKind::Dedup,
+        SystemKind::Lru,
+        SystemKind::Icash,
+    ];
+
+    /// Builds the system sized for `spec` (baseline caches get exactly the
+    /// I-CASH SSD budget; FusionIO gets the whole data set, §4.4).
+    pub fn build(self, spec: &WorkloadSpec) -> Box<dyn StorageSystem> {
+        match self {
+            SystemKind::FusionIo => Box::new(PureSsd::new(spec.data_bytes).timing_only()),
+            SystemKind::Raid0 => Box::new(Raid0::new(spec.data_bytes, 4).timing_only()),
+            SystemKind::Dedup => {
+                Box::new(DedupCache::new(spec.ssd_bytes, spec.data_bytes).timing_only())
+            }
+            SystemKind::Lru => {
+                Box::new(LruCache::new(spec.ssd_bytes, spec.data_bytes).timing_only())
+            }
+            SystemKind::Icash => Box::new(Icash::new(
+                IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes).build(),
+            )),
+        }
+    }
+}
+
+/// Settings for one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Operations issued per system.
+    pub ops: u64,
+    /// Closed-loop clients.
+    pub clients: u32,
+    /// RNG seed (trace + content).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A config scaled for quick runs: the workload's `default_ops`.
+    pub fn quick(spec: &WorkloadSpec) -> Self {
+        ExperimentConfig {
+            ops: spec.default_ops,
+            clients: spec.clients,
+            seed: 0x1CA5_4001,
+        }
+    }
+
+    /// The proportionally scaled spec for this run (see
+    /// [`WorkloadSpec::scaled_to_ops`]); at full length it is the paper's
+    /// configuration unchanged.
+    pub fn scaled_spec(&self, spec: &WorkloadSpec) -> WorkloadSpec {
+        spec.scaled_to_ops(self.ops)
+    }
+
+    /// Honours `ICASH_OPS` / `ICASH_FULL=1` environment overrides so the
+    /// same binaries drive quick checks and full reproductions.
+    pub fn from_env(spec: &WorkloadSpec) -> Self {
+        let mut cfg = Self::quick(spec);
+        if std::env::var("ICASH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            cfg.ops = spec.table4_ops();
+        }
+        if let Ok(ops) = std::env::var("ICASH_OPS") {
+            if let Ok(n) = ops.parse::<u64>() {
+                cfg.ops = n;
+            }
+        }
+        cfg
+    }
+}
+
+/// Runs one workload (built by `make_workload`) against all five systems
+/// and returns the summaries in [`SystemKind::ALL`] order.
+///
+/// The op stream is recorded once and replayed bit-identically per system;
+/// systems run on parallel threads.
+pub fn run_five_systems(
+    spec: &WorkloadSpec,
+    cfg: &ExperimentConfig,
+    make_workload: impl Fn(u64) -> Box<dyn Workload>,
+) -> Vec<RunSummary> {
+    let mut source = make_workload(cfg.seed);
+    let universe = source.address_universe();
+    let trace = Trace::record(source.as_mut(), cfg.ops);
+
+    let results: Vec<(usize, RunSummary)> = crossbeam::thread::scope(|scope| {
+        let trace = &trace;
+        let universe = &universe;
+        let handles: Vec<_> = SystemKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                scope.spawn(move |_| {
+                    let mut system = kind.build(spec);
+                    let mut player = TracePlayer::new(spec.clone(), trace.clone())
+                        .with_universe(universe.clone());
+                    let mut model = ContentModel::new(cfg.seed, spec.profile.clone());
+                    let driver = DriverConfig {
+                        clients: cfg.clients,
+                        ops: cfg.ops,
+                        warmup_ops: cfg.ops / 4,
+                        verify: false,
+                        guest_cache: false,
+                        cpu: None,
+                    };
+                    let summary = run_benchmark(system.as_mut(), &mut player, &mut model, &driver);
+                    (i, summary)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
+    })
+    .expect("scope");
+
+    let mut out: Vec<Option<RunSummary>> = (0..SystemKind::ALL.len()).map(|_| None).collect();
+    for (i, s) in results {
+        out[i] = Some(s);
+    }
+    out.into_iter().map(|s| s.expect("all ran")).collect()
+}
+
+/// The standard single-workload exhibit: scale per environment, announce,
+/// run the five systems. Returns the scaled spec and the summaries.
+pub fn standard_run(base: &WorkloadSpec) -> (WorkloadSpec, Vec<RunSummary>) {
+    let cfg = ExperimentConfig::from_env(base);
+    let spec = cfg.scaled_spec(base);
+    eprintln!(
+        "running {}: {} ops x 5 systems ({} clients, data {} MB, ssd {} MB)",
+        spec.name,
+        cfg.ops,
+        cfg.clients,
+        spec.data_bytes >> 20,
+        spec.ssd_bytes >> 20
+    );
+    let wl_spec = spec.clone();
+    let summaries = run_five_systems(&spec, &cfg, move |seed| {
+        Box::new(icash_workloads::MixedWorkload::new(wl_spec.clone(), seed))
+    });
+    (spec, summaries)
+}
+
+/// The multi-VM exhibit runner (Figures 15-16): `make` builds the 5-VM
+/// workload; the aggregate spec is scaled and the inner VMs rescaled with
+/// it.
+pub fn vm_run(
+    make: impl Fn(u64) -> icash_workloads::vm::MultiVm + Copy,
+) -> (WorkloadSpec, Vec<RunSummary>) {
+    let base = make(0).spec().clone();
+    let cfg = ExperimentConfig::from_env(&base);
+    let spec = cfg.scaled_spec(&base);
+    eprintln!(
+        "running {}: {} ops x 5 systems ({} clients, data {} MB, ssd {} MB)",
+        spec.name,
+        cfg.ops,
+        cfg.clients,
+        spec.data_bytes >> 20,
+        spec.ssd_bytes >> 20
+    );
+    let scaled = spec.clone();
+    let summaries = run_five_systems(&spec, &cfg, move |seed| {
+        Box::new(icash_workloads::vm::rescale(make, seed, &scaled))
+    });
+    (spec, summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_workloads::sysbench;
+
+    #[test]
+    fn five_systems_run_one_small_workload() {
+        let mut spec = sysbench::spec();
+        spec.data_bytes = 32 << 20;
+        spec.ssd_bytes = 4 << 20;
+        spec.ram_bytes = 1 << 20;
+        let cfg = ExperimentConfig {
+            ops: 2_000,
+            clients: 8,
+            seed: 7,
+        };
+        let spec_clone = spec.clone();
+        let summaries = run_five_systems(&spec, &cfg, move |seed| {
+            Box::new(icash_workloads::MixedWorkload::new(
+                spec_clone.clone(),
+                seed,
+            ))
+        });
+        assert_eq!(summaries.len(), 5);
+        let names: Vec<&str> = summaries.iter().map(|s| s.system.as_str()).collect();
+        assert_eq!(names, vec!["FusionIO", "RAID0", "Dedup", "LRU", "I-CASH"]);
+        for s in &summaries {
+            assert_eq!(s.ops, 2_000);
+            assert!(s.elapsed.as_ns() > 0, "{} did not advance time", s.system);
+        }
+    }
+
+    #[test]
+    fn env_overrides_ops() {
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_OPS", "1234");
+        let cfg = ExperimentConfig::from_env(&spec);
+        std::env::remove_var("ICASH_OPS");
+        assert_eq!(cfg.ops, 1234);
+    }
+}

@@ -1,0 +1,14 @@
+//! # icash-bench — the harness that regenerates the paper's evaluation
+//!
+//! One binary per exhibit (`fig06_sysbench` … `tab06_ssd_writes`), plus
+//! `run_all` which regenerates everything for EXPERIMENTS.md. This library
+//! holds the shared machinery: building the five storage systems the paper
+//! compares (§4.4), replaying one recorded trace against each, and
+//! formatting the paper-style figures.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+
+pub use harness::{run_five_systems, ExperimentConfig, SystemKind};

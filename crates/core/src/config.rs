@@ -1,0 +1,233 @@
+//! I-CASH controller configuration.
+
+use icash_storage::block::BLOCK_SIZE;
+use icash_storage::hdd::HddConfig;
+use icash_storage::ssd::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the I-CASH controller.
+///
+/// Defaults follow the paper's prototype (§4.2–§4.3): 4 KB blocks, a
+/// similarity scan every 2,000 I/Os over the 4,000 blocks at the head of
+/// the LRU queue, a 2,048-byte delta threshold above which new data is
+/// written directly to the SSD, and 64-byte delta segments.
+///
+/// # Examples
+///
+/// ```
+/// use icash_core::config::IcashConfig;
+///
+/// let cfg = IcashConfig::builder(128 << 20, 32 << 20, 1 << 30).build();
+/// assert_eq!(cfg.scan_interval, 2_000);
+/// assert_eq!(cfg.delta_threshold, 2_048);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IcashConfig {
+    /// SSD reference-store capacity in bytes.
+    pub ssd_bytes: u64,
+    /// RAM buffer (delta segments + cached data blocks) in bytes.
+    pub ram_bytes: u64,
+    /// Size of the data set the device exposes, in bytes.
+    pub data_bytes: u64,
+    /// Host I/Os between similarity scans (paper: 2,000).
+    pub scan_interval: u64,
+    /// Blocks examined from the head of the LRU per scan (paper: 4,000).
+    pub scan_window: usize,
+    /// Fraction of scanned blocks promotable to references per scan.
+    pub ref_fraction: f64,
+    /// Deltas larger than this go directly to the SSD as full blocks
+    /// (paper: 2,048 bytes).
+    pub delta_threshold: usize,
+    /// Granularity of RAM delta allocation (paper: 64-byte segments).
+    pub segment_bytes: usize,
+    /// Host I/Os between periodic flushes of dirty deltas to the HDD log.
+    pub flush_interval: u64,
+    /// Dirty-delta bytes that force an early flush.
+    pub flush_dirty_bytes: usize,
+    /// HDD log capacity in 4 KB delta blocks.
+    pub log_blocks: u64,
+}
+
+impl IcashConfig {
+    /// Starts building a configuration from the three capacities that vary
+    /// between experiments: SSD bytes, RAM bytes, and data-set bytes.
+    pub fn builder(ssd_bytes: u64, ram_bytes: u64, data_bytes: u64) -> IcashConfigBuilder {
+        IcashConfigBuilder {
+            cfg: IcashConfig {
+                ssd_bytes,
+                ram_bytes,
+                data_bytes,
+                scan_interval: 2_000,
+                scan_window: 4_000,
+                ref_fraction: 0.02,
+                delta_threshold: 2_048,
+                segment_bytes: 64,
+                flush_interval: 4_000,
+                flush_dirty_bytes: 8 << 20,
+                log_blocks: 1 << 20, // 4 GB of log space
+            },
+        }
+    }
+
+    /// Data-set size in 4 KB blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_bytes.div_ceil(BLOCK_SIZE as u64)
+    }
+
+    /// SSD reference-store capacity in 4 KB slots.
+    pub fn ssd_slots(&self) -> u64 {
+        (self.ssd_bytes / BLOCK_SIZE as u64).max(1)
+    }
+
+    /// RAM budget in bytes for deltas plus cached data blocks.
+    pub fn ram_budget(&self) -> usize {
+        self.ram_bytes as usize
+    }
+
+    /// The SSD device configuration for this controller.
+    pub fn ssd_config(&self) -> SsdConfig {
+        SsdConfig::fusion_io(self.ssd_bytes)
+    }
+
+    /// The HDD device configuration: home area for the data set plus the
+    /// sequential delta-log region.
+    pub fn hdd_config(&self) -> HddConfig {
+        HddConfig::seagate_sata(self.data_blocks() + self.log_blocks)
+    }
+
+    /// First HDD block of the delta-log region (home area precedes it).
+    pub fn log_start(&self) -> u64 {
+        self.data_blocks()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capacity is zero or the segment size does not divide the
+    /// block size.
+    pub fn validate(&self) {
+        assert!(self.ssd_bytes > 0, "SSD capacity must be nonzero");
+        assert!(self.ram_bytes > 0, "RAM budget must be nonzero");
+        assert!(self.data_bytes > 0, "data set must be nonzero");
+        assert!(self.scan_interval > 0, "scan interval must be nonzero");
+        assert!(self.segment_bytes > 0, "segments must be nonzero");
+        assert_eq!(
+            BLOCK_SIZE % self.segment_bytes,
+            0,
+            "segments must divide the block size"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.ref_fraction),
+            "ref_fraction must be in [0, 1]"
+        );
+    }
+}
+
+/// Builder for [`IcashConfig`].
+#[derive(Debug, Clone)]
+pub struct IcashConfigBuilder {
+    cfg: IcashConfig,
+}
+
+impl IcashConfigBuilder {
+    /// Overrides the scan interval (host I/Os between scans).
+    pub fn scan_interval(mut self, ios: u64) -> Self {
+        self.cfg.scan_interval = ios;
+        self
+    }
+
+    /// Overrides the scan window (LRU-head blocks examined per scan).
+    pub fn scan_window(mut self, blocks: usize) -> Self {
+        self.cfg.scan_window = blocks;
+        self
+    }
+
+    /// Overrides the fraction of scanned blocks promotable to references.
+    pub fn ref_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.ref_fraction = fraction;
+        self
+    }
+
+    /// Overrides the oversize-delta threshold in bytes.
+    pub fn delta_threshold(mut self, bytes: usize) -> Self {
+        self.cfg.delta_threshold = bytes;
+        self
+    }
+
+    /// Overrides the flush interval (host I/Os between log flushes).
+    pub fn flush_interval(mut self, ios: u64) -> Self {
+        self.cfg.flush_interval = ios;
+        self
+    }
+
+    /// Overrides the dirty-byte threshold that forces an early flush.
+    pub fn flush_dirty_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.flush_dirty_bytes = bytes;
+        self
+    }
+
+    /// Overrides the HDD log capacity in 4 KB blocks.
+    pub fn log_blocks(mut self, blocks: u64) -> Self {
+        self.cfg.log_blocks = blocks;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`IcashConfig::validate`]).
+    pub fn build(self) -> IcashConfig {
+        self.cfg.validate();
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = IcashConfig::builder(128 << 20, 32 << 20, 960 << 20).build();
+        assert_eq!(cfg.scan_interval, 2_000);
+        assert_eq!(cfg.scan_window, 4_000);
+        assert_eq!(cfg.delta_threshold, 2_048);
+        assert_eq!(cfg.segment_bytes, 64);
+        assert_eq!(cfg.ssd_slots(), (128 << 20) / 4096);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = IcashConfig::builder(1 << 20, 1 << 20, 1 << 20)
+            .scan_interval(500)
+            .scan_window(100)
+            .delta_threshold(1024)
+            .flush_interval(64)
+            .log_blocks(4096)
+            .build();
+        assert_eq!(cfg.scan_interval, 500);
+        assert_eq!(cfg.scan_window, 100);
+        assert_eq!(cfg.delta_threshold, 1024);
+        assert_eq!(cfg.flush_interval, 64);
+        assert_eq!(cfg.log_blocks, 4096);
+    }
+
+    #[test]
+    fn hdd_layout_places_log_after_home() {
+        let cfg = IcashConfig::builder(1 << 20, 1 << 20, 8 << 20).build();
+        assert_eq!(cfg.log_start(), cfg.data_blocks());
+        assert_eq!(
+            cfg.hdd_config().capacity_blocks,
+            cfg.data_blocks() + cfg.log_blocks
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = IcashConfig::builder(0, 1, 1).build();
+    }
+}

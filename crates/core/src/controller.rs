@@ -1,0 +1,994 @@
+//! The I-CASH controller (paper §3–§4).
+//!
+//! [`Icash`] couples one SSD (reference blocks) and one HDD (home area +
+//! packed delta log) through the similarity/delta machinery of
+//! `icash-delta`:
+//!
+//! * **Writes** are absorbed as deltas against SSD-resident reference
+//!   blocks, buffered in RAM segments, and flushed to the HDD log in big
+//!   sequential batches. Deltas above the 2 KB threshold are written to the
+//!   SSD directly instead.
+//! * **Reads** combine the SSD reference block with the cached delta —
+//!   microseconds of flash read plus decode instead of a mechanical seek.
+//!   When a delta must come from the HDD log, the *whole* packed block is
+//!   unpacked, so one mechanical read services many future requests.
+//! * A periodic **scanner** (every `scan_interval` I/Os, over the
+//!   `scan_window` most recent blocks) uses the Heatmap to pick popular
+//!   content as new reference blocks and re-binds similar blocks to them.
+
+use crate::config::IcashConfig;
+use crate::delta_log::DeltaLog;
+use crate::ref_index::RefIndex;
+use crate::segment::SegmentPool;
+use crate::stats::IcashStats;
+use crate::table::{BlockTable, VbId};
+use crate::virtual_block::{CachedDelta, Role, VirtualBlock};
+use icash_delta::codec::DeltaCodec;
+use icash_delta::heatmap::Heatmap;
+use icash_delta::signature::BlockSignature;
+use icash_delta::similarity::SimilarityFilter;
+use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::cpu::CpuOp;
+use icash_storage::hdd::Hdd;
+use icash_storage::request::{Completion, Op, Request};
+use icash_storage::ssd::Ssd;
+use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
+use icash_storage::time::Ns;
+use std::collections::{HashMap, HashSet};
+
+/// The pseudo-reference for log-resident independent blocks: their log
+/// entries decode against an all-zero block, so any zero-heavy content
+/// compresses and the rest is stored raw — either way the write rides the
+/// sequential delta log instead of a random home write.
+const ZERO_REF: [u8; icash_storage::block::BLOCK_SIZE] = [0; icash_storage::block::BLOCK_SIZE];
+
+/// Where an evicted virtual block's content lives, so the controller can
+/// rebuild it on the next access.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EvictedState {
+    /// Full content pinned in an SSD slot.
+    InSsd(u64),
+    /// Associate: decode the reference against the delta in this log block.
+    InLog {
+        /// The reference block it is encoded against.
+        reference: Lba,
+        /// Packed log block holding the delta.
+        loc: u32,
+    },
+}
+
+/// The I-CASH storage element: one SSD and one HDD coupled by the
+/// similarity/delta algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use icash_core::{Icash, IcashConfig};
+/// use icash_storage::{BlockBuf, IoCtx, Lba, Ns, Request, StorageSystem, ZeroSource};
+/// use icash_storage::cpu::CpuModel;
+///
+/// let mut icash = Icash::new(IcashConfig::builder(1 << 20, 1 << 20, 8 << 20).build());
+/// let mut cpu = CpuModel::xeon();
+/// let backing = ZeroSource;
+/// let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+///
+/// let w = Request::write(Lba::new(3), Ns::ZERO, BlockBuf::filled(0xAA));
+/// let done = icash.submit(&w, &mut ctx).finished;
+/// let r = Request::read(Lba::new(3), done);
+/// assert_eq!(icash.submit(&r, &mut ctx).data[0], BlockBuf::filled(0xAA));
+/// ```
+#[derive(Debug)]
+pub struct Icash {
+    pub(crate) cfg: IcashConfig,
+    pub(crate) ssd: Ssd,
+    pub(crate) hdd: Hdd,
+    pub(crate) codec: DeltaCodec,
+    pub(crate) filter: SimilarityFilter,
+    pub(crate) heatmap: Heatmap,
+    pub(crate) table: BlockTable,
+    pub(crate) pool: SegmentPool,
+    pub(crate) log: DeltaLog,
+    pub(crate) ref_index: RefIndex,
+    /// SSD slot → pinned content (reference blocks and direct writes).
+    pub(crate) ssd_store: HashMap<u64, BlockBuf>,
+    /// Persistent metadata: which LBA owns which SSD slot (flushed with the
+    /// paper's periodic metadata writes; recovery reads it back).
+    pub(crate) slot_dir: HashMap<Lba, u64>,
+    pub(crate) next_slot: u64,
+    pub(crate) free_slots: Vec<u64>,
+    /// Independent content written back to the HDD home area.
+    pub(crate) home_overlay: HashMap<Lba, BlockBuf>,
+    /// Evicted virtual blocks whose content is *not* in the home area.
+    pub(crate) evicted: HashMap<Lba, EvictedState>,
+    /// Virtual blocks with unflushed deltas.
+    pub(crate) dirty: HashSet<usize>,
+    pub(crate) dirty_bytes: usize,
+    pub(crate) ios_since_scan: u64,
+    pub(crate) ios_since_flush: u64,
+    pub(crate) max_virtual_blocks: usize,
+    pub(crate) stats: IcashStats,
+}
+
+impl Icash {
+    /// Creates a controller with fresh devices.
+    pub fn new(cfg: IcashConfig) -> Self {
+        cfg.validate();
+        let ssd = Ssd::new(cfg.ssd_config());
+        let hdd = Hdd::new(cfg.hdd_config());
+        let pool = SegmentPool::new(cfg.ram_budget(), cfg.segment_bytes);
+        let log = DeltaLog::new(cfg.log_blocks);
+        // Metadata is ~100 B/block; allow 16 tracked blocks per RAM-resident
+        // block, bounded to keep the table itself small.
+        let max_virtual_blocks = ((cfg.ram_budget() / 4096) * 16).clamp(4_096, 4 << 20);
+        Icash {
+            ssd,
+            hdd,
+            codec: DeltaCodec::default(),
+            filter: SimilarityFilter::default(),
+            heatmap: Heatmap::standard(),
+            table: BlockTable::new(),
+            pool,
+            log,
+            ref_index: RefIndex::new(),
+            ssd_store: HashMap::new(),
+            slot_dir: HashMap::new(),
+            next_slot: 0,
+            free_slots: Vec::new(),
+            home_overlay: HashMap::new(),
+            evicted: HashMap::new(),
+            dirty: HashSet::new(),
+            dirty_bytes: 0,
+            ios_since_scan: 0,
+            ios_since_flush: 0,
+            max_virtual_blocks,
+            stats: IcashStats::default(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IcashConfig {
+        &self.cfg
+    }
+
+    /// Controller-level statistics (role mix, hit classes, log traffic).
+    pub fn stats(&self) -> IcashStats {
+        let mut s = self.stats.clone();
+        let mut roles = (0u64, 0u64, 0u64);
+        for id in self.table.head_ids(usize::MAX) {
+            match self.table.get(id).role {
+                Role::Reference => roles.0 += 1,
+                Role::Associate => roles.1 += 1,
+                Role::Independent => roles.2 += 1,
+            }
+        }
+        s.role_counts = roles;
+        s
+    }
+
+    /// Asserts internal invariants (tests/debugging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the virtual-block table is corrupted.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        self.table.validate();
+    }
+
+    /// The SSD device (wear, GC, op counts — Table 6 reads its writes).
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// The HDD device.
+    pub fn hdd(&self) -> &Hdd {
+        &self.hdd
+    }
+
+    /// The HDD home-area position backing `lba`.
+    pub(crate) fn home_pos(&self, lba: Lba) -> u64 {
+        lba.raw() % self.cfg.data_blocks()
+    }
+
+    /// Allocates an SSD slot if one is free.
+    pub(crate) fn alloc_slot(&mut self) -> Option<u64> {
+        if let Some(s) = self.free_slots.pop() {
+            return Some(s);
+        }
+        if self.next_slot < self.cfg.ssd_slots() {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    fn write_block(&mut self, lba: Lba, content: BlockBuf, at: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        self.stats.writes += 1;
+        let sig = BlockSignature::of(content.as_slice());
+        let sig_cost = ctx.cpu.charge(CpuOp::Signature);
+        let copy_cost = ctx.cpu.charge(CpuOp::Memcpy);
+        // The fast-path response: the write is acknowledged once the data is
+        // staged in the controller RAM; delta derivation overlaps I/O
+        // processing (paper §5.1).
+        let mut resp = at + sig_cost + copy_cost;
+        self.heatmap.record(&sig);
+
+        let id = self.materialize_vb(lba, at, ctx);
+        let (role, reference, slot, dependants) = {
+            let vb = self.table.get(id);
+            (vb.role, vb.reference, vb.ssd_slot, vb.dependants)
+        };
+
+        match role {
+            Role::Reference => {
+                // The SSD copy is immutable while referenced: store the
+                // reference's own changes as a delta against it.
+                let base = self.ssd_store[&slot.expect("reference without slot")].clone();
+                let delta = self.codec.encode(base.as_slice(), content.as_slice());
+                ctx.cpu.charge(CpuOp::DeltaEncode);
+                if delta.len() <= self.cfg.delta_threshold || dependants > 0 {
+                    self.store_delta(id, delta, at, ctx);
+                    self.stats.delta_writes += 1;
+                } else {
+                    // No dependants and nothing similar left: retire the
+                    // reference and overwrite its SSD copy in place.
+                    let s = slot.expect("reference without slot");
+                    resp = self.ssd.write(at, s).expect("ssd write");
+                    self.ssd_store.insert(s, content.clone());
+                    let sig_old = self.table.get(id).sig;
+                    self.ref_index.remove(lba, &sig_old);
+                    let vb = self.table.get_mut(id);
+                    vb.role = Role::Independent;
+                    self.drop_delta(id);
+                    self.stats.ssd_direct_writes += 1;
+                }
+            }
+            Role::Associate => {
+                let ref_lba = reference.expect("associate without reference");
+                let base = self.reference_content(ref_lba, at, ctx).1;
+                let delta = self.codec.encode(base.as_slice(), content.as_slice());
+                ctx.cpu.charge(CpuOp::DeltaEncode);
+                if delta.len() <= self.cfg.delta_threshold {
+                    self.store_delta(id, delta, at, ctx);
+                    self.stats.delta_writes += 1;
+                } else {
+                    // Content diverged from the reference: unbind and write
+                    // the new data directly to the SSD (paper §5.3).
+                    self.unbind(id);
+                    resp = self.direct_ssd_write(id, &content, at, ctx).max(resp);
+                }
+            }
+            Role::Independent => {
+                if let Some(s) = slot {
+                    // Already SSD-resident from an earlier direct write.
+                    resp = self.ssd.write(at, s).expect("ssd write");
+                    self.ssd_store.insert(s, content.clone());
+                    self.stats.ssd_direct_writes += 1;
+                } else if !self.try_bind(id, &content, &sig, at, ctx) {
+                    resp = self.write_as_independent(id, &content, at, ctx).max(resp);
+                } else {
+                    self.stats.delta_writes += 1;
+                }
+            }
+        }
+
+        // Keep the freshly written content cached and the signature current
+        // (references keep the signature of their immutable SSD copy).
+        if self.table.get(id).role != Role::Reference {
+            self.table.get_mut(id).sig = sig;
+        }
+        self.cache_data(id, content, at, ctx);
+        self.table.touch(id);
+        self.after_io(at, ctx);
+        resp
+    }
+
+    /// Stores an independent block as a zero-based delta bound for the
+    /// sequential HDD log (the paper's log-of-deltas covers *all* writes;
+    /// blocks without a useful reference simply encode against zero).
+    fn write_as_independent(
+        &mut self,
+        id: VbId,
+        content: &BlockBuf,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> Ns {
+        {
+            let vb = self.table.get_mut(id);
+            vb.role = Role::Independent;
+            vb.reference = None;
+            vb.dirty_data = false;
+        }
+        let delta = self.codec.encode(&ZERO_REF, content.as_slice());
+        ctx.cpu.charge(CpuOp::DeltaEncode);
+        self.store_delta(id, delta, at, ctx);
+        self.stats.independent_writes += 1;
+        at
+    }
+
+    /// The paper's oversize-delta rule: "the new data are written directly
+    /// to the SSD to release delta buffer". Falls back to a dirty
+    /// independent block when no SSD slot is free.
+    fn direct_ssd_write(
+        &mut self,
+        id: VbId,
+        content: &BlockBuf,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> Ns {
+        let lba = self.table.get(id).lba;
+        let slot = match self.table.get(id).ssd_slot.or_else(|| self.alloc_slot()) {
+            Some(s) => s,
+            None => {
+                let content = content.clone();
+                return self.write_as_independent(id, &content, at, ctx).max(at);
+            }
+        };
+        let t = self.ssd.write(at, slot).expect("ssd write");
+        self.ssd_store.insert(slot, content.clone());
+        self.slot_dir.insert(lba, slot);
+        self.drop_delta(id);
+        {
+            let vb = self.table.get_mut(id);
+            vb.role = Role::Independent;
+            vb.reference = None;
+            vb.ssd_slot = Some(slot);
+            vb.dirty_data = false;
+        }
+        self.stats.ssd_direct_writes += 1;
+        t
+    }
+
+    /// Tries to bind a block to a similar reference online (paper §5.1:
+    /// "the online similarity detection of I-CASH is effective under read
+    /// intensive workloads"). Returns whether it became an associate.
+    pub(crate) fn try_bind(
+        &mut self,
+        id: VbId,
+        content: &BlockBuf,
+        sig: &BlockSignature,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> bool {
+        let lba = self.table.get(id).lba;
+        // A loose pre-filter (3 of 8 sub-signatures) is enough: the codec
+        // verifies true similarity, so false candidates only cost an
+        // encode attempt.
+        let candidates = self.ref_index.candidates(sig, 3, 3);
+        for cand in candidates {
+            if cand == lba {
+                continue;
+            }
+            let base = match self.table.lookup(cand).and_then(|rid| {
+                let rvb = self.table.get(rid);
+                rvb.ssd_slot.map(|s| self.ssd_store[&s].clone())
+            }) {
+                Some(b) => b,
+                None => continue,
+            };
+            let delta = self.codec.encode(base.as_slice(), content.as_slice());
+            ctx.cpu.charge(CpuOp::DeltaEncode);
+            if delta.len() <= self.cfg.delta_threshold {
+                self.bind(id, cand, delta, at, ctx);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Binds `id` as an associate of `reference` with `delta`.
+    pub(crate) fn bind(
+        &mut self,
+        id: VbId,
+        reference: Lba,
+        delta: icash_delta::codec::Delta,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) {
+        self.unbind(id); // release any previous pairing
+        let rid = self.table.lookup(reference).expect("reference must exist");
+        self.table.get_mut(rid).dependants += 1;
+        {
+            let vb = self.table.get_mut(id);
+            vb.role = Role::Associate;
+            vb.reference = Some(reference);
+            // Content is now recoverable from reference + delta once the
+            // delta is flushed; the full copy no longer needs a home write.
+            vb.dirty_data = false;
+        }
+        self.store_delta(id, delta, at, ctx);
+        self.stats.binds += 1;
+    }
+
+    /// Releases `id`'s pairing with its reference, if any.
+    pub(crate) fn unbind(&mut self, id: VbId) {
+        let (role, reference) = {
+            let vb = self.table.get(id);
+            (vb.role, vb.reference)
+        };
+        if role != Role::Associate {
+            return;
+        }
+        if let Some(ref_lba) = reference {
+            if let Some(rid) = self.table.lookup(ref_lba) {
+                let rvb = self.table.get_mut(rid);
+                rvb.dependants = rvb.dependants.saturating_sub(1);
+            }
+        }
+        let vb = self.table.get_mut(id);
+        vb.role = Role::Independent;
+        vb.reference = None;
+        self.drop_delta(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    fn read_block(&mut self, lba: Lba, at: Ns, ctx: &mut IoCtx<'_>) -> (Ns, BlockBuf) {
+        self.stats.reads += 1;
+        let id = self.materialize_vb(lba, at, ctx);
+        let sig = self.table.get(id).sig;
+        self.heatmap.record(&sig);
+
+        let (mut t, content) = self.content_of(id, at, ctx);
+        t += ctx.cpu.charge(CpuOp::Memcpy);
+        self.cache_data(id, content.clone(), at, ctx);
+        self.table.touch(id);
+        self.after_io(at, ctx);
+        (t, content)
+    }
+
+    /// Resolves the current content of a tracked block, charging the device
+    /// and CPU operations the resolution requires. Returns the completion
+    /// instant and the content.
+    pub(crate) fn content_of(&mut self, id: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> (Ns, BlockBuf) {
+        if let Some(data) = self.table.get(id).data.clone() {
+            self.stats.ram_hits += 1;
+            return (at, data);
+        }
+        let (role, reference, slot, log_loc, has_delta, lba) = {
+            let vb = self.table.get(id);
+            (
+                vb.role,
+                vb.reference,
+                vb.ssd_slot,
+                vb.log_loc,
+                vb.delta.is_some(),
+                vb.lba,
+            )
+        };
+        match role {
+            Role::Reference => {
+                let s = slot.expect("reference without slot");
+                let mut t = self.ssd.read(at, s).expect("reference slot mapped");
+                let base = self.ssd_store[&s].clone();
+                // A written reference needs its own delta applied.
+                if has_delta || log_loc.is_some() {
+                    if !has_delta {
+                        t = self.fetch_log_block(id, t, ctx);
+                    }
+                    let delta = self
+                        .table
+                        .get(id)
+                        .delta
+                        .as_ref()
+                        .expect("delta")
+                        .delta
+                        .clone();
+                    t += ctx.cpu.charge(CpuOp::DeltaDecode);
+                    let out = self.codec.decode(base.as_slice(), &delta).expect("decode");
+                    self.stats.delta_hits += 1;
+                    (t, BlockBuf::from_vec(out))
+                } else {
+                    self.stats.delta_hits += 1;
+                    (t, base)
+                }
+            }
+            Role::Associate => {
+                let mut t = at;
+                if !has_delta {
+                    t = self.fetch_log_block(id, t, ctx);
+                }
+                let ref_lba = reference.expect("associate without reference");
+                let (t2, base) = self.reference_content(ref_lba, t, ctx);
+                let delta = self
+                    .table
+                    .get(id)
+                    .delta
+                    .as_ref()
+                    .expect("delta")
+                    .delta
+                    .clone();
+                let t3 = t2 + ctx.cpu.charge(CpuOp::DeltaDecode);
+                let out = self.codec.decode(base.as_slice(), &delta).expect("decode");
+                self.stats.delta_hits += 1;
+                (t3, BlockBuf::from_vec(out))
+            }
+            Role::Independent => {
+                if let Some(s) = slot {
+                    let t = self.ssd.read(at, s).expect("slot mapped");
+                    self.stats.delta_hits += 1;
+                    (t, self.ssd_store[&s].clone())
+                } else if has_delta || log_loc.is_some() {
+                    // Log-resident independent: decode against zero.
+                    let mut t = at;
+                    if !has_delta {
+                        t = self.fetch_log_block(id, t, ctx);
+                    }
+                    let delta = self
+                        .table
+                        .get(id)
+                        .delta
+                        .as_ref()
+                        .expect("delta")
+                        .delta
+                        .clone();
+                    t += ctx.cpu.charge(CpuOp::DeltaDecode);
+                    let out = self.codec.decode(&ZERO_REF, &delta).expect("decode");
+                    self.stats.delta_hits += 1;
+                    (t, BlockBuf::from_vec(out))
+                } else {
+                    // Fall through to the mechanical home area.
+                    let pos = self.home_pos(lba);
+                    let t = self.hdd.read(at, pos, 1);
+                    self.stats.home_reads += 1;
+                    let content = self
+                        .home_overlay
+                        .get(&lba)
+                        .cloned()
+                        .unwrap_or_else(|| ctx.backing.initial_content(lba));
+                    (t, content)
+                }
+            }
+        }
+    }
+
+    /// The content of a reference block's immutable SSD copy, served from
+    /// its cached data when resident (free) or from flash otherwise.
+    pub(crate) fn reference_content(
+        &mut self,
+        ref_lba: Lba,
+        at: Ns,
+        _ctx: &mut IoCtx<'_>,
+    ) -> (Ns, BlockBuf) {
+        let rid = self.table.lookup(ref_lba).expect("reference must exist");
+        let slot = self
+            .table
+            .get(rid)
+            .ssd_slot
+            .expect("reference without slot");
+        let base = self.ssd_store[&slot].clone();
+        self.table.touch(rid);
+        // A clean cached copy of an unwritten reference equals the SSD copy.
+        let vb = self.table.get(rid);
+        if vb.data.is_some() && vb.delta.is_none() && vb.log_loc.is_none() {
+            (at, base)
+        } else {
+            let t = self.ssd.read(at, slot).expect("reference slot mapped");
+            (t, base)
+        }
+    }
+
+    /// Fetches the packed log block holding `id`'s delta from the HDD and
+    /// unpacks *every* delta in it into RAM (the paper's one-HDD-op-many-IOs
+    /// effect). Returns the fetch completion instant.
+    pub(crate) fn fetch_log_block(&mut self, id: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        /// Packed blocks read per fetch: one seek already paid, so reading
+        /// a short run amortises it over neighbouring deltas (which were
+        /// packed in address order and will be wanted next).
+        const READAHEAD: u32 = 16;
+        let loc = self.table.get(id).log_loc.expect("delta must be logged");
+        let lba = self.table.get(id).lba;
+        let span = (READAHEAD as u64).min(self.log.len_blocks() - loc as u64) as u32;
+        let t = self
+            .hdd
+            .read(at, self.cfg.log_start() + loc as u64, span.max(1));
+        self.stats.log_fetches += 1;
+
+        let entries: Vec<(u32, Lba, icash_delta::codec::Delta)> = (loc..loc + span.max(1))
+            .flat_map(|l| {
+                self.log
+                    .fetch(l)
+                    .entries
+                    .iter()
+                    .map(move |e| (l, e.lba, e.delta.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (loc, entry_lba, delta) in entries {
+            // Materialise evicted siblings whose current delta lives in
+            // this very block — the whole point of packing: one mechanical
+            // read must service every I/O it covers (paper §3.1).
+            let target = match self.table.lookup(entry_lba) {
+                Some(tid) => tid,
+                None => match self.evicted.get(&entry_lba) {
+                    Some(EvictedState::InLog {
+                        reference,
+                        loc: entry_loc,
+                    }) if *entry_loc == loc => {
+                        let reference = *reference;
+                        self.evicted.remove(&entry_lba);
+                        // No reserve_table_slot here: it could evict the
+                        // very block this fetch is serving (callers hold
+                        // its VbId). The table may briefly overshoot its
+                        // bound; the next materialisation trims it.
+                        let mut vb =
+                            VirtualBlock::independent(entry_lba, BlockSignature::default());
+                        if reference == entry_lba {
+                            vb.role = Role::Independent;
+                        } else {
+                            vb.role = Role::Associate;
+                            vb.reference = Some(reference);
+                        }
+                        vb.log_loc = Some(loc);
+                        self.table.insert(vb)
+                    }
+                    _ => continue,
+                },
+            };
+            let vb = self.table.get(target);
+            // Only install when this log block holds the *current* delta.
+            // (Installing can flush, and flushing can clean the log and
+            // remap locations — this check goes stale then, which only
+            // costs us the optional prefetches.)
+            if vb.log_loc != Some(loc) || vb.delta.is_some() {
+                continue;
+            }
+            self.install_clean_delta(target, delta, at, ctx);
+            if entry_lba != lba {
+                self.stats.log_prefetched_deltas += 1;
+            }
+        }
+        // The block we came for is mandatory: if a mid-loop log clean moved
+        // it, reinstall from its current location (the payload is
+        // unchanged by cleaning).
+        if self.table.get(id).delta.is_none() {
+            let loc2 = self.table.get(id).log_loc.expect("delta must be logged");
+            let delta = self
+                .log
+                .fetch(loc2)
+                .entries
+                .iter()
+                .find(|e| e.lba == lba)
+                .expect("log must hold the pointed-at delta")
+                .delta
+                .clone();
+            self.install_clean_delta(id, delta, at, ctx);
+        }
+        assert!(self.table.get(id).delta.is_some());
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-block materialization
+    // ------------------------------------------------------------------
+
+    /// Returns the virtual block for `lba`, rebuilding it from eviction
+    /// state or creating a fresh one on first touch.
+    pub(crate) fn materialize_vb(&mut self, lba: Lba, at: Ns, ctx: &mut IoCtx<'_>) -> VbId {
+        if let Some(id) = self.table.lookup(lba) {
+            return id;
+        }
+        self.reserve_table_slot(at, ctx);
+        match self.evicted.remove(&lba) {
+            Some(EvictedState::InSsd(slot)) => {
+                let sig = BlockSignature::of(self.ssd_store[&slot].as_slice());
+                let mut vb = VirtualBlock::independent(lba, sig);
+                vb.ssd_slot = Some(slot);
+                self.table.insert(vb)
+            }
+            Some(EvictedState::InLog { reference, loc }) => {
+                let mut vb = VirtualBlock::independent(lba, BlockSignature::default());
+                if reference == lba {
+                    // A log-resident independent (zero-based raw delta).
+                    vb.role = Role::Independent;
+                } else {
+                    vb.role = Role::Associate;
+                    vb.reference = Some(reference);
+                    // (dependant count was retained across the eviction)
+                }
+                vb.log_loc = Some(loc);
+                self.table.insert(vb)
+            }
+            None => {
+                // First touch: content is the home image; compute the
+                // signature for similarity detection on load (paper §4.2).
+                let content = self
+                    .home_overlay
+                    .get(&lba)
+                    .cloned()
+                    .unwrap_or_else(|| ctx.backing.initial_content(lba));
+                let sig = BlockSignature::of(content.as_slice());
+                ctx.cpu.charge(CpuOp::Signature);
+                let vb = VirtualBlock::independent(lba, sig);
+                self.table.insert(vb)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RAM cache bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Caches `content` as `id`'s resident data block, making room first.
+    pub(crate) fn cache_data(&mut self, id: VbId, content: BlockBuf, at: Ns, ctx: &mut IoCtx<'_>) {
+        if self.table.get(id).data.is_some() {
+            // Replace in place: the charge is already held.
+            self.table.get_mut(id).data = Some(content);
+            return;
+        }
+        if !self.make_room_for_block(id, at, ctx) {
+            return; // cache under extreme pressure: serve uncached
+        }
+        let charge = self.pool.alloc_block();
+        let vb = self.table.get_mut(id);
+        vb.data = Some(content);
+        vb.data_charge = charge;
+    }
+
+    /// Stores `delta` as `id`'s resident (dirty) delta, making room first.
+    pub(crate) fn store_delta(
+        &mut self,
+        id: VbId,
+        delta: icash_delta::codec::Delta,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) {
+        self.drop_delta(id);
+        self.make_room_for_delta(id, delta.len(), at, ctx);
+        let charge = self.pool.alloc_delta(delta.len());
+        // Supersede any flushed copy in the log.
+        let old_loc = self.table.get_mut(id).log_loc.take();
+        if let Some(loc) = old_loc {
+            self.log.mark_stale(loc);
+        }
+        let vb = self.table.get_mut(id);
+        vb.delta = Some(CachedDelta { delta, charge });
+        vb.dirty_delta = true;
+        self.dirty.insert(id.index());
+        self.dirty_bytes += charge;
+    }
+
+    /// Installs a delta recovered from the log: resident but *clean*.
+    pub(crate) fn install_clean_delta(
+        &mut self,
+        id: VbId,
+        delta: icash_delta::codec::Delta,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) {
+        if self.table.get(id).delta.is_some() {
+            return;
+        }
+        self.make_room_for_delta(id, delta.len(), at, ctx);
+        let charge = self.pool.alloc_delta(delta.len());
+        let vb = self.table.get_mut(id);
+        vb.delta = Some(CachedDelta { delta, charge });
+        vb.dirty_delta = false;
+    }
+
+    /// Releases `id`'s resident delta, if any.
+    pub(crate) fn drop_delta(&mut self, id: VbId) {
+        let (charge, was_dirty) = {
+            let vb = self.table.get_mut(id);
+            match vb.delta.take() {
+                Some(d) => {
+                    let dirty = vb.dirty_delta;
+                    vb.dirty_delta = false;
+                    (d.charge, dirty)
+                }
+                None => return,
+            }
+        };
+        self.pool.free(charge);
+        if was_dirty {
+            self.dirty.remove(&id.index());
+            self.dirty_bytes -= charge;
+        }
+    }
+
+    /// Releases `id`'s resident data block, if any.
+    pub(crate) fn drop_data(&mut self, id: VbId) {
+        let charge = {
+            let vb = self.table.get_mut(id);
+            if vb.data.take().is_some() {
+                let c = vb.data_charge;
+                vb.data_charge = 0;
+                c
+            } else {
+                return;
+            }
+        };
+        self.pool.free(charge);
+    }
+}
+
+/// Write requests at least this many blocks long stream to the HDD home
+/// area in one sequential operation instead of entering the delta path —
+/// the third leg of the paper's design triangle ("reliable/durable/
+/// sequential write performance of HDD"). Raw streaming data has no useful
+/// reference and would pack one-per-log-block.
+const STREAM_WRITE_BLOCKS: u32 = 8;
+
+impl Icash {
+    /// Handles a large (streaming) write: every block takes the delta path
+    /// (bind against a reference, or fall back to a zero-based raw log
+    /// entry), so the entire request is absorbed by RAM and leaves the
+    /// controller as one sequential log flush — the paper's "pack deltas
+    /// of all sequential I/Os into one delta block". Stream data bypasses
+    /// the RAM data cache; unlike small writes it is not expected to be
+    /// re-read immediately.
+    fn stream_write_span(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Ns {
+        let mut resp = req.at;
+        for (lba, buf) in req.lbas().zip(req.payload.iter()) {
+            let sig = BlockSignature::of(buf.as_slice());
+            let sig_cost = ctx.cpu.charge(CpuOp::Signature);
+            resp = resp.max(req.at + sig_cost);
+            self.heatmap.record(&sig);
+            let id = self.materialize_vb(lba, req.at, ctx);
+            if self.table.get(id).role == Role::Reference {
+                // A reference's SSD copy is the decode source for its
+                // associates: track the new content as the reference's own
+                // delta.
+                let slot = self.table.get(id).ssd_slot.expect("reference without slot");
+                let base = self.ssd_store[&slot].clone();
+                let delta = self.codec.encode(base.as_slice(), buf.as_slice());
+                ctx.cpu.charge(CpuOp::DeltaEncode);
+                self.store_delta(id, delta, req.at, ctx);
+                self.stats.delta_writes += 1;
+            } else if self.try_bind(id, buf, &sig, req.at, ctx) {
+                self.table.get_mut(id).sig = sig;
+                self.stats.delta_writes += 1;
+            } else {
+                self.write_as_independent(id, buf, req.at, ctx);
+                self.table.get_mut(id).sig = sig;
+            }
+            self.drop_data(id);
+            self.table.touch(id);
+            self.stats.writes += 1;
+            self.after_io(req.at, ctx);
+        }
+        resp
+    }
+}
+
+impl Icash {
+    /// Offline image preparation (paper §3.2, the VM-image case): walk the
+    /// address universe once, install the most representative block of each
+    /// content neighbourhood into the SSD as a reference, and pack every
+    /// other similar block's delta into the HDD log — exactly what the
+    /// prototype does "at the time when virtual machines are created".
+    /// Charges no virtual time: this happens before the measured run.
+    pub fn preload_image(&mut self, universe: &[(u8, u64)], ctx: &mut IoCtx<'_>) {
+        let total: u64 = universe.iter().map(|(_, b)| *b).sum();
+        if total > 8 << 20 {
+            // An 8M-block (32 GB) universe would take too long to tour;
+            // fall back to online detection.
+            return;
+        }
+        let mut entries: Vec<crate::delta_log::LogEntry> = Vec::new();
+        let mut pending: Vec<(Lba, Lba)> = Vec::new(); // (lba, reference)
+        for &(vm, blocks) in universe {
+            for b in 0..blocks {
+                let lba = Lba::new(b).with_vm(vm);
+                let content = ctx.backing.initial_content(lba);
+                let sig = BlockSignature::of(content.as_slice());
+                let mut bound = false;
+                for cand in self.ref_index.candidates(&sig, 3, 2) {
+                    let slot = match self
+                        .table
+                        .lookup(cand)
+                        .and_then(|rid| self.table.get(rid).ssd_slot)
+                    {
+                        Some(s) => s,
+                        None => continue,
+                    };
+                    let delta = self
+                        .codec
+                        .encode(self.ssd_store[&slot].as_slice(), content.as_slice());
+                    if delta.len() <= self.cfg.delta_threshold {
+                        let rid = self.table.lookup(cand).expect("indexed");
+                        self.table.get_mut(rid).dependants += 1;
+                        entries.push(crate::delta_log::LogEntry {
+                            lba,
+                            reference: cand,
+                            delta,
+                        });
+                        pending.push((lba, cand));
+                        bound = true;
+                        break;
+                    }
+                }
+                if bound {
+                    continue;
+                }
+                // No similar reference yet: pin this block as one if the
+                // SSD still has room (keep ~15 % headroom so runtime flash
+                // writes do not run straight into garbage collection);
+                // otherwise it stays in the home area.
+                if self.next_slot * 100 >= self.cfg.ssd_slots() * 85 {
+                    continue;
+                }
+                if let Some(slot) = self.alloc_slot() {
+                    self.ssd.prefill(slot).expect("factory image");
+                    self.ssd_store.insert(slot, content);
+                    self.slot_dir.insert(lba, slot);
+                    let mut vb = VirtualBlock::independent(lba, sig);
+                    vb.role = Role::Reference;
+                    vb.ssd_slot = Some(slot);
+                    self.table.insert(vb);
+                    self.ref_index.insert(lba, &sig);
+                    self.stats.ref_installs += 1;
+                }
+            }
+        }
+        if !entries.is_empty() {
+            let report = self.log.append(entries);
+            for ((lba, reference), loc) in pending.into_iter().zip(report.entry_locs) {
+                self.evicted
+                    .insert(lba, EvictedState::InLog { reference, loc });
+            }
+            self.stats.log_blocks_written += report.blocks_written as u64;
+        }
+    }
+}
+
+impl StorageSystem for Icash {
+    fn name(&self) -> &str {
+        "I-CASH"
+    }
+
+    fn preload(&mut self, universe: &[(u8, u64)], ctx: &mut IoCtx<'_>) {
+        self.preload_image(universe, ctx);
+    }
+
+    fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        match req.op {
+            Op::Write => {
+                if req.blocks >= STREAM_WRITE_BLOCKS {
+                    return Completion::at(self.stream_write_span(req, ctx));
+                }
+                let mut done = req.at;
+                for (lba, buf) in req.lbas().zip(req.payload.iter()) {
+                    done = done.max(self.write_block(lba, buf.clone(), req.at, ctx));
+                }
+                Completion::at(done)
+            }
+            Op::Read => {
+                let mut done = req.at;
+                let mut data = Vec::new();
+                for lba in req.lbas() {
+                    let (t, content) = self.read_block(lba, req.at, ctx);
+                    done = done.max(t);
+                    if ctx.collect_data {
+                        data.push(content);
+                    }
+                }
+                Completion::with_data(done, data)
+            }
+        }
+    }
+
+    fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        self.shutdown_flush(now, ctx)
+    }
+
+    fn report(&self, elapsed: Ns) -> SystemReport {
+        SystemReport {
+            name: self.name().to_string(),
+            ssd: Some(self.ssd.stats().clone()),
+            hdd: Some(self.hdd.stats().clone()),
+            gc: Some(*self.ssd.gc_stats()),
+            ssd_life_used: Some(self.ssd.wear().life_used()),
+            device_energy: self.ssd.energy(elapsed) + self.hdd.energy(elapsed),
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The HDD-resident packed delta log (paper §3.1, §3.3).
+//!
+//! Dirty deltas accumulate in RAM and are periodically packed into 4 KB
+//! *delta blocks* appended sequentially to the log region of the HDD. This
+//! is where I-CASH's two headline effects come from:
+//!
+//! * **Writes**: many small deltas leave the controller in one sequential
+//!   HDD operation instead of many random ones.
+//! * **Reads**: fetching one delta block recovers *every* delta packed in
+//!   it, so one random HDD read services a batch of future requests.
+//!
+//! The log is append-only; superseded entries become stale and are
+//! reclaimed by [`DeltaLog::clean`], which compacts live entries to the
+//! front (a simple log-structured cleaner in the spirit of the paper's
+//! cited log-disk designs).
+
+use icash_delta::codec::Delta;
+use icash_storage::block::{Lba, BLOCK_SIZE};
+use std::collections::HashMap;
+
+/// One delta stored in the log: which block it patches, which reference it
+/// decodes against, and the patch itself. Entries are self-describing so
+/// crash recovery (paper §3.3) can rebuild the block table by unrolling the
+/// log against the SSD's reference blocks.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// The logical block this delta reconstructs.
+    pub lba: Lba,
+    /// The reference block the delta decodes against; equal to `lba` for a
+    /// written reference block's own delta.
+    pub reference: Lba,
+    /// The delta payload.
+    pub delta: Delta,
+}
+
+impl LogEntry {
+    /// On-disk size of this entry: LBA varint + reference varint + length
+    /// varint + encoding tag + payload.
+    pub fn wire_len(&self) -> usize {
+        varint_len(self.lba.raw())
+            + varint_len(self.reference.raw())
+            + varint_len(self.delta.len() as u64)
+            + self.delta.wire_len()
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    ((64 - v.leading_zeros()).max(1) as usize).div_ceil(7)
+}
+
+/// A packed 4 KB delta block.
+#[derive(Debug, Clone, Default)]
+pub struct PackedBlock {
+    /// Entries packed into this block, in pack order.
+    pub entries: Vec<LogEntry>,
+    /// Bytes used (≤ 4096).
+    pub bytes: usize,
+}
+
+/// Result of appending dirty deltas: where they landed and what to write.
+#[derive(Debug, Clone)]
+pub struct AppendReport {
+    /// Log-block id assigned to each appended entry, in input order.
+    pub entry_locs: Vec<u32>,
+    /// First log-block offset written (relative to the log region).
+    pub first_block: u64,
+    /// Number of consecutive log blocks written.
+    pub blocks_written: u32,
+}
+
+/// The append-only packed delta log.
+///
+/// # Examples
+///
+/// ```
+/// use icash_core::delta_log::{DeltaLog, LogEntry};
+/// use icash_delta::codec::DeltaCodec;
+/// use icash_storage::block::Lba;
+///
+/// let mut log = DeltaLog::new(1024);
+/// let codec = DeltaCodec::default();
+/// let reference = vec![0u8; 4096];
+/// let mut target = reference.clone();
+/// target[3] = 9;
+/// let delta = codec.encode(&reference, &target);
+///
+/// let entry = LogEntry { lba: Lba::new(5), reference: Lba::new(9), delta };
+/// let report = log.append(vec![entry]);
+/// assert_eq!(report.blocks_written, 1);
+/// let packed = log.fetch(report.entry_locs[0]);
+/// assert_eq!(packed.entries[0].lba, Lba::new(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    capacity_blocks: u64,
+    blocks: Vec<PackedBlock>,
+    /// Stale entries per block (diagnostics for the cleaner).
+    stale: Vec<u32>,
+    total_entries: u64,
+    stale_entries: u64,
+}
+
+impl DeltaLog {
+    /// Creates a log with room for `capacity_blocks` packed blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_blocks: u64) -> Self {
+        assert!(capacity_blocks > 0, "log capacity must be nonzero");
+        DeltaLog {
+            capacity_blocks,
+            blocks: Vec::new(),
+            stale: Vec::new(),
+            total_entries: 0,
+            stale_entries: 0,
+        }
+    }
+
+    /// Log blocks currently in use.
+    pub fn len_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Whether an append of roughly `entries` more blocks would overflow.
+    pub fn is_nearly_full(&self) -> bool {
+        self.len_blocks() * 10 >= self.capacity_blocks * 9
+    }
+
+    /// Live (not superseded) entries in the log.
+    pub fn live_entries(&self) -> u64 {
+        self.total_entries - self.stale_entries
+    }
+
+    /// Packs `entries` into as few 4 KB blocks as possible and appends them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log would exceed its capacity (run [`DeltaLog::clean`]
+    /// first) or `entries` is empty.
+    pub fn append(&mut self, entries: Vec<LogEntry>) -> AppendReport {
+        assert!(!entries.is_empty(), "nothing to append");
+        let first_block = self.blocks.len() as u64;
+        let mut entry_locs = Vec::with_capacity(entries.len());
+        let mut current = PackedBlock::default();
+        for entry in entries {
+            let len = entry.wire_len();
+            if !current.entries.is_empty() && current.bytes + len > BLOCK_SIZE {
+                self.push_block(std::mem::take(&mut current));
+            }
+            entry_locs.push(self.blocks.len() as u32);
+            current.bytes += len;
+            current.entries.push(entry);
+            self.total_entries += 1;
+        }
+        if !current.entries.is_empty() {
+            self.push_block(current);
+        }
+        assert!(
+            self.blocks.len() as u64 <= self.capacity_blocks,
+            "delta log overflow: {} blocks > capacity {}",
+            self.blocks.len(),
+            self.capacity_blocks
+        );
+        AppendReport {
+            entry_locs,
+            first_block,
+            blocks_written: (self.blocks.len() as u64 - first_block) as u32,
+        }
+    }
+
+    fn push_block(&mut self, block: PackedBlock) {
+        self.blocks.push(block);
+        self.stale.push(0);
+    }
+
+    /// The packed block with id `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn fetch(&self, loc: u32) -> &PackedBlock {
+        &self.blocks[loc as usize]
+    }
+
+    /// Marks one entry of block `loc` superseded (a newer delta for its LBA
+    /// exists elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn mark_stale(&mut self, loc: u32) {
+        self.stale[loc as usize] += 1;
+        self.stale_entries += 1;
+    }
+
+    /// Compacts the log, keeping only entries for which `live` returns
+    /// true given `(lba, current block id)`. Returns the new location of
+    /// every surviving LBA and the number of blocks the compacted log
+    /// occupies (the controller charges one sequential HDD write of that
+    /// many blocks).
+    pub fn clean(&mut self, live: impl Fn(Lba, u32) -> bool) -> (HashMap<Lba, u32>, u64) {
+        let old_blocks = std::mem::take(&mut self.blocks);
+        self.stale.clear();
+        self.total_entries = 0;
+        self.stale_entries = 0;
+
+        let mut survivors = Vec::new();
+        for (id, block) in old_blocks.into_iter().enumerate() {
+            for entry in block.entries {
+                if live(entry.lba, id as u32) {
+                    survivors.push(entry);
+                }
+            }
+        }
+        if survivors.is_empty() {
+            return (HashMap::new(), 0);
+        }
+        let report = self.append(survivors);
+        let mut locs = HashMap::new();
+        for (loc, block_id) in report.entry_locs.iter().enumerate() {
+            let lba = self.blocks[*block_id as usize].entries
+                [self.entry_offset(*block_id, loc, &report)]
+            .lba;
+            locs.insert(lba, *block_id);
+        }
+        (locs, self.len_blocks())
+    }
+
+    /// Index of the `i`-th appended entry within its block (entries are
+    /// appended in order, so offsets restart at each block boundary).
+    fn entry_offset(&self, block_id: u32, i: usize, report: &AppendReport) -> usize {
+        let mut offset = 0;
+        for (j, &b) in report.entry_locs.iter().enumerate() {
+            if j == i {
+                break;
+            }
+            if b == block_id {
+                offset += 1;
+            }
+        }
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_delta::codec::DeltaCodec;
+
+    fn delta_of_size(approx: usize) -> Delta {
+        let reference = vec![0u8; 4096];
+        let mut target = reference.clone();
+        for i in 0..approx.min(4000) {
+            target[i] = 1;
+        }
+        DeltaCodec::default().encode(&reference, &target)
+    }
+
+    fn entry(lba: u64, approx: usize) -> LogEntry {
+        LogEntry {
+            lba: Lba::new(lba),
+            reference: Lba::new(lba + 1000),
+            delta: delta_of_size(approx),
+        }
+    }
+
+    #[test]
+    fn many_small_deltas_pack_into_one_block() {
+        let mut log = DeltaLog::new(100);
+        let entries: Vec<LogEntry> = (0..40).map(|i| entry(i, 64)).collect();
+        let report = log.append(entries);
+        assert_eq!(report.blocks_written, 1, "40 × ~70 B fits one 4 KB block");
+        assert_eq!(log.fetch(0).entries.len(), 40);
+        assert!(log.fetch(0).bytes <= BLOCK_SIZE);
+    }
+
+    #[test]
+    fn large_deltas_split_across_blocks() {
+        let mut log = DeltaLog::new(100);
+        let entries: Vec<LogEntry> = (0..5).map(|i| entry(i, 1500)).collect();
+        let report = log.append(entries);
+        assert!(report.blocks_written >= 2);
+        for loc in &report.entry_locs {
+            assert!(log.fetch(*loc).bytes <= BLOCK_SIZE);
+        }
+    }
+
+    #[test]
+    fn entry_locs_point_to_their_entries() {
+        let mut log = DeltaLog::new(100);
+        let entries: Vec<LogEntry> = (0..100).map(|i| entry(i, 200)).collect();
+        let report = log.append(entries);
+        for (i, &loc) in report.entry_locs.iter().enumerate() {
+            let packed = log.fetch(loc);
+            assert!(
+                packed.entries.iter().any(|e| e.lba == Lba::new(i as u64)),
+                "entry {i} not found in block {loc}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_drops_stale_entries() {
+        let mut log = DeltaLog::new(100);
+        let r1 = log.append((0..20).map(|i| entry(i, 500)).collect());
+        let _r2 = log.append((0..20).map(|i| entry(i, 500)).collect());
+        let before = log.len_blocks();
+        for loc in &r1.entry_locs {
+            log.mark_stale(*loc);
+        }
+        // Only generation-2 entries are live (their block ids are ≥ r1 end).
+        let boundary = r1.entry_locs.iter().copied().max().unwrap();
+        let (locs, blocks) = log.clean(|_, block| block > boundary);
+        assert_eq!(locs.len(), 20);
+        assert!(blocks < before);
+        for (lba, loc) in &locs {
+            assert!(log.fetch(*loc).entries.iter().any(|e| e.lba == *lba));
+        }
+    }
+
+    #[test]
+    fn clean_to_empty() {
+        let mut log = DeltaLog::new(100);
+        log.append(vec![entry(1, 100)]);
+        let (locs, blocks) = log.clean(|_, _| false);
+        assert!(locs.is_empty());
+        assert_eq!(blocks, 0);
+        assert_eq!(log.len_blocks(), 0);
+    }
+
+    #[test]
+    fn nearly_full_detection() {
+        let mut log = DeltaLog::new(10);
+        assert!(!log.is_nearly_full());
+        log.append((0..36).map(|i| entry(i, 1000)).collect());
+        assert!(log.is_nearly_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to append")]
+    fn empty_append_rejected() {
+        let mut log = DeltaLog::new(10);
+        log.append(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut log = DeltaLog::new(2);
+        log.append((0..20).map(|i| entry(i, 1500)).collect());
+    }
+}

@@ -1,0 +1,304 @@
+//! Intrusive LRU list over slab indices.
+//!
+//! The I-CASH controller keeps every virtual block on one LRU list (paper
+//! §4.3). The list is index-linked so membership costs two `usize`s per
+//! slot and every operation is O(1); the scanner walks the head (most
+//! recent) and the replacement policies walk the tail.
+
+const NONE: usize = usize::MAX;
+
+/// An intrusive doubly-linked LRU list over external slab indices.
+///
+/// Slots must be `attach`ed before use and are identified by their slab
+/// index. The *front* is the most recently used end.
+///
+/// # Examples
+///
+/// ```
+/// use icash_core::lru::LruList;
+///
+/// let mut lru = LruList::new();
+/// for i in 0..3 {
+///     lru.grow_to(i + 1);
+///     lru.push_front(i);
+/// }
+/// lru.touch(0); // 0 becomes most recent
+/// assert_eq!(lru.iter_front().collect::<Vec<_>>(), vec![0, 2, 1]);
+/// assert_eq!(lru.tail(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruList {
+    head: usize,
+    tail: usize,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    present: Vec<bool>,
+    len: usize,
+}
+
+impl Default for LruList {
+    /// Equivalent to [`LruList::new`]. (Head/tail use a sentinel value, so
+    /// the derived all-zeroes `Default` would be corrupt.)
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LruList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LruList {
+            head: NONE,
+            tail: NONE,
+            prev: Vec::new(),
+            next: Vec::new(),
+            present: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Ensures link storage exists for slab indices `< slots`.
+    pub fn grow_to(&mut self, slots: usize) {
+        if slots > self.prev.len() {
+            self.prev.resize(slots, NONE);
+            self.next.resize(slots, NONE);
+            self.present.resize(slots, false);
+        }
+    }
+
+    /// Entries currently on the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `idx` is currently on the list.
+    pub fn contains(&self, idx: usize) -> bool {
+        idx < self.present.len() && self.present[idx]
+    }
+
+    /// The most recently used entry.
+    pub fn front(&self) -> Option<usize> {
+        (self.head != NONE).then_some(self.head)
+    }
+
+    /// The least recently used entry.
+    pub fn tail(&self) -> Option<usize> {
+        (self.tail != NONE).then_some(self.tail)
+    }
+
+    /// Inserts `idx` at the front (most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has no storage ([`LruList::grow_to`]) or is already
+    /// on the list.
+    pub fn push_front(&mut self, idx: usize) {
+        assert!(idx < self.present.len(), "index {idx} not grown");
+        assert!(!self.present[idx], "index {idx} already listed");
+        self.present[idx] = true;
+        self.prev[idx] = NONE;
+        self.next[idx] = self.head;
+        if self.head != NONE {
+            self.prev[self.head] = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+        self.len += 1;
+    }
+
+    /// Removes `idx` from the list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not on the list.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(self.contains(idx), "index {idx} not listed");
+        let (p, n) = (self.prev[idx], self.next[idx]);
+        if p != NONE {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NONE {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.present[idx] = false;
+        self.prev[idx] = NONE;
+        self.next[idx] = NONE;
+        self.len -= 1;
+    }
+
+    /// Moves `idx` to the front (marks it most recently used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not on the list.
+    pub fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.remove(idx);
+        self.push_front(idx);
+    }
+
+    /// Walks the whole list asserting link consistency — no cycles, prev
+    /// pointers mirror next pointers, and the entry count matches `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is corrupted.
+    pub fn validate(&self) {
+        let mut count = 0usize;
+        let mut cur = self.head;
+        let mut prev = NONE;
+        while cur != NONE {
+            assert!(count < self.len, "cycle detected at index {cur}");
+            assert!(self.present[cur], "unlisted index {cur} reachable");
+            assert_eq!(self.prev[cur], prev, "broken prev link at {cur}");
+            prev = cur;
+            cur = self.next[cur];
+            count += 1;
+        }
+        assert_eq!(count, self.len, "list length mismatch");
+        assert_eq!(self.tail, prev, "tail pointer mismatch");
+    }
+
+    /// Iterates from most recent to least recent.
+    pub fn iter_front(&self) -> LruIter<'_> {
+        LruIter {
+            list: self,
+            cur: self.head,
+            forward: true,
+        }
+    }
+
+    /// Iterates from least recent to most recent.
+    pub fn iter_tail(&self) -> LruIter<'_> {
+        LruIter {
+            list: self,
+            cur: self.tail,
+            forward: false,
+        }
+    }
+}
+
+/// Iterator over LRU entries; see [`LruList::iter_front`] and
+/// [`LruList::iter_tail`].
+#[derive(Debug)]
+pub struct LruIter<'a> {
+    list: &'a LruList,
+    cur: usize,
+    forward: bool,
+}
+
+impl Iterator for LruIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == NONE {
+            return None;
+        }
+        let item = self.cur;
+        self.cur = if self.forward {
+            self.list.next[item]
+        } else {
+            self.list.prev[item]
+        };
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize) -> LruList {
+        let mut l = LruList::new();
+        l.grow_to(n);
+        for i in 0..n {
+            l.push_front(i);
+        }
+        l
+    }
+
+    #[test]
+    fn default_is_a_valid_empty_list() {
+        let mut l = LruList::default();
+        l.validate();
+        assert_eq!(l.front(), None);
+        assert_eq!(l.tail(), None);
+        // Regression: the first insertion into a default list must not
+        // self-link (head/tail use a sentinel, not zero).
+        l.grow_to(1);
+        l.push_front(0);
+        l.validate();
+        assert_eq!(l.front(), Some(0));
+        assert_eq!(l.tail(), Some(0));
+    }
+
+    #[test]
+    fn push_order_is_most_recent_first() {
+        let l = filled(4);
+        assert_eq!(l.iter_front().collect::<Vec<_>>(), vec![3, 2, 1, 0]);
+        assert_eq!(l.iter_tail().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = filled(4);
+        l.touch(1);
+        assert_eq!(l.iter_front().collect::<Vec<_>>(), vec![1, 3, 2, 0]);
+        l.touch(1); // touching the head is a no-op
+        assert_eq!(l.front(), Some(1));
+    }
+
+    #[test]
+    fn remove_middle_head_tail() {
+        let mut l = filled(4);
+        l.remove(2);
+        assert_eq!(l.iter_front().collect::<Vec<_>>(), vec![3, 1, 0]);
+        l.remove(3); // head
+        assert_eq!(l.front(), Some(1));
+        l.remove(0); // tail
+        assert_eq!(l.tail(), Some(1));
+        l.remove(1);
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.tail(), None);
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut l = filled(3);
+        l.remove(1);
+        assert!(!l.contains(1));
+        l.push_front(1);
+        assert!(l.contains(1));
+        assert_eq!(l.front(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already listed")]
+    fn double_insert_panics() {
+        let mut l = filled(2);
+        l.push_front(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not listed")]
+    fn remove_absent_panics() {
+        let mut l = LruList::new();
+        l.grow_to(1);
+        l.remove(0);
+    }
+}

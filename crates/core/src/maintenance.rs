@@ -1,0 +1,532 @@
+//! Background machinery of the controller: periodic flush of dirty deltas
+//! to the HDD log, the similarity scan (paper §4.2), reference promotion /
+//! demotion, and the three replacement policies of §4.3.
+
+use crate::controller::{EvictedState, Icash};
+use crate::delta_log::LogEntry;
+use crate::table::VbId;
+use crate::virtual_block::Role;
+use icash_storage::block::{Lba, BLOCK_SIZE};
+use icash_storage::cpu::CpuOp;
+use icash_storage::system::IoCtx;
+use icash_storage::time::Ns;
+
+impl Icash {
+    /// Per-I/O bookkeeping: counts toward the flush interval and the scan
+    /// interval, running either phase when due.
+    pub(crate) fn after_io(&mut self, at: Ns, ctx: &mut IoCtx<'_>) {
+        self.ios_since_flush += 1;
+        self.ios_since_scan += 1;
+        if self.ios_since_flush >= self.cfg.flush_interval
+            || self.dirty_bytes >= self.cfg.flush_dirty_bytes
+        {
+            self.flush_dirty(at, ctx);
+        }
+        if self.ios_since_scan >= self.cfg.scan_interval {
+            self.ios_since_scan = 0;
+            self.scan(at, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flushing
+    // ------------------------------------------------------------------
+
+    /// Packs every dirty delta into log blocks and writes them to the HDD
+    /// in one sequential operation. Returns the write completion instant.
+    pub(crate) fn flush_dirty(&mut self, now: Ns, _ctx: &mut IoCtx<'_>) -> Ns {
+        self.ios_since_flush = 0;
+        if self.dirty.is_empty() {
+            return now;
+        }
+        let mut ids: Vec<usize> = self.dirty.drain().collect();
+        ids.sort_unstable(); // determinism
+        let mut flushed: Vec<VbId> = Vec::with_capacity(ids.len());
+        let mut entries = Vec::with_capacity(ids.len());
+        for raw in ids {
+            let id = VbId::from_raw(raw);
+            let vb = self.table.get(id);
+            debug_assert!(vb.dirty_delta);
+            let delta = vb
+                .delta
+                .as_ref()
+                .expect("dirty implies resident")
+                .delta
+                .clone();
+            let reference = vb.reference.unwrap_or(vb.lba);
+            entries.push(LogEntry {
+                lba: vb.lba,
+                reference,
+                delta,
+            });
+            flushed.push(id);
+        }
+        let report = self.log.append(entries);
+        let t = self.hdd.write(
+            now,
+            self.cfg.log_start() + report.first_block,
+            report.blocks_written,
+        );
+        for (id, &loc) in flushed.iter().zip(report.entry_locs.iter()) {
+            let vb = self.table.get_mut(*id);
+            vb.dirty_delta = false;
+            vb.log_loc = Some(loc);
+            if vb.role == Role::Associate {
+                // Content is now recoverable from reference + logged delta.
+                vb.dirty_data = false;
+            }
+        }
+        self.dirty_bytes = 0;
+        self.stats.flushes += 1;
+        self.stats.log_blocks_written += report.blocks_written as u64;
+        if self.log.is_nearly_full() {
+            self.clean_log(t);
+        }
+        t
+    }
+
+    /// Compacts the delta log, dropping superseded entries, and rewrites
+    /// the survivors sequentially from the start of the log region.
+    pub(crate) fn clean_log(&mut self, now: Ns) {
+        // An entry is live iff the block's current state points at it.
+        let mut expected: std::collections::HashMap<Lba, u32> = std::collections::HashMap::new();
+        for id in self.table.head_ids(usize::MAX) {
+            let vb = self.table.get(id);
+            if let Some(loc) = vb.log_loc {
+                expected.insert(vb.lba, loc);
+            }
+        }
+        for (lba, state) in &self.evicted {
+            if let EvictedState::InLog { loc, .. } = state {
+                expected.insert(*lba, *loc);
+            }
+        }
+        let (new_locs, blocks) = self.log.clean(|lba, loc| expected.get(&lba) == Some(&loc));
+        if blocks > 0 {
+            self.hdd.write(
+                now,
+                self.cfg.log_start(),
+                blocks.min(u32::MAX as u64) as u32,
+            );
+        }
+        for id in self.table.head_ids(usize::MAX) {
+            let lba = self.table.get(id).lba;
+            if self.table.get(id).log_loc.is_some() {
+                self.table.get_mut(id).log_loc = new_locs.get(&lba).copied();
+            }
+        }
+        for (lba, state) in self.evicted.iter_mut() {
+            if let EvictedState::InLog { loc, .. } = state {
+                if let Some(new) = new_locs.get(lba) {
+                    *loc = *new;
+                }
+            }
+        }
+        self.stats.log_cleans += 1;
+    }
+
+    /// Clean-shutdown flush: dirty deltas go to the log, dirty independent
+    /// data goes to the HDD home area.
+    pub(crate) fn shutdown_flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        let mut t = self.flush_dirty(now, ctx);
+        let mut dirty_data: Vec<VbId> = self
+            .table
+            .head_ids(usize::MAX)
+            .into_iter()
+            .filter(|&id| self.table.get(id).dirty_data && self.table.get(id).data.is_some())
+            .collect();
+        dirty_data.sort_by_key(|&id| self.home_pos(self.table.get(id).lba));
+        for id in dirty_data {
+            t = self.write_home(id, t);
+        }
+        t
+    }
+
+    /// Writes `id`'s cached data to its HDD home position and records it in
+    /// the overlay. Clears the dirty-data flag.
+    pub(crate) fn write_home(&mut self, id: VbId, now: Ns) -> Ns {
+        let (lba, content) = {
+            let vb = self.table.get_mut(id);
+            let content = vb.data.clone().expect("home write needs resident data");
+            vb.dirty_data = false;
+            (vb.lba, content)
+        };
+        let t = self.hdd.write(now, self.home_pos(lba), 1);
+        self.home_overlay.insert(lba, content);
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // The similarity scan (paper §4.2)
+    // ------------------------------------------------------------------
+
+    /// One scan phase: examine the `scan_window` most recent blocks, pick
+    /// the most popular (by Heatmap) as new references, re-bind the rest.
+    pub(crate) fn scan(&mut self, now: Ns, ctx: &mut IoCtx<'_>) {
+        self.stats.scans += 1;
+        let ids = self.table.head_ids(self.cfg.scan_window);
+
+        // Rank scanned blocks by Heatmap popularity.
+        let mut ranked: Vec<(VbId, u64)> = ids
+            .iter()
+            .map(|&id| {
+                ctx.cpu.charge(CpuOp::Scan);
+                let vb = self.table.get(id);
+                (id, self.heatmap.popularity(&vb.sig))
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| self.table.get(a.0).lba.cmp(&self.table.get(b.0).lba))
+        });
+
+        // Promote the most popular non-references.
+        let target = ((ids.len() as f64 * self.cfg.ref_fraction).ceil() as usize).max(1);
+        let mut promoted = 0usize;
+        for &(id, pop) in &ranked {
+            if promoted >= target || pop == 0 {
+                break;
+            }
+            let vb = self.table.get(id);
+            if vb.role == Role::Reference || vb.data.is_none() {
+                continue;
+            }
+            // A tightly bound associate gains nothing from promotion.
+            if vb.role == Role::Associate {
+                if let Some(cd) = &vb.delta {
+                    if cd.delta.len() <= self.cfg.delta_threshold / 4 {
+                        continue;
+                    }
+                }
+            }
+            if self.promote(id, now, ctx).is_none() {
+                break; // out of SSD slots even after reclamation
+            }
+            promoted += 1;
+        }
+
+        // Re-bind the rest of the window against the (updated) reference
+        // set. Already-bound associates are left alone; attempts are capped
+        // so one scan never turns into an encode storm.
+        let mut attempts = 0usize;
+        for &id in &ids {
+            if attempts >= 1024 {
+                break;
+            }
+            let (role, has_data) = {
+                let vb = self.table.get(id);
+                (vb.role, vb.data.is_some())
+            };
+            // Only unbound blocks with resident data are worth an encode
+            // attempt; bound associates are left alone.
+            if role != Role::Independent || !has_data {
+                continue;
+            }
+            let (content, sig) = {
+                let vb = self.table.get(id);
+                (vb.data.clone().expect("checked"), vb.sig)
+            };
+            attempts += 1;
+            self.try_bind(id, &content, &sig, now, ctx);
+        }
+
+        // Age the Heatmap so popularity tracks the recent access mix.
+        self.heatmap.decay();
+    }
+
+    /// Installs `id`'s current content into the SSD as a new reference
+    /// block. Returns the slot used, or `None` if no slot could be found.
+    pub(crate) fn promote(&mut self, id: VbId, now: Ns, _ctx: &mut IoCtx<'_>) -> Option<u64> {
+        let lba = self.table.get(id).lba;
+        let existing_slot = self.table.get(id).ssd_slot;
+        let slot = match existing_slot {
+            // Direct-written independents are already SSD-resident: adopt
+            // the slot without another flash write.
+            Some(s) => s,
+            None => {
+                // No free slot: promotion simply stops. Demote-to-promote
+                // churn (each demotion is a mechanical home write) costs
+                // far more than the marginal reference is worth.
+                let s = self.alloc_slot()?;
+                let content = self
+                    .table
+                    .get(id)
+                    .data
+                    .clone()
+                    .expect("promotion needs data");
+                self.ssd.write(now, s).expect("ssd write");
+                self.ssd_store.insert(s, content);
+                s
+            }
+        };
+        self.unbind(id);
+        self.drop_delta(id);
+        if let Some(loc) = self.table.get_mut(id).log_loc.take() {
+            self.log.mark_stale(loc);
+        }
+        let sig = self.table.get(id).sig;
+        {
+            let vb = self.table.get_mut(id);
+            vb.role = Role::Reference;
+            vb.ssd_slot = Some(slot);
+            vb.dirty_data = false;
+        }
+        self.slot_dir.insert(lba, slot);
+        self.ref_index.insert(lba, &sig);
+        self.stats.ref_installs += 1;
+        Some(slot)
+    }
+
+    /// Demotes an unwritten reference with no associates: its content moves
+    /// to the HDD home area and the SSD slot is reclaimed. Not part of the
+    /// steady-state policy (promote simply stops when flash fills — see
+    /// `promote`), but exposed for slot-reclamation experiments.
+    #[allow(dead_code)]
+    pub(crate) fn demote(&mut self, id: VbId, now: Ns) -> bool {
+        let (lba, slot, sig) = {
+            let vb = self.table.get(id);
+            if vb.role != Role::Reference
+                || vb.dependants > 0
+                || vb.delta.is_some()
+                || vb.log_loc.is_some()
+            {
+                return false;
+            }
+            (vb.lba, vb.ssd_slot.expect("reference without slot"), vb.sig)
+        };
+        let content = self.ssd_store.remove(&slot).expect("slot content");
+        self.hdd.write(now, self.home_pos(lba), 1);
+        self.home_overlay.insert(lba, content);
+        self.ssd.trim(slot);
+        self.free_slots.push(slot);
+        self.slot_dir.remove(&lba);
+        self.ref_index.remove(lba, &sig);
+        let vb = self.table.get_mut(id);
+        vb.role = Role::Independent;
+        vb.ssd_slot = None;
+        vb.dirty_data = false;
+        self.stats.ref_demotions += 1;
+        true
+    }
+
+    /// Frees SSD slots by demoting idle references and spilling evicted
+    /// SSD-resident blocks to the home area. See `demote` on why the
+    /// default policy does not call this.
+    #[allow(dead_code)]
+    pub(crate) fn reclaim_slots(&mut self, now: Ns, _ctx: &mut IoCtx<'_>) {
+        let mut reclaimed = 0usize;
+        // Idle references first (LRU tail).
+        for id in self.table.tail_ids(4_096) {
+            if reclaimed >= 8 {
+                return;
+            }
+            if self.demote(id, now) {
+                reclaimed += 1;
+            }
+        }
+        // Then evicted direct-written blocks.
+        let spill: Vec<(Lba, u64)> = self
+            .evicted
+            .iter()
+            .filter_map(|(lba, st)| match st {
+                EvictedState::InSsd(slot) => Some((*lba, *slot)),
+                _ => None,
+            })
+            .take(8 - reclaimed.min(8))
+            .collect();
+        for (lba, slot) in spill {
+            let content = self.ssd_store.remove(&slot).expect("slot content");
+            self.hdd.write(now, self.home_pos(lba), 1);
+            self.home_overlay.insert(lba, content);
+            self.ssd.trim(slot);
+            self.free_slots.push(slot);
+            self.slot_dir.remove(&lba);
+            self.evicted.remove(&lba);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replacement policies (paper §4.3)
+    // ------------------------------------------------------------------
+
+    /// Makes room for one whole data block. Returns false only under
+    /// unrelievable pressure (e.g. a pool smaller than one block).
+    pub(crate) fn make_room_for_block(
+        &mut self,
+        protect: VbId,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> bool {
+        self.make_room(BLOCK_SIZE, protect, at, ctx)
+    }
+
+    /// Makes room for a delta of `len` bytes.
+    pub(crate) fn make_room_for_delta(
+        &mut self,
+        protect: VbId,
+        len: usize,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) {
+        let needed = self.pool.delta_charge(len);
+        let ok = self.make_room(needed, protect, at, ctx);
+        assert!(
+            ok,
+            "delta of {len} bytes cannot fit a {}-byte pool",
+            self.pool.capacity()
+        );
+    }
+
+    /// The replacement ladder (§4.3): (1) drop clean data blocks from the
+    /// LRU tail, (2) drop clean logged deltas, (3) flush dirty deltas and
+    /// retry, (4) write dirty independents home and drop their data.
+    ///
+    /// Under sustained pressure each expensive invocation frees a *batch*
+    /// (an eighth of the pool) rather than a single block, so the cost of
+    /// the tail walk amortises across many subsequent allocations.
+    fn make_room(&mut self, needed: usize, protect: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> bool {
+        if self.pool.available() >= needed {
+            return true;
+        }
+        let goal = needed.max(self.pool.capacity() / 8);
+
+        // Pass A1: clean data blocks first — they are 4 KB each and cheap
+        // to reconstruct (reference + resident delta), while a delta costs
+        // a mechanical log fetch to get back.
+        for id in self.table.tail_ids(usize::MAX) {
+            if self.pool.available() >= goal {
+                return true;
+            }
+            if id == protect {
+                continue;
+            }
+            let vb = self.table.get(id);
+            if vb.data.is_some() && !vb.dirty_data {
+                self.drop_data(id);
+            }
+        }
+        // Pass A2: only if data alone was not enough, drop clean logged
+        // deltas.
+        for id in self.table.tail_ids(usize::MAX) {
+            if self.pool.available() >= goal {
+                return true;
+            }
+            if id == protect {
+                continue;
+            }
+            let vb = self.table.get(id);
+            if vb.delta.is_some() && !vb.dirty_delta && vb.log_loc.is_some() {
+                self.drop_delta(id);
+            }
+        }
+        if self.pool.available() >= needed {
+            return true;
+        }
+
+        // Pass B: flushing turns dirty deltas into droppable clean ones and
+        // unpins associates' data; dirty independents spill to the home
+        // area.
+        self.flush_dirty(at, ctx);
+        let mut spills: Vec<VbId> = Vec::new();
+        for id in self.table.tail_ids(usize::MAX) {
+            if self.pool.available() + spills.len() * BLOCK_SIZE >= goal {
+                break;
+            }
+            if id == protect {
+                continue;
+            }
+            let vb = self.table.get(id);
+            if vb.delta.is_some() && !vb.dirty_delta && vb.log_loc.is_some() {
+                self.drop_delta(id);
+            }
+            let vb = self.table.get(id);
+            if vb.data.is_some() {
+                if vb.dirty_data {
+                    spills.push(id);
+                } else {
+                    self.drop_data(id);
+                }
+            }
+        }
+        // Write the spill batch in home-position order: the writeback
+        // stream becomes near-sequential instead of head-thrashing.
+        spills.sort_by_key(|&id| self.home_pos(self.table.get(id).lba));
+        let mut t = at;
+        for id in spills {
+            t = self.write_home(id, t);
+            self.drop_data(id);
+        }
+        self.pool.available() >= needed
+    }
+
+    /// Bounds the virtual-block table: evicts persisted blocks from the LRU
+    /// tail once the table exceeds its limit, preserving a rebuild pointer
+    /// for content that is not reachable via the home area.
+    pub(crate) fn reserve_table_slot(&mut self, at: Ns, ctx: &mut IoCtx<'_>) {
+        if self.table.len() < self.max_virtual_blocks {
+            return;
+        }
+        let mut evicted = 0usize;
+        let mut flushed = false;
+        let candidates = self.table.tail_ids(8_192);
+        for id in candidates {
+            if evicted >= 64 {
+                break;
+            }
+            let vb = self.table.get(id);
+            if !vb.evictable() {
+                continue;
+            }
+            // Written references cannot be summarized by a single pointer;
+            // keep them resident.
+            if vb.role == Role::Reference && (vb.delta.is_some() || vb.log_loc.is_some()) {
+                continue;
+            }
+            if vb.dirty_delta && !flushed {
+                self.flush_dirty(at, ctx);
+                flushed = true;
+            }
+            let vb = self.table.get(id);
+            if vb.dirty_delta {
+                continue;
+            }
+            if vb.dirty_data {
+                if vb.data.is_some() {
+                    self.write_home(id, at);
+                } else {
+                    continue; // should not happen; be conservative
+                }
+            }
+            self.drop_data(id);
+            self.drop_delta(id);
+            let vb = self.table.get(id);
+            let state = match vb.role {
+                Role::Reference => vb.ssd_slot.map(EvictedState::InSsd),
+                Role::Independent => vb.ssd_slot.map(EvictedState::InSsd).or_else(|| {
+                    vb.log_loc.map(|loc| EvictedState::InLog {
+                        reference: vb.lba, // self: decodes against zero
+                        loc,
+                    })
+                }),
+                Role::Associate => vb.log_loc.map(|loc| EvictedState::InLog {
+                    reference: vb.reference.expect("associate without reference"),
+                    loc,
+                }),
+            };
+            // Associates whose delta was never flushed and never logged have
+            // their content only in RAM; they were handled by the flush
+            // above. Anything left without a state lives in the home area.
+            if vb.role == Role::Reference {
+                let (lba, sig) = (vb.lba, vb.sig);
+                self.ref_index.remove(lba, &sig);
+            }
+            let lba = vb.lba;
+            let removed = self.table.remove(id);
+            debug_assert!(removed.delta.is_none() && removed.data.is_none());
+            if let Some(state) = state {
+                self.evicted.insert(lba, state);
+            }
+            evicted += 1;
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Crash simulation and log-based recovery (paper §3.3).
+//!
+//! "For data recovery after a failure, I-CASH can recover data by combining
+//! reference blocks with deltas unrolled from the delta logs in the HDD."
+//!
+//! [`Icash::crash_and_recover`] models a power failure: everything volatile
+//! (the RAM cache, unflushed deltas, dirty independent data) is lost, while
+//! the persistent structures survive — the SSD's pinned blocks, the HDD
+//! home area, the delta log, and the slot directory metadata. Recovery then
+//! replays the log in append order (latest entry per LBA wins) to rebuild
+//! the virtual-block table.
+
+use crate::controller::Icash;
+use crate::segment::SegmentPool;
+use crate::stats::IcashStats;
+use crate::table::BlockTable;
+use crate::virtual_block::{Role, VirtualBlock};
+use icash_delta::heatmap::Heatmap;
+use icash_delta::signature::BlockSignature;
+use icash_storage::block::Lba;
+use std::collections::{HashMap, HashSet};
+
+impl Icash {
+    /// Simulates a power failure followed by log recovery.
+    ///
+    /// Consumes the controller (the crash destroys its runtime state) and
+    /// returns a recovered controller over the same persistent devices.
+    /// Data relationships that had reached the HDD log or the SSD are fully
+    /// restored; writes that were still buffered in RAM are lost, exactly
+    /// as the paper's flush-interval reliability tradeoff implies.
+    pub fn crash_and_recover(self) -> Icash {
+        let Icash {
+            cfg,
+            ssd,
+            hdd,
+            codec,
+            filter,
+            log,
+            ssd_store,
+            slot_dir,
+            next_slot,
+            free_slots,
+            home_overlay,
+            max_virtual_blocks,
+            ..
+        } = self;
+
+        let mut table = BlockTable::new();
+
+        // Phase 1: the slot directory names every SSD-pinned block. They
+        // come back as independents; log replay upgrades references.
+        for (&lba, &slot) in &slot_dir {
+            let sig = BlockSignature::of(ssd_store[&slot].as_slice());
+            let mut vb = VirtualBlock::independent(lba, sig);
+            vb.ssd_slot = Some(slot);
+            table.insert(vb);
+        }
+
+        // Phase 2: replay the log in append order; the latest entry per
+        // LBA wins (it supersedes earlier deltas for the same block).
+        let mut latest: HashMap<Lba, (u32, Lba)> = HashMap::new();
+        for loc in 0..log.len_blocks() as u32 {
+            for entry in &log.fetch(loc).entries {
+                latest.insert(entry.lba, (loc, entry.reference));
+            }
+        }
+
+        // Phase 3: rebuild roles. References named by surviving deltas must
+        // exist in the slot directory (they were pinned before any delta
+        // against them could flush).
+        let mut dependants: HashMap<Lba, u32> = HashMap::new();
+        for (&lba, &(loc, reference)) in &latest {
+            if reference == lba {
+                match table.lookup(lba) {
+                    // A written reference block's own delta (SSD-pinned).
+                    Some(id) => {
+                        let vb = table.get_mut(id);
+                        vb.role = Role::Reference;
+                        vb.log_loc = Some(loc);
+                    }
+                    // A log-resident independent (zero-based raw delta).
+                    None => {
+                        let mut vb = VirtualBlock::independent(lba, BlockSignature::default());
+                        vb.log_loc = Some(loc);
+                        table.insert(vb);
+                    }
+                }
+                continue;
+            }
+            *dependants.entry(reference).or_insert(0) += 1;
+            match table.lookup(lba) {
+                Some(id) => {
+                    // The block was later direct-written to the SSD; the
+                    // SSD copy supersedes the logged delta.
+                    let _ = id;
+                }
+                None => {
+                    let mut vb = VirtualBlock::independent(lba, BlockSignature::default());
+                    vb.role = Role::Associate;
+                    vb.reference = Some(reference);
+                    vb.log_loc = Some(loc);
+                    table.insert(vb);
+                }
+            }
+        }
+
+        let mut ref_index = crate::ref_index::RefIndex::new();
+        for (&ref_lba, &count) in &dependants {
+            if let Some(id) = table.lookup(ref_lba) {
+                let sig = table.get(id).sig;
+                let vb = table.get_mut(id);
+                vb.role = Role::Reference;
+                vb.dependants = count;
+                ref_index.insert(ref_lba, &sig);
+            }
+        }
+
+        Icash {
+            pool: SegmentPool::new(cfg.ram_budget(), cfg.segment_bytes),
+            heatmap: Heatmap::standard(),
+            table,
+            ref_index,
+            evicted: HashMap::new(),
+            dirty: HashSet::new(),
+            dirty_bytes: 0,
+            ios_since_scan: 0,
+            ios_since_flush: 0,
+            stats: IcashStats::default(),
+            cfg,
+            ssd,
+            hdd,
+            codec,
+            filter,
+            log,
+            ssd_store,
+            slot_dir,
+            next_slot,
+            free_slots,
+            home_overlay,
+            max_virtual_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IcashConfig;
+    use icash_storage::block::BlockBuf;
+    use icash_storage::cpu::CpuModel;
+    use icash_storage::request::Request;
+    use icash_storage::system::{IoCtx, StorageSystem, ZeroSource};
+    use icash_storage::time::Ns;
+
+    fn small_cfg() -> IcashConfig {
+        IcashConfig::builder(1 << 20, 256 << 10, 8 << 20)
+            .scan_interval(50)
+            .scan_window(64)
+            .flush_interval(20)
+            .log_blocks(4096)
+            .build()
+    }
+
+    fn content(tag: u8) -> BlockBuf {
+        // Blocks that are similar to each other (shared base, small tweak),
+        // so references and deltas actually form.
+        let mut v = vec![0xA5u8; 4096];
+        v[17] = tag;
+        v[1000] = tag.wrapping_mul(3);
+        BlockBuf::from_vec(v)
+    }
+
+    #[test]
+    fn flushed_writes_survive_a_crash() {
+        let mut sys = Icash::new(small_cfg());
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+
+        let mut t = Ns::ZERO;
+        for i in 0..200u64 {
+            let w = Request::write(Lba::new(i % 40), t, content((i % 251) as u8));
+            t = sys.submit(&w, &mut ctx).finished;
+        }
+        // Clean shutdown: every write must be recoverable.
+        t = sys.flush(t, &mut ctx);
+
+        let expected: Vec<(u64, BlockBuf)> = (0..40u64)
+            .map(|lba| {
+                let r = Request::read(Lba::new(lba), t);
+                (lba, sys.submit(&r, &mut ctx).data[0].clone())
+            })
+            .collect();
+
+        let mut recovered = sys.crash_and_recover();
+        for (lba, want) in expected {
+            let r = Request::read(Lba::new(lba), t);
+            let got = recovered.submit(&r, &mut ctx).data[0].clone();
+            assert_eq!(got, want, "lba {lba} corrupted by crash/recovery");
+        }
+    }
+
+    #[test]
+    fn unflushed_writes_degrade_to_prior_content_not_garbage() {
+        let mut sys = Icash::new(small_cfg());
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+
+        // One write, never flushed (flush_interval is 20).
+        let w = Request::write(Lba::new(7), Ns::ZERO, content(1));
+        let t = sys.submit(&w, &mut ctx).finished;
+
+        let mut recovered = sys.crash_and_recover();
+        let r = Request::read(Lba::new(7), t);
+        let got = recovered.submit(&r, &mut ctx).data[0].clone();
+        // The write is lost; the block reads back as its pre-crash
+        // persistent state (the zero backing image), not as garbage.
+        assert_eq!(got, BlockBuf::zeroed());
+    }
+
+    #[test]
+    fn recovery_restores_reference_associate_pairings() {
+        let mut sys = Icash::new(small_cfg());
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+
+        let mut t = Ns::ZERO;
+        // Enough similar traffic to trigger scans, promotion and binding.
+        for round in 0..10u64 {
+            for lba in 0..30u64 {
+                let w = Request::write(Lba::new(lba), t, content((lba + round) as u8));
+                t = sys.submit(&w, &mut ctx).finished;
+            }
+        }
+        t = sys.flush(t, &mut ctx);
+        let pre = sys.stats();
+        let recovered = sys.crash_and_recover();
+        let post = recovered.stats();
+        if pre.role_counts.0 > 0 {
+            assert!(
+                post.role_counts.0 > 0,
+                "references must survive recovery: {pre:?} -> {post:?}"
+            );
+        }
+        let _ = t;
+    }
+}

@@ -1,0 +1,247 @@
+//! The virtual-block table: slab + address map + LRU.
+//!
+//! Owns every [`VirtualBlock`] the controller tracks, addressable by LBA in
+//! O(1), ordered by recency for the scanner (head) and the replacement
+//! policies (tail).
+
+use crate::lru::LruList;
+use crate::virtual_block::VirtualBlock;
+use icash_storage::block::Lba;
+use std::collections::HashMap;
+
+/// Stable handle to a virtual block in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VbId(usize);
+
+impl VbId {
+    /// The raw slab index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw slab index (crate-internal bookkeeping
+    /// such as the dirty set).
+    pub(crate) fn from_raw(index: usize) -> Self {
+        VbId(index)
+    }
+}
+
+/// Slab-backed table of virtual blocks with an LRU ordering.
+///
+/// # Examples
+///
+/// ```
+/// use icash_core::table::BlockTable;
+/// use icash_core::virtual_block::VirtualBlock;
+/// use icash_delta::signature::BlockSignature;
+/// use icash_storage::block::Lba;
+///
+/// let mut table = BlockTable::new();
+/// let id = table.insert(VirtualBlock::independent(
+///     Lba::new(9),
+///     BlockSignature::from_raw([0; 8]),
+/// ));
+/// assert_eq!(table.get(id).lba, Lba::new(9));
+/// assert_eq!(table.lookup(Lba::new(9)), Some(id));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    slots: Vec<Option<VirtualBlock>>,
+    free: Vec<usize>,
+    by_lba: HashMap<Lba, usize>,
+    lru: LruList,
+}
+
+impl BlockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.by_lba.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_lba.is_empty()
+    }
+
+    /// Inserts a block, making it most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LBA is already tracked.
+    pub fn insert(&mut self, vb: VirtualBlock) -> VbId {
+        assert!(
+            !self.by_lba.contains_key(&vb.lba),
+            "lba {} already tracked",
+            vb.lba
+        );
+        let lba = vb.lba;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(vb);
+                i
+            }
+            None => {
+                self.slots.push(Some(vb));
+                self.slots.len() - 1
+            }
+        };
+        self.by_lba.insert(lba, idx);
+        self.lru.grow_to(self.slots.len());
+        self.lru.push_front(idx);
+        VbId(idx)
+    }
+
+    /// The handle for `lba`, if tracked.
+    pub fn lookup(&self, lba: Lba) -> Option<VbId> {
+        self.by_lba.get(&lba).copied().map(VbId)
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn get(&self, id: VbId) -> &VirtualBlock {
+        self.slots[id.0].as_ref().expect("stale VbId")
+    }
+
+    /// Exclusive access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn get_mut(&mut self, id: VbId) -> &mut VirtualBlock {
+        self.slots[id.0].as_mut().expect("stale VbId")
+    }
+
+    /// Marks a block most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn touch(&mut self, id: VbId) {
+        assert!(self.slots[id.0].is_some(), "stale VbId");
+        self.lru.touch(id.0);
+    }
+
+    /// Removes a block and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn remove(&mut self, id: VbId) -> VirtualBlock {
+        let vb = self.slots[id.0].take().expect("stale VbId");
+        self.by_lba.remove(&vb.lba);
+        self.lru.remove(id.0);
+        self.free.push(id.0);
+        vb
+    }
+
+    /// Handles from most recently used to least, up to `limit`.
+    pub fn head_ids(&self, limit: usize) -> Vec<VbId> {
+        // `len` also bounds the walk should the list ever corrupt.
+        let cap = limit.min(self.lru.len());
+        self.lru.iter_front().take(cap).map(VbId).collect()
+    }
+
+    /// Handles from least recently used to most, up to `limit`.
+    pub fn tail_ids(&self, limit: usize) -> Vec<VbId> {
+        let cap = limit.min(self.lru.len());
+        self.lru.iter_tail().take(cap).map(VbId).collect()
+    }
+
+    /// Asserts internal consistency (tests/debugging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LRU links or the address map are corrupted.
+    pub fn validate(&self) {
+        self.lru.validate();
+        assert_eq!(self.lru.len(), self.by_lba.len(), "map/list size mismatch");
+        for (&lba, &idx) in &self.by_lba {
+            assert_eq!(
+                self.slots[idx].as_ref().map(|vb| vb.lba),
+                Some(lba),
+                "map points at wrong slot"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_delta::signature::BlockSignature;
+
+    fn vb(lba: u64) -> VirtualBlock {
+        VirtualBlock::independent(Lba::new(lba), BlockSignature::from_raw([0; 8]))
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = BlockTable::new();
+        let a = t.insert(vb(1));
+        let b = t.insert(vb(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(Lba::new(1)), Some(a));
+        assert_eq!(t.lookup(Lba::new(3)), None);
+        let gone = t.remove(a);
+        assert_eq!(gone.lba, Lba::new(1));
+        assert_eq!(t.lookup(Lba::new(1)), None);
+        assert_eq!(t.len(), 1);
+        let _ = b;
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut t = BlockTable::new();
+        let a = t.insert(vb(1));
+        t.remove(a);
+        let b = t.insert(vb(2));
+        assert_eq!(a.index(), b.index(), "freed slot must be reused");
+    }
+
+    #[test]
+    fn lru_order_tracks_touches() {
+        let mut t = BlockTable::new();
+        let a = t.insert(vb(1));
+        let b = t.insert(vb(2));
+        let c = t.insert(vb(3));
+        t.touch(a);
+        let head: Vec<u64> = t
+            .head_ids(3)
+            .into_iter()
+            .map(|id| t.get(id).lba.raw())
+            .collect();
+        assert_eq!(head, vec![1, 3, 2]);
+        let tail: Vec<u64> = t
+            .tail_ids(2)
+            .into_iter()
+            .map(|id| t.get(id).lba.raw())
+            .collect();
+        assert_eq!(tail, vec![2, 3]);
+        let _ = (b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "already tracked")]
+    fn duplicate_lba_rejected() {
+        let mut t = BlockTable::new();
+        t.insert(vb(1));
+        t.insert(vb(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale VbId")]
+    fn stale_handle_panics() {
+        let mut t = BlockTable::new();
+        let a = t.insert(vb(1));
+        t.remove(a);
+        let _ = t.get(a);
+    }
+}

@@ -1,0 +1,238 @@
+//! Behavioural tests of the I-CASH controller's paper-described mechanics:
+//! similarity scanning, delta absorption, the oversize threshold, log
+//! flushing, stream writes, and offline image preparation.
+
+use icash_core::{Icash, IcashConfig};
+use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::cpu::CpuModel;
+use icash_storage::request::Request;
+use icash_storage::system::{ContentSource, IoCtx, StorageSystem, ZeroSource};
+use icash_storage::time::Ns;
+
+fn small(data_mb: u64) -> Icash {
+    Icash::new(
+        IcashConfig::builder(2 << 20, 1 << 20, data_mb << 20)
+            .scan_interval(100)
+            .scan_window(128)
+            .flush_interval(50)
+            .build(),
+    )
+}
+
+/// A family of similar blocks: common base, tiny per-(lba, version) tweak.
+fn family_block(lba: u64, version: u8) -> BlockBuf {
+    let mut v = vec![0x3Cu8; 4096];
+    v[64] = lba as u8;
+    v[128] = lba.wrapping_mul(7) as u8;
+    v[2000] = version;
+    BlockBuf::from_vec(v)
+}
+
+/// A block with nothing in common with anything else.
+fn unique_block(seed: u64) -> BlockBuf {
+    let mut state = seed | 1;
+    let v = (0..4096)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xff) as u8
+        })
+        .collect();
+    BlockBuf::from_vec(v)
+}
+
+#[test]
+fn similar_writes_become_deltas_and_spare_the_ssd() {
+    let mut sys = small(16);
+    let mut cpu = CpuModel::xeon();
+    let backing = ZeroSource;
+    let mut ctx = IoCtx::new(&backing, &mut cpu);
+
+    let mut t = Ns::ZERO;
+    for round in 0..20u8 {
+        for lba in 0..100u64 {
+            let req = Request::write(Lba::new(lba), t, family_block(lba, round));
+            t = sys.submit(&req, &mut ctx).finished;
+        }
+    }
+    let stats = sys.stats();
+    assert!(
+        stats.delta_write_fraction() > 0.8,
+        "similar content must be absorbed as deltas, got {:.2}",
+        stats.delta_write_fraction()
+    );
+    // Table 6's claim: SSD writes ≪ host writes.
+    assert!(
+        sys.ssd().stats().writes < stats.writes / 4,
+        "ssd writes {} vs host writes {}",
+        sys.ssd().stats().writes,
+        stats.writes
+    );
+}
+
+#[test]
+fn scanner_installs_references_for_popular_content() {
+    let mut sys = small(16);
+    let mut cpu = CpuModel::xeon();
+    let backing = ZeroSource;
+    let mut ctx = IoCtx::new(&backing, &mut cpu);
+
+    let mut t = Ns::ZERO;
+    for i in 0..600u64 {
+        let lba = i % 60;
+        let req = Request::write(Lba::new(lba), t, family_block(lba, (i / 60) as u8));
+        t = sys.submit(&req, &mut ctx).finished;
+    }
+    let stats = sys.stats();
+    assert!(stats.scans >= 5, "scans must have run: {}", stats.scans);
+    assert!(
+        stats.ref_installs >= 1,
+        "popular content must yield references"
+    );
+    let (_, assocs, _) = stats.role_fractions();
+    assert!(assocs > 0.3, "associates should dominate, got {assocs:.2}");
+}
+
+#[test]
+fn oversize_deltas_take_the_direct_ssd_path() {
+    let mut sys = small(16);
+    let mut cpu = CpuModel::xeon();
+    let backing = ZeroSource;
+    let mut ctx = IoCtx::new(&backing, &mut cpu);
+
+    // Establish references with similar content...
+    let mut t = Ns::ZERO;
+    for i in 0..300u64 {
+        let lba = i % 30;
+        let req = Request::write(Lba::new(lba), t, family_block(lba, 1));
+        t = sys.submit(&req, &mut ctx).finished;
+    }
+    // ...then rewrite those same blocks with unrelated content: the delta
+    // exceeds the threshold, triggering §5.3's direct-SSD rule.
+    let before = sys.stats().ssd_direct_writes;
+    for lba in 0..30u64 {
+        let req = Request::write(Lba::new(lba), t, unique_block(lba + 1000));
+        t = sys.submit(&req, &mut ctx).finished;
+    }
+    assert!(
+        sys.stats().ssd_direct_writes > before,
+        "oversize deltas must go directly to the SSD"
+    );
+}
+
+#[test]
+fn flush_packs_many_deltas_into_few_log_blocks() {
+    let mut sys = small(16);
+    let mut cpu = CpuModel::xeon();
+    let backing = ZeroSource;
+    let mut ctx = IoCtx::new(&backing, &mut cpu);
+
+    let mut t = Ns::ZERO;
+    for i in 0..400u64 {
+        let lba = i % 40;
+        let req = Request::write(Lba::new(lba), t, family_block(lba, (i / 40) as u8));
+        t = sys.submit(&req, &mut ctx).finished;
+    }
+    let _ = sys.flush(t, &mut ctx);
+    let stats = sys.stats();
+    assert!(stats.flushes > 0);
+    // Early writes (before any reference exists) log raw 4 KB entries,
+    // one per block; once references form, dozens of deltas pack per
+    // block. Net: far fewer log blocks than host writes.
+    assert!(
+        stats.log_blocks_written < stats.writes / 3,
+        "packing must amortise: {} log blocks for {} writes",
+        stats.log_blocks_written,
+        stats.writes
+    );
+}
+
+#[test]
+fn large_stream_writes_ack_fast_and_stay_off_the_ssd() {
+    let mut sys = small(64);
+    let mut cpu = CpuModel::xeon();
+    let backing = ZeroSource;
+    let mut ctx = IoCtx::new(&backing, &mut cpu);
+
+    let mut t = Ns::ZERO;
+    let mut worst = Ns::ZERO;
+    for i in 0..40u64 {
+        let payload: Vec<BlockBuf> = (0..16).map(|j| family_block(i * 16 + j, 0)).collect();
+        let req = Request::write_span(Lba::new(i * 16), t, payload);
+        let done = sys.submit(&req, &mut ctx).finished;
+        worst = worst.max(done - t);
+        t = done;
+    }
+    // 16-block (64 KB) writes are absorbed by RAM + the sequential log:
+    // no response should wait on a mechanical seek.
+    assert!(worst < Ns::from_ms(2), "stream write took {worst}");
+    assert_eq!(
+        sys.ssd().stats().writes,
+        0,
+        "streams must not program flash"
+    );
+}
+
+#[test]
+fn preload_prepares_references_and_log_deltas_offline() {
+    /// A backing image whose blocks are all similar (a cloned VM image).
+    #[derive(Debug)]
+    struct ImageSource;
+    impl ContentSource for ImageSource {
+        fn initial_content(&self, lba: Lba) -> BlockBuf {
+            family_block(lba.offset(), 0)
+        }
+    }
+
+    let mut sys = small(16);
+    let mut cpu = CpuModel::xeon();
+    let backing = ImageSource;
+    {
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        sys.preload(&[(0, 2_000)], &mut ctx);
+    }
+    let stats = sys.stats();
+    assert!(stats.ref_installs >= 1, "preload must pin references");
+    // Preload is offline: it must not count as host traffic on the SSD.
+    assert_eq!(sys.ssd().stats().writes, 0);
+    assert_eq!(sys.hdd().stats().ops(), 0);
+
+    // A cold read of a preloaded associate is served from SSD + log, not
+    // the home area.
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let req = Request::read(Lba::new(1_500), Ns::ZERO);
+    let completion = sys.submit(&req, &mut ctx);
+    assert_eq!(completion.data[0], family_block(1_500, 0));
+    assert_eq!(
+        sys.stats().home_reads,
+        0,
+        "preloaded image must not fall back to the home area"
+    );
+}
+
+#[test]
+fn read_modify_write_cycles_preserve_every_version() {
+    let mut sys = small(16);
+    let mut cpu = CpuModel::xeon();
+    let backing = ZeroSource;
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+
+    let mut t = Ns::ZERO;
+    for version in 1..=30u8 {
+        for lba in 0..20u64 {
+            let req = Request::write(Lba::new(lba), t, family_block(lba, version));
+            t = sys.submit(&req, &mut ctx).finished;
+        }
+        for lba in 0..20u64 {
+            let req = Request::read(Lba::new(lba), t);
+            let completion = sys.submit(&req, &mut ctx);
+            t = completion.finished;
+            assert_eq!(
+                completion.data[0],
+                family_block(lba, version),
+                "lba {lba} at version {version}"
+            );
+        }
+    }
+}

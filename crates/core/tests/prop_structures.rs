@@ -1,0 +1,163 @@
+//! Model-checked property tests of the controller's data structures: the
+//! intrusive LRU against a reference VecDeque model, the block table's
+//! map/LRU coherence, the segment pool's conservation law, and the delta
+//! log's pack/locate invariants.
+
+use icash_core::delta_log::{DeltaLog, LogEntry};
+use icash_core::lru::LruList;
+use icash_core::segment::SegmentPool;
+use icash_core::table::BlockTable;
+use icash_core::virtual_block::VirtualBlock;
+use icash_delta::codec::DeltaCodec;
+use icash_delta::signature::BlockSignature;
+use icash_storage::block::Lba;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Push(u8),
+    Touch(u8),
+    Remove(u8),
+}
+
+fn lru_ops() -> impl Strategy<Value = Vec<LruOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..24).prop_map(LruOp::Push),
+            (0u8..24).prop_map(LruOp::Touch),
+            (0u8..24).prop_map(LruOp::Remove),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The intrusive LRU behaves exactly like a VecDeque<front = MRU> model.
+    #[test]
+    fn lru_matches_vecdeque_model(ops in lru_ops()) {
+        let mut lru = LruList::new();
+        lru.grow_to(24);
+        let mut model: Vec<u8> = Vec::new(); // front = MRU
+        for op in ops {
+            match op {
+                LruOp::Push(i) => {
+                    if !model.contains(&i) {
+                        lru.push_front(i as usize);
+                        model.insert(0, i);
+                    }
+                }
+                LruOp::Touch(i) => {
+                    if model.contains(&i) {
+                        lru.touch(i as usize);
+                        model.retain(|&x| x != i);
+                        model.insert(0, i);
+                    }
+                }
+                LruOp::Remove(i) => {
+                    if model.contains(&i) {
+                        lru.remove(i as usize);
+                        model.retain(|&x| x != i);
+                    }
+                }
+            }
+            lru.validate();
+            let got: Vec<u8> = lru.iter_front().map(|x| x as u8).collect();
+            prop_assert_eq!(&got, &model);
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    /// Table lookups stay coherent with inserts/removes/touches.
+    #[test]
+    fn table_map_and_lru_stay_coherent(ops in prop::collection::vec((0u64..32, 0u8..3), 1..200)) {
+        let mut table = BlockTable::new();
+        let mut present: std::collections::HashSet<u64> = Default::default();
+        for (lba, kind) in ops {
+            let key = Lba::new(lba);
+            match kind {
+                0 => {
+                    if !present.contains(&lba) {
+                        table.insert(VirtualBlock::independent(
+                            key,
+                            BlockSignature::from_raw([0; 8]),
+                        ));
+                        present.insert(lba);
+                    }
+                }
+                1 => {
+                    if let Some(id) = table.lookup(key) {
+                        table.touch(id);
+                    }
+                }
+                _ => {
+                    if let Some(id) = table.lookup(key) {
+                        table.remove(id);
+                        present.remove(&lba);
+                    }
+                }
+            }
+            table.validate();
+            prop_assert_eq!(table.len(), present.len());
+            for &l in &present {
+                let id = table.lookup(Lba::new(l)).expect("present lba must resolve");
+                prop_assert_eq!(table.get(id).lba, Lba::new(l));
+            }
+        }
+    }
+
+    /// Segment-pool conservation: used never exceeds capacity, frees return
+    /// exactly what allocation charged.
+    #[test]
+    fn segment_pool_conserves_bytes(lens in prop::collection::vec(0usize..5000, 1..64)) {
+        let mut pool = SegmentPool::new(1 << 20, 64);
+        let mut charges = Vec::new();
+        for len in &lens {
+            if pool.fits_delta(*len) {
+                charges.push(pool.alloc_delta(*len));
+            }
+        }
+        let total: usize = charges.iter().sum();
+        prop_assert_eq!(pool.used(), total);
+        prop_assert!(pool.used() <= pool.capacity());
+        for c in charges {
+            pool.free(c);
+        }
+        prop_assert_eq!(pool.used(), 0);
+    }
+
+    /// Every appended log entry is locatable at its reported block, and
+    /// blocks never exceed 4 KB.
+    #[test]
+    fn delta_log_locates_every_entry(tags in prop::collection::vec((0u64..500, 0usize..1500), 1..100)) {
+        let codec = DeltaCodec::default();
+        let reference = vec![0u8; 4096];
+        let mut log = DeltaLog::new(4096);
+        let entries: Vec<LogEntry> = tags
+            .iter()
+            .map(|(lba, changed)| {
+                let mut target = reference.clone();
+                for i in 0..*changed {
+                    target[i % 4096] = (i % 251) as u8 + 1;
+                }
+                LogEntry {
+                    lba: Lba::new(*lba),
+                    reference: Lba::new(lba + 10_000),
+                    delta: codec.encode(&reference, &target),
+                }
+            })
+            .collect();
+        let lbas: Vec<Lba> = entries.iter().map(|e| e.lba).collect();
+        let report = log.append(entries);
+        prop_assert_eq!(report.entry_locs.len(), lbas.len());
+        for (lba, loc) in lbas.iter().zip(report.entry_locs.iter()) {
+            let packed = log.fetch(*loc);
+            prop_assert!(packed.bytes <= 4096);
+            prop_assert!(
+                packed.entries.iter().any(|e| e.lba == *lba),
+                "entry not in its reported block"
+            );
+        }
+    }
+}

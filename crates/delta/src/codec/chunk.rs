@@ -1,0 +1,212 @@
+//! Chunk-match delta codec (the shifted-content path).
+//!
+//! The skip/literal codec fails when content moves *within* a block (an
+//! insertion early in the block misaligns every later byte). This codec is a
+//! small vcdiff-style differ: it indexes the reference block with a rolling
+//! hash over fixed windows, then greedily emits `COPY(offset, len)`
+//! instructions for target spans found in the reference and `ADD(bytes)`
+//! for novel spans — the classic approach of the delta-encoding literature
+//! the paper cites (Ajtai et al.).
+//!
+//! Wire format, repeated until the target is covered:
+//! `0x00 varint(len) bytes…` (ADD) | `0x01 varint(offset) varint(len)` (COPY).
+
+use crate::varint::{self, Reader};
+use std::collections::HashMap;
+
+/// Rolling-hash window width. Matches shorter than this are invisible.
+const WINDOW: usize = 16;
+
+/// Reference positions are indexed at this stride (denser = better matches,
+/// bigger index).
+const STRIDE: usize = 4;
+
+/// Minimum match length worth a COPY instruction (a COPY costs ~4 bytes).
+const MIN_MATCH: usize = 24;
+
+const OP_ADD: u8 = 0x00;
+const OP_COPY: u8 = 0x01;
+
+fn window_hash(bytes: &[u8]) -> u64 {
+    // Polynomial hash over the window; cheap and adequate for a 4 KB index.
+    bytes.iter().fold(0u64, |h, &b| {
+        h.wrapping_mul(1_000_003).wrapping_add(b as u64)
+    })
+}
+
+/// Encodes `target` relative to `reference` (the blocks may differ in
+/// length; the target length is implicit in the instruction stream).
+pub fn encode(reference: &[u8], target: &[u8]) -> Vec<u8> {
+    // Index reference windows.
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+    if reference.len() >= WINDOW {
+        let mut pos = 0;
+        while pos + WINDOW <= reference.len() {
+            index
+                .entry(window_hash(&reference[pos..pos + WINDOW]))
+                .or_default()
+                .push(pos);
+            pos += STRIDE;
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut pending_add_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_add = |out: &mut Vec<u8>, target: &[u8], start: usize, end: usize| {
+        if end > start {
+            out.push(OP_ADD);
+            varint::encode((end - start) as u64, out);
+            out.extend_from_slice(&target[start..end]);
+        }
+    };
+
+    while i + WINDOW <= target.len() {
+        let h = window_hash(&target[i..i + WINDOW]);
+        let mut best: Option<(usize, usize)> = None; // (ref_off, len)
+        if let Some(candidates) = index.get(&h) {
+            // Check a bounded number of candidates to stay O(n).
+            for &cand in candidates.iter().take(8) {
+                if reference[cand..cand + WINDOW] != target[i..i + WINDOW] {
+                    continue; // hash collision
+                }
+                // Extend the verified window forwards.
+                let mut len = WINDOW;
+                while cand + len < reference.len()
+                    && i + len < target.len()
+                    && reference[cand + len] == target[i + len]
+                {
+                    len += 1;
+                }
+                if best.is_none_or(|(_, bl)| len > bl) {
+                    best = Some((cand, len));
+                }
+            }
+        }
+        match best {
+            Some((off, len)) if len >= MIN_MATCH => {
+                flush_add(&mut out, target, pending_add_start, i);
+                out.push(OP_COPY);
+                varint::encode(off as u64, &mut out);
+                varint::encode(len as u64, &mut out);
+                i += len;
+                pending_add_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    flush_add(&mut out, target, pending_add_start, target.len());
+    out
+}
+
+/// Reconstructs the target from `reference` and an encoding produced by
+/// [`encode`].
+///
+/// Returns `None` if the encoding is malformed.
+pub fn decode(reference: &[u8], delta: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut r = Reader::new(delta);
+    while !r.is_empty() {
+        match r.bytes(1)?[0] {
+            OP_ADD => {
+                let len = r.varint()? as usize;
+                out.extend_from_slice(r.bytes(len)?);
+            }
+            OP_COPY => {
+                let off = r.varint()? as usize;
+                let len = r.varint()? as usize;
+                let end = off.checked_add(len)?;
+                if end > reference.len() {
+                    return None;
+                }
+                out.extend_from_slice(&reference[off..end]);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 31 + i / 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn identical_blocks_become_one_copy() {
+        let a = patterned(4096);
+        let d = encode(&a, &a);
+        assert!(d.len() < 8, "got {}", d.len());
+        assert_eq!(decode(&a, &d).unwrap(), a);
+    }
+
+    #[test]
+    fn insertion_shift_compresses() {
+        // Insert 16 bytes at the front and truncate: every byte moves, which
+        // defeats the sparse codec but not this one.
+        let a = patterned(4096);
+        let mut b = vec![0xEEu8; 16];
+        b.extend_from_slice(&a[..4080]);
+        let sparse = crate::codec::sparse::encode(&a, &b);
+        let chunked = encode(&a, &b);
+        assert!(
+            chunked.len() < sparse.len() / 4,
+            "chunk {} vs sparse {}",
+            chunked.len(),
+            sparse.len()
+        );
+        assert_eq!(decode(&a, &chunked).unwrap(), b);
+    }
+
+    #[test]
+    fn novel_content_roundtrips_as_adds() {
+        let a = patterned(4096);
+        let b: Vec<u8> = (0..4096).map(|i| ((i * 7919 + 13) % 251) as u8).collect();
+        let d = encode(&a, &b);
+        assert_eq!(decode(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn rearranged_halves_compress() {
+        let a = patterned(4096);
+        let mut b = Vec::with_capacity(4096);
+        b.extend_from_slice(&a[2048..]);
+        b.extend_from_slice(&a[..2048]);
+        let d = encode(&a, &b);
+        assert!(d.len() < 64, "two COPYs expected, got {} bytes", d.len());
+        assert_eq!(decode(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_target_is_empty_delta() {
+        let a = patterned(4096);
+        let d = encode(&a, &[]);
+        assert!(d.is_empty());
+        assert_eq!(decode(&a, &d).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_reference_still_works() {
+        let a = vec![1u8; 8]; // shorter than one window
+        let b = vec![2u8; 100];
+        let d = encode(&a, &b);
+        assert_eq!(decode(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected() {
+        let a = patterned(4096);
+        assert_eq!(decode(&a, &[0x02]), None); // unknown opcode
+        let mut bad = vec![OP_COPY];
+        varint::encode(4000, &mut bad);
+        varint::encode(1000, &mut bad); // copy past end of reference
+        assert_eq!(decode(&a, &bad), None);
+        let mut trunc = vec![OP_ADD];
+        varint::encode(50, &mut trunc); // promises 50 literal bytes, has none
+        assert_eq!(decode(&a, &trunc), None);
+    }
+}

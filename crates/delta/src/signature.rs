@@ -1,0 +1,136 @@
+//! Content sub-signatures (paper §4.2).
+//!
+//! Each 4 KB block is divided into 8 sub-blocks of 512 bytes. A sub-block's
+//! one-byte sub-signature is the wrapping sum of its bytes at offsets 0, 16,
+//! 32, and 64. The paper chooses these cheap sums *instead of* cryptographic
+//! hashes deliberately: the goal is detecting **similarity**, and a hash
+//! changes completely when a single byte changes, destroying exactly the
+//! signal I-CASH needs. With the sums, similar blocks get equal or close
+//! signatures.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-blocks per 4 KB block.
+pub const SUB_BLOCKS: usize = 8;
+
+/// Bytes per sub-block.
+pub const SUB_BLOCK_SIZE: usize = 512;
+
+/// Byte offsets within a sub-block sampled by the sub-signature.
+pub const SAMPLE_OFFSETS: [usize; 4] = [0, 16, 32, 64];
+
+/// The 8 one-byte sub-signatures of a 4 KB block.
+///
+/// # Examples
+///
+/// ```
+/// use icash_delta::signature::BlockSignature;
+///
+/// let block = vec![1u8; 4096];
+/// let sig = BlockSignature::of(&block);
+/// assert_eq!(sig.sub_signatures(), &[4u8; 8]); // four sampled 1-bytes each
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockSignature([u8; SUB_BLOCKS]);
+
+impl BlockSignature {
+    /// Computes the signature of a 4 KB block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not exactly 4096 bytes.
+    pub fn of(block: &[u8]) -> Self {
+        assert_eq!(
+            block.len(),
+            SUB_BLOCKS * SUB_BLOCK_SIZE,
+            "signatures are defined over 4096-byte blocks"
+        );
+        let mut sig = [0u8; SUB_BLOCKS];
+        for (i, s) in sig.iter_mut().enumerate() {
+            let sub = &block[i * SUB_BLOCK_SIZE..(i + 1) * SUB_BLOCK_SIZE];
+            *s = SAMPLE_OFFSETS
+                .iter()
+                .fold(0u8, |acc, &off| acc.wrapping_add(sub[off]));
+        }
+        BlockSignature(sig)
+    }
+
+    /// Wraps raw sub-signatures (tests and worked examples).
+    pub const fn from_raw(raw: [u8; SUB_BLOCKS]) -> Self {
+        BlockSignature(raw)
+    }
+
+    /// The 8 sub-signatures in sub-block order.
+    pub fn sub_signatures(&self) -> &[u8; SUB_BLOCKS] {
+        &self.0
+    }
+
+    /// Number of sub-signatures that differ from `other` (0 ⇒ likely very
+    /// similar blocks, 8 ⇒ nothing in common). Used as a cheap similarity
+    /// pre-filter before running the delta codec.
+    pub fn distance(&self, other: &BlockSignature) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_with(f: impl Fn(usize) -> u8) -> Vec<u8> {
+        (0..SUB_BLOCKS * SUB_BLOCK_SIZE).map(f).collect()
+    }
+
+    #[test]
+    fn sampled_offsets_only() {
+        // Changing a byte at a non-sampled offset leaves the signature alone.
+        let a = block_with(|i| (i % 251) as u8);
+        let mut b = a.clone();
+        b[5] = b[5].wrapping_add(17); // offset 5 is not sampled
+        assert_eq!(BlockSignature::of(&a), BlockSignature::of(&b));
+    }
+
+    #[test]
+    fn sampled_byte_changes_one_sub_signature() {
+        let a = block_with(|i| (i % 13) as u8);
+        let mut b = a.clone();
+        b[2 * SUB_BLOCK_SIZE + 32] = b[2 * SUB_BLOCK_SIZE + 32].wrapping_add(1);
+        let (sa, sb) = (BlockSignature::of(&a), BlockSignature::of(&b));
+        assert_eq!(sa.distance(&sb), 1);
+        assert_eq!(
+            sa.sub_signatures()[..2],
+            sb.sub_signatures()[..2],
+            "untouched sub-blocks keep their signatures"
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = BlockSignature::from_raw([0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = BlockSignature::from_raw([0, 1, 2, 3, 9, 9, 9, 9]);
+        assert_eq!(a.distance(&b), 4);
+        assert_eq!(b.distance(&a), 4);
+        assert_eq!(a.distance(&a), 0);
+        let c = BlockSignature::from_raw([9; 8]);
+        let far = BlockSignature::from_raw([0; 8]);
+        assert_eq!(c.distance(&far), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "4096")]
+    fn wrong_size_rejected() {
+        let _ = BlockSignature::of(&[0u8; 100]);
+    }
+
+    #[test]
+    fn identical_content_identical_signature() {
+        let a = block_with(|i| (i * 7 % 256) as u8);
+        assert_eq!(BlockSignature::of(&a), BlockSignature::of(&a.clone()));
+    }
+}

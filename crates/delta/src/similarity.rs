@@ -1,0 +1,130 @@
+//! Signature-based similarity pre-filtering.
+//!
+//! Running the delta codec against every candidate reference would defeat
+//! the point of cheap signatures. This module ranks candidates by signature
+//! distance first, so the codec only runs against the most promising
+//! reference (paper §4.2: "our objective is to find the similarity rather
+//! than identical blocks").
+
+use crate::signature::{BlockSignature, SUB_BLOCKS};
+
+/// Default maximum signature distance considered "similar": blocks whose
+/// signatures differ in more than half their sub-blocks are not worth a
+/// codec attempt.
+pub const DEFAULT_MAX_DISTANCE: usize = SUB_BLOCKS / 2;
+
+/// A similarity pre-filter with a configurable distance threshold.
+///
+/// # Examples
+///
+/// ```
+/// use icash_delta::signature::BlockSignature;
+/// use icash_delta::similarity::SimilarityFilter;
+///
+/// let filter = SimilarityFilter::default();
+/// let a = BlockSignature::from_raw([1, 2, 3, 4, 5, 6, 7, 8]);
+/// let b = BlockSignature::from_raw([1, 2, 3, 4, 5, 6, 7, 9]); // distance 1
+/// let c = BlockSignature::from_raw([9; 8]);                   // distance 8
+/// assert!(filter.is_similar(&a, &b));
+/// assert!(!filter.is_similar(&a, &c));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimilarityFilter {
+    max_distance: usize,
+}
+
+impl SimilarityFilter {
+    /// Creates a filter accepting signature distances up to `max_distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_distance` exceeds the number of sub-blocks.
+    pub fn new(max_distance: usize) -> Self {
+        assert!(
+            max_distance <= SUB_BLOCKS,
+            "distance cannot exceed {SUB_BLOCKS}"
+        );
+        SimilarityFilter { max_distance }
+    }
+
+    /// The accepted distance threshold.
+    pub fn max_distance(&self) -> usize {
+        self.max_distance
+    }
+
+    /// Whether two signatures are close enough to try the delta codec.
+    pub fn is_similar(&self, a: &BlockSignature, b: &BlockSignature) -> bool {
+        a.distance(b) <= self.max_distance
+    }
+
+    /// The index of the candidate signature closest to `target` that passes
+    /// the filter, preferring earlier candidates on ties.
+    pub fn best_candidate<'a, I>(&self, target: &BlockSignature, candidates: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = &'a BlockSignature>,
+    {
+        let mut best: Option<(usize, usize)> = None; // (index, distance)
+        for (i, cand) in candidates.into_iter().enumerate() {
+            let d = target.distance(cand);
+            if d > self.max_distance {
+                continue;
+            }
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+                if d == 0 {
+                    break; // cannot do better
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl Default for SimilarityFilter {
+    fn default() -> Self {
+        SimilarityFilter::new(DEFAULT_MAX_DISTANCE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_candidate_prefers_closest() {
+        let filter = SimilarityFilter::default();
+        let target = BlockSignature::from_raw([5; 8]);
+        let candidates = [
+            BlockSignature::from_raw([9; 8]),                   // distance 8
+            BlockSignature::from_raw([5, 5, 5, 5, 5, 5, 5, 6]), // distance 1
+            BlockSignature::from_raw([5; 8]),                   // distance 0
+        ];
+        assert_eq!(filter.best_candidate(&target, candidates.iter()), Some(2));
+    }
+
+    #[test]
+    fn no_candidate_within_threshold() {
+        let filter = SimilarityFilter::new(1);
+        let target = BlockSignature::from_raw([0; 8]);
+        let far = [BlockSignature::from_raw([1; 8])]; // distance 8
+        assert_eq!(filter.best_candidate(&target, far.iter()), None);
+        assert_eq!(filter.best_candidate(&target, [].iter()), None);
+    }
+
+    #[test]
+    fn ties_go_to_the_first_candidate() {
+        let filter = SimilarityFilter::default();
+        let target = BlockSignature::from_raw([0; 8]);
+        let tied = [
+            BlockSignature::from_raw([0, 0, 0, 0, 0, 0, 0, 1]),
+            BlockSignature::from_raw([1, 0, 0, 0, 0, 0, 0, 0]),
+        ];
+        assert_eq!(filter.best_candidate(&target, tied.iter()), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn oversized_threshold_panics() {
+        let _ = SimilarityFilter::new(9);
+    }
+}

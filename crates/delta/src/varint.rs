@@ -1,0 +1,131 @@
+//! LEB128 variable-length integers for the delta wire formats.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+pub fn encode(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes an unsigned LEB128 varint from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed, or `None` if the
+/// input is truncated or overlong (more than 10 bytes).
+pub fn decode(input: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= 10 {
+            return None;
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// A cursor for decoding a sequence of varints and raw byte runs.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Reads one varint.
+    pub fn varint(&mut self) -> Option<u64> {
+        let (v, used) = decode(&self.data[self.pos..])?;
+        self.pos += used;
+        Some(v)
+    }
+
+    /// Reads a raw run of `len` bytes.
+    pub fn bytes(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let run = &self.data[self.pos..end];
+        self.pos = end;
+        Some(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            let (back, used) = decode(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        encode(100, &mut buf);
+        assert_eq!(buf, vec![100]);
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        assert_eq!(decode(&[]), None);
+        assert_eq!(decode(&[0x80]), None);
+        assert_eq!(decode(&[0x80, 0x80]), None);
+    }
+
+    #[test]
+    fn overlong_input_is_none() {
+        assert_eq!(decode(&[0x80; 11]), None);
+    }
+
+    #[test]
+    fn reader_walks_mixed_content() {
+        let mut buf = Vec::new();
+        encode(3, &mut buf);
+        buf.extend_from_slice(b"abc");
+        encode(300, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint(), Some(3));
+        assert_eq!(r.bytes(3), Some(&b"abc"[..]));
+        assert_eq!(r.varint(), Some(300));
+        assert!(r.is_empty());
+        assert_eq!(r.varint(), None);
+        assert_eq!(r.bytes(1), None);
+    }
+}

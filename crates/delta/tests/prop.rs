@@ -1,0 +1,114 @@
+//! Property-based tests for the delta machinery: whatever the content, the
+//! codec must reconstruct targets exactly, signatures must respond to
+//! mutations locally, and varints must roundtrip.
+
+use icash_delta::codec::{chunk, sparse, DeltaCodec};
+use icash_delta::signature::{BlockSignature, SUB_BLOCK_SIZE};
+use icash_delta::varint;
+use proptest::prelude::*;
+
+/// A 4096-byte block built from a compact description (keeps shrinking fast).
+fn block_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (any::<u64>(), 0u8..4).prop_map(|(seed, kind)| {
+        let mut state = seed | 1;
+        (0..4096usize)
+            .map(|i| match kind {
+                0 => 0u8,                    // constant
+                1 => (i % 256) as u8,        // ramp
+                2 => ((i / 64) % 256) as u8, // plateaus
+                _ => {
+                    // xorshift noise
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state & 0xff) as u8
+                }
+            })
+            .collect()
+    })
+}
+
+/// A mutation plan: positions and replacement bytes applied to a base block.
+fn mutations() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    prop::collection::vec((0usize..4096, any::<u8>()), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full codec reconstructs any mutated target exactly.
+    #[test]
+    fn codec_roundtrip_mutations(base in block_strategy(), muts in mutations()) {
+        let mut target = base.clone();
+        for (pos, byte) in muts {
+            target[pos] = byte;
+        }
+        let codec = DeltaCodec::default();
+        let delta = codec.encode(&base, &target);
+        prop_assert_eq!(codec.decode(&base, &delta).unwrap(), target);
+    }
+
+    /// The codec reconstructs even unrelated reference/target pairs.
+    #[test]
+    fn codec_roundtrip_unrelated(a in block_strategy(), b in block_strategy()) {
+        let codec = DeltaCodec::default();
+        let delta = codec.encode(&a, &b);
+        prop_assert_eq!(codec.decode(&a, &delta).unwrap(), b);
+        // A delta never costs more than a raw block (plus its tag byte).
+        prop_assert!(delta.len() <= 4096);
+    }
+
+    /// Sparse codec: standalone roundtrip.
+    #[test]
+    fn sparse_roundtrip(a in block_strategy(), muts in mutations()) {
+        let mut b = a.clone();
+        for (pos, byte) in muts {
+            b[pos] = byte;
+        }
+        let d = sparse::encode(&a, &b);
+        prop_assert_eq!(sparse::decode(&a, &d).unwrap(), b);
+    }
+
+    /// Chunk codec: standalone roundtrip including shifts.
+    #[test]
+    fn chunk_roundtrip_with_shift(a in block_strategy(), shift in 0usize..128) {
+        let mut b = vec![0x5Au8; shift];
+        b.extend_from_slice(&a[..4096 - shift]);
+        let d = chunk::encode(&a, &b);
+        prop_assert_eq!(chunk::decode(&a, &d).unwrap(), b);
+    }
+
+    /// Fewer mutated bytes never produce a *larger* class of signature
+    /// change: mutating k sub-blocks changes at most k sub-signatures.
+    #[test]
+    fn signature_changes_are_local(base in block_strategy(), muts in mutations()) {
+        let mut target = base.clone();
+        let mut touched = std::collections::HashSet::new();
+        for (pos, byte) in muts {
+            target[pos] = byte;
+            touched.insert(pos / SUB_BLOCK_SIZE);
+        }
+        let d = BlockSignature::of(&base).distance(&BlockSignature::of(&target));
+        prop_assert!(d <= touched.len(),
+            "distance {} exceeds {} touched sub-blocks", d, touched.len());
+    }
+
+    /// Varint roundtrip over the full u64 range.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::encode(v, &mut buf);
+        let (back, used) = varint::decode(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+        prop_assert!(buf.len() <= 10);
+    }
+
+    /// Decoding arbitrary garbage never panics (it may error).
+    #[test]
+    fn decode_never_panics_on_garbage(reference in block_strategy(),
+                                      garbage in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = sparse::decode(&reference, &garbage);
+        let _ = chunk::decode(&reference, &garbage);
+    }
+}

@@ -1,0 +1,167 @@
+//! Paper-style figure and table rendering.
+//!
+//! The bench binaries print each exhibit the way the paper lays it out:
+//! horizontal bars per system for the figures, aligned columns for the
+//! tables, plus normalized/speedup views for Figures 15–16.
+
+use crate::summary::RunSummary;
+
+/// Renders a horizontal bar chart, one row per `(label, value)`.
+///
+/// `higher_is_better` controls the annotation only; bars always scale to
+/// the maximum value.
+///
+/// # Examples
+///
+/// ```
+/// use icash_metrics::report::bar_chart;
+///
+/// let chart = bar_chart(
+///     "Figure 6(a). SysBench transaction rate",
+///     "tx/s",
+///     &[("FusionIO".into(), 180.0), ("I-CASH".into(), 190.0)],
+///     true,
+/// );
+/// assert!(chart.contains("I-CASH"));
+/// assert!(chart.contains("tx/s"));
+/// ```
+pub fn bar_chart(
+    title: &str,
+    unit: &str,
+    rows: &[(String, f64)],
+    higher_is_better: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}  [{unit}; {}]\n",
+        if higher_is_better {
+            "higher is better"
+        } else {
+            "lower is better"
+        }
+    ));
+    let max = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(8).max(8);
+    for (label, value) in rows {
+        let width = ((value / max) * 40.0).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} |{bar:<40}| {value:>10.2}\n",
+            bar = "#".repeat(width.min(40)),
+        ));
+    }
+    out
+}
+
+/// Renders an aligned table: `headers` then one row per entry.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("{title}\n  ");
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        out.push_str(&format!("{h:<w$}  "));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("  ");
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            out.push_str(&format!("{cell:<w$}  "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Values normalized against the entry labelled `baseline` (Figures 15–16
+/// normalize against FusionIO).
+///
+/// # Panics
+///
+/// Panics if `baseline` is absent or zero-valued.
+pub fn normalize(rows: &[(String, f64)], baseline: &str) -> Vec<(String, f64)> {
+    let base = rows
+        .iter()
+        .find(|(l, _)| l == baseline)
+        .unwrap_or_else(|| panic!("baseline {baseline} not in rows"))
+        .1;
+    assert!(base != 0.0, "baseline value must be nonzero");
+    rows.iter().map(|(l, v)| (l.clone(), v / base)).collect()
+}
+
+/// The speedup of `candidate` over `reference` for a higher-is-better
+/// metric.
+pub fn speedup(candidate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        f64::INFINITY
+    } else {
+        candidate / reference
+    }
+}
+
+/// One row of the standard five-system comparison, extracted from run
+/// summaries by an accessor (e.g. `RunSummary::transactions_per_sec`).
+pub fn metric_rows(
+    summaries: &[RunSummary],
+    metric: impl Fn(&RunSummary) -> f64,
+) -> Vec<(String, f64)> {
+    summaries
+        .iter()
+        .map(|s| (s.system.clone(), metric(s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let chart = bar_chart("t", "x", &[("a".into(), 10.0), ("b".into(), 20.0)], true);
+        let lines: Vec<&str> = chart.lines().collect();
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(lines[2]), 40, "max value fills the bar");
+        assert_eq!(hashes(lines[1]), 20);
+    }
+
+    #[test]
+    fn normalize_against_baseline() {
+        let rows = vec![
+            ("FusionIO".to_string(), 50.0),
+            ("I-CASH".to_string(), 140.0),
+        ];
+        let norm = normalize(&rows, "FusionIO");
+        assert!((norm[0].1 - 1.0).abs() < 1e-12);
+        assert!((norm[1].1 - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in rows")]
+    fn missing_baseline_panics() {
+        normalize(&[("a".to_string(), 1.0)], "b");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "Table X",
+            &["System", "Writes"],
+            &[
+                vec!["I-CASH".into(), "232452".into()],
+                vec!["FusionIO".into(), "893700".into()],
+            ],
+        );
+        assert!(t.contains("System"));
+        assert!(t.contains("232452"));
+    }
+
+    #[test]
+    fn speedup_handles_zero() {
+        assert_eq!(speedup(2.0, 1.0), 2.0);
+        assert!(speedup(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,161 @@
+//! End-of-run summaries: everything a paper figure or table reads.
+
+use crate::histogram::LatencyHistogram;
+use icash_storage::system::SystemReport;
+use icash_storage::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// The complete result of running one workload against one storage system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Architecture name ("I-CASH", "FusionIO", ...).
+    pub system: String,
+    /// Workload name ("SysBench", "TPC-C", ...).
+    pub workload: String,
+    /// Host I/O requests completed.
+    pub ops: u64,
+    /// Application-level transactions completed.
+    pub transactions: u64,
+    /// Virtual wall time of the run.
+    pub elapsed: Ns,
+    /// Operations completed after the warmup phase.
+    pub steady_ops: u64,
+    /// Virtual time spent in the post-warmup (steady-state) phase.
+    pub steady_elapsed: Ns,
+    /// Read-request latencies.
+    pub read_latency: LatencyHistogram,
+    /// Write-request latencies.
+    pub write_latency: LatencyHistogram,
+    /// Whole-run CPU utilization (application + storage layer), 0..=1.
+    pub cpu_utilization: f64,
+    /// CPU utilization attributable to the storage layer alone.
+    pub storage_cpu_utilization: f64,
+    /// Host-level writes that reached the SSD (Table 6).
+    pub ssd_writes: u64,
+    /// Total energy (devices + CPU) in Watt-hours (Table 5).
+    pub energy_wh: f64,
+    /// The storage system's own report (device stats, GC, wear).
+    pub report: SystemReport,
+}
+
+impl RunSummary {
+    /// Steady-state transactions per second (Figures 6a, 10a): post-warmup
+    /// ops over post-warmup time, the way the paper's 30-minute runs report
+    /// their rates. Falls back to the whole run when no warmup was set.
+    pub fn transactions_per_sec(&self) -> f64 {
+        let (ops, secs) = self.steady_rate_parts();
+        if secs == 0.0 {
+            0.0
+        } else {
+            ops / self.transactions_denominator() / secs
+        }
+    }
+
+    /// Steady-state requests per second (Figure 14).
+    pub fn ops_per_sec(&self) -> f64 {
+        let (ops, secs) = self.steady_rate_parts();
+        if secs == 0.0 {
+            0.0
+        } else {
+            ops / secs
+        }
+    }
+
+    fn steady_rate_parts(&self) -> (f64, f64) {
+        if self.steady_ops > 0 && self.steady_elapsed > Ns::ZERO {
+            (self.steady_ops as f64, self.steady_elapsed.as_secs_f64())
+        } else {
+            (self.ops as f64, self.elapsed.as_secs_f64())
+        }
+    }
+
+    fn transactions_denominator(&self) -> f64 {
+        if self.transactions == 0 {
+            1.0
+        } else {
+            self.ops as f64 / self.transactions as f64
+        }
+    }
+
+    /// Mean read response time in microseconds (Figures 7, 9).
+    pub fn read_mean_us(&self) -> f64 {
+        self.read_latency.mean().as_us_f64()
+    }
+
+    /// Mean write response time in microseconds (Figures 7, 9).
+    pub fn write_mean_us(&self) -> f64 {
+        self.write_latency.mean().as_us_f64()
+    }
+
+    /// Mean response time over all requests in milliseconds (Figs 11, 13).
+    pub fn mean_response_ms(&self) -> f64 {
+        let reads = self.read_latency.count();
+        let writes = self.write_latency.count();
+        let total = reads + writes;
+        if total == 0 {
+            return 0.0;
+        }
+        let sum = self.read_latency.mean().as_ms_f64() * reads as f64
+            + self.write_latency.mean().as_ms_f64() * writes as f64;
+        sum / total as f64
+    }
+
+    /// A LoadSim-style score: scaled mean response time, lower is better
+    /// (Figure 12).
+    pub fn loadsim_score(&self) -> f64 {
+        self.mean_response_ms() * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RunSummary {
+        let mut read = LatencyHistogram::new();
+        read.record(Ns::from_us(10));
+        read.record(Ns::from_us(30));
+        let mut write = LatencyHistogram::new();
+        write.record(Ns::from_ms(1));
+        RunSummary {
+            system: "test".into(),
+            workload: "wl".into(),
+            ops: 3,
+            transactions: 30,
+            elapsed: Ns::from_secs(10),
+            steady_ops: 0,
+            steady_elapsed: Ns::ZERO,
+            read_latency: read,
+            write_latency: write,
+            cpu_utilization: 0.5,
+            storage_cpu_utilization: 0.1,
+            ssd_writes: 7,
+            energy_wh: 0.2,
+            report: SystemReport::default(),
+        }
+    }
+
+    #[test]
+    fn rates_are_per_virtual_second() {
+        let s = summary();
+        assert!((s.transactions_per_sec() - 3.0).abs() < 1e-12);
+        assert!((s.ops_per_sec() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_response_weights_by_count() {
+        let s = summary();
+        // (0.02 ms × 2 + 1 ms × 1) / 3
+        assert!((s.mean_response_ms() - (0.02 * 2.0 + 1.0) / 3.0).abs() < 1e-9);
+        assert!((s.read_mean_us() - 20.0).abs() < 1e-9);
+        assert!((s.write_mean_us() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero_rate() {
+        let mut s = summary();
+        s.elapsed = Ns::ZERO;
+        assert_eq!(s.transactions_per_sec(), 0.0);
+        assert_eq!(s.ops_per_sec(), 0.0);
+    }
+}

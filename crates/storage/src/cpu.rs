@@ -1,0 +1,245 @@
+//! CPU-time model.
+//!
+//! The substitute for the host Xeon that ran the paper's software prototype.
+//! I-CASH deliberately trades computation (signatures, delta encode/decode)
+//! for mechanical I/O, so the evaluation must account for that computation:
+//! Figures 6b/8b/10b show CPU utilization, and the paper reports ~10 µs to
+//! decompress a delta and ~15 µs to derive one.
+//!
+//! The model charges a calibrated virtual-time cost per operation class and
+//! accumulates busy time; utilization is busy time over elapsed virtual time.
+
+use crate::energy::{EnergyMeter, MicroJoules};
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Classes of CPU work charged by storage systems and the benchmark driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuOp {
+    /// Computing the 8 one-byte sub-signatures of a 4 KB block (paper §4.2's
+    /// cheap sums; far cheaper than full hashing).
+    Signature,
+    /// Deriving a delta between a block and its reference (~15 µs / 4 KB).
+    DeltaEncode,
+    /// Combining a delta with its reference block (~10 µs / 4 KB).
+    DeltaDecode,
+    /// Full-block content hash (dedup baseline's identity check).
+    ContentHash,
+    /// Copying one 4 KB block through RAM (buffer-cache hit or staging).
+    Memcpy,
+    /// Heatmap update and reference-selection bookkeeping per scanned block.
+    Scan,
+}
+
+/// Per-operation CPU costs in virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuCosts {
+    /// Cost of [`CpuOp::Signature`].
+    pub signature: Ns,
+    /// Cost of [`CpuOp::DeltaEncode`].
+    pub delta_encode: Ns,
+    /// Cost of [`CpuOp::DeltaDecode`].
+    pub delta_decode: Ns,
+    /// Cost of [`CpuOp::ContentHash`].
+    pub content_hash: Ns,
+    /// Cost of [`CpuOp::Memcpy`].
+    pub memcpy: Ns,
+    /// Cost of [`CpuOp::Scan`].
+    pub scan: Ns,
+}
+
+impl Default for CpuCosts {
+    /// Costs calibrated to the paper's reported prototype numbers on a
+    /// 1.8 GHz Xeon.
+    fn default() -> Self {
+        CpuCosts {
+            signature: Ns::from_ns(800),
+            delta_encode: Ns::from_us(15),
+            delta_decode: Ns::from_us(10),
+            content_hash: Ns::from_us(5),
+            memcpy: Ns::from_us(1),
+            scan: Ns::from_ns(500),
+        }
+    }
+}
+
+impl CpuCosts {
+    /// The cost of one operation of class `op`.
+    pub fn of(&self, op: CpuOp) -> Ns {
+        match op {
+            CpuOp::Signature => self.signature,
+            CpuOp::DeltaEncode => self.delta_encode,
+            CpuOp::DeltaDecode => self.delta_decode,
+            CpuOp::ContentHash => self.content_hash,
+            CpuOp::Memcpy => self.memcpy,
+            CpuOp::Scan => self.scan,
+        }
+    }
+}
+
+/// Accumulating CPU-time account shared by the driver and storage system.
+///
+/// # Examples
+///
+/// ```
+/// use icash_storage::cpu::{CpuModel, CpuOp};
+/// use icash_storage::time::Ns;
+///
+/// let mut cpu = CpuModel::xeon();
+/// let cost = cpu.charge(CpuOp::DeltaDecode);
+/// assert_eq!(cost, Ns::from_us(10));
+/// assert_eq!(cpu.busy(), cost);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    costs: CpuCosts,
+    cores: u32,
+    busy: Ns,
+    storage_busy: Ns,
+    ops: u64,
+    energy: EnergyMeter,
+}
+
+impl CpuModel {
+    /// Creates a model with the given costs, core count, and power draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(costs: CpuCosts, cores: u32, idle_watts: f64, active_watts: f64) -> Self {
+        assert!(cores > 0, "a CPU needs at least one core");
+        CpuModel {
+            costs,
+            cores,
+            busy: Ns::ZERO,
+            storage_busy: Ns::ZERO,
+            ops: 0,
+            energy: EnergyMeter::new(idle_watts, active_watts),
+        }
+    }
+
+    /// A model of the paper's Xeon host: default calibrated costs, 8
+    /// hardware threads, ~40 W idle, +45 W at full utilization.
+    pub fn xeon() -> Self {
+        Self::new(CpuCosts::default(), 8, 40.0, 45.0)
+    }
+
+    /// Hardware threads available for overlap.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// The cost table.
+    pub fn costs(&self) -> &CpuCosts {
+        &self.costs
+    }
+
+    /// Charges one storage-layer operation; returns its cost so callers can
+    /// add it to a response path when the work is synchronous.
+    pub fn charge(&mut self, op: CpuOp) -> Ns {
+        let cost = self.costs.of(op);
+        self.busy += cost;
+        self.storage_busy += cost;
+        self.ops += 1;
+        cost
+    }
+
+    /// Charges application-level compute (the benchmark's own work per
+    /// transaction), which counts toward utilization but not storage
+    /// overhead.
+    pub fn charge_app(&mut self, cost: Ns) {
+        self.busy += cost;
+    }
+
+    /// Total CPU busy time (storage + application).
+    pub fn busy(&self) -> Ns {
+        self.busy
+    }
+
+    /// Busy time attributable to the storage layer only.
+    pub fn storage_busy(&self) -> Ns {
+        self.storage_busy
+    }
+
+    /// Storage-layer operations charged.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whole-machine utilization over `elapsed`: busy time over elapsed
+    /// core-time, clamped to 1.0. (Client think time and storage compute
+    /// run on different hardware threads, so the denominator is
+    /// `elapsed × cores`.)
+    pub fn utilization(&self, elapsed: Ns) -> f64 {
+        if elapsed == Ns::ZERO {
+            0.0
+        } else {
+            (self.busy.as_ns() as f64 / (elapsed.as_ns() as f64 * self.cores as f64)).min(1.0)
+        }
+    }
+
+    /// Energy drawn over `elapsed` of virtual time.
+    pub fn energy(&self, elapsed: Ns) -> MicroJoules {
+        self.energy.total(elapsed, self.busy)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::xeon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_class() {
+        let mut cpu = CpuModel::xeon();
+        let e = cpu.charge(CpuOp::DeltaEncode);
+        let d = cpu.charge(CpuOp::DeltaDecode);
+        assert_eq!(e, Ns::from_us(15));
+        assert_eq!(d, Ns::from_us(10));
+        assert_eq!(cpu.busy(), Ns::from_us(25));
+        assert_eq!(cpu.storage_busy(), Ns::from_us(25));
+        assert_eq!(cpu.ops(), 2);
+    }
+
+    #[test]
+    fn app_charges_do_not_count_as_storage() {
+        let mut cpu = CpuModel::xeon();
+        cpu.charge_app(Ns::from_ms(1));
+        assert_eq!(cpu.busy(), Ns::from_ms(1));
+        assert_eq!(cpu.storage_busy(), Ns::ZERO);
+        assert_eq!(cpu.ops(), 0);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_core_time() {
+        let mut cpu = CpuModel::new(CpuCosts::default(), 2, 40.0, 45.0);
+        cpu.charge_app(Ns::from_ms(5));
+        // 5 ms busy over 10 ms × 2 cores = 25 %.
+        assert!((cpu.utilization(Ns::from_ms(10)) - 0.25).abs() < 1e-9);
+        assert_eq!(cpu.utilization(Ns::ZERO), 0.0);
+        assert!(cpu.utilization(Ns::from_ms(1)) <= 1.0);
+        assert_eq!(CpuModel::xeon().cores(), 8);
+    }
+
+    #[test]
+    fn every_op_class_has_a_cost() {
+        let costs = CpuCosts::default();
+        for op in [
+            CpuOp::Signature,
+            CpuOp::DeltaEncode,
+            CpuOp::DeltaDecode,
+            CpuOp::ContentHash,
+            CpuOp::Memcpy,
+            CpuOp::Scan,
+        ] {
+            assert!(costs.of(op) > Ns::ZERO, "{op:?}");
+        }
+        // The paper's key calibration: cheap signatures vs expensive hashes.
+        assert!(costs.signature < costs.content_hash);
+    }
+}

@@ -1,0 +1,153 @@
+//! Energy accounting (Table 5's power-meter substitute).
+//!
+//! The paper measured whole-server Watt-hours with an inline power meter.
+//! Here each device accumulates per-operation energy plus an idle-power
+//! baseline integrated over virtual time, and the run summary adds the CPU
+//! model's active energy — preserving the component structure the paper's
+//! energy ratios come from (RAID0's four 15 W spindles vs a single HDD + SSD,
+//! and the 9.5 µJ / 76.1 µJ per-4KB SSD read/write energies it cites).
+
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Microjoules of consumed energy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct MicroJoules(f64);
+
+impl MicroJoules {
+    /// Zero energy.
+    pub const ZERO: MicroJoules = MicroJoules(0.0);
+
+    /// Creates a value from microjoules.
+    pub fn new(uj: f64) -> Self {
+        MicroJoules(uj.max(0.0))
+    }
+
+    /// Raw microjoule count.
+    pub fn as_uj(self) -> f64 {
+        self.0
+    }
+
+    /// This energy expressed in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// This energy expressed in Watt-hours (the unit of Table 5).
+    pub fn as_watt_hours(self) -> f64 {
+        self.as_joules() / 3600.0
+    }
+
+    /// Adds another quantity of energy.
+    pub fn add(&mut self, other: MicroJoules) {
+        self.0 += other.0;
+    }
+}
+
+impl core::ops::Add for MicroJoules {
+    type Output = MicroJoules;
+    fn add(self, rhs: MicroJoules) -> MicroJoules {
+        MicroJoules(self.0 + rhs.0)
+    }
+}
+
+impl core::iter::Sum for MicroJoules {
+    fn sum<I: Iterator<Item = MicroJoules>>(iter: I) -> MicroJoules {
+        iter.fold(MicroJoules::ZERO, |a, b| a + b)
+    }
+}
+
+/// Energy meter for one component: per-op energy plus idle power over time.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    /// Idle (baseline) power in Watts, integrated over elapsed virtual time.
+    pub idle_watts: f64,
+    /// Extra power in Watts drawn while the component is actively busy.
+    pub active_watts: f64,
+    op_energy: MicroJoules,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given idle and active power draws.
+    pub fn new(idle_watts: f64, active_watts: f64) -> Self {
+        EnergyMeter {
+            idle_watts,
+            active_watts,
+            op_energy: MicroJoules::ZERO,
+        }
+    }
+
+    /// Charges a fixed per-operation energy (e.g. one flash page program).
+    pub fn charge_op(&mut self, energy: MicroJoules) {
+        self.op_energy.add(energy);
+    }
+
+    /// Per-operation energy charged so far.
+    pub fn op_energy(&self) -> MicroJoules {
+        self.op_energy
+    }
+
+    /// Total energy over a run: idle draw for `elapsed`, active draw for
+    /// `busy`, plus all per-op charges.
+    ///
+    /// Watts × seconds = Joules; 1 J = 1e6 µJ.
+    pub fn total(&self, elapsed: Ns, busy: Ns) -> MicroJoules {
+        let idle = self.idle_watts * elapsed.as_secs_f64() * 1e6;
+        let active = self.active_watts * busy.min(elapsed).as_secs_f64() * 1e6;
+        MicroJoules::new(idle + active) + self.op_energy
+    }
+}
+
+/// Per-4 KB-operation SSD energies from the paper's §5.2 citation.
+pub mod ssd_op_energy {
+    use super::MicroJoules;
+
+    /// Energy of one 4 KB flash read: 9.5 µJ.
+    pub fn read_4k() -> MicroJoules {
+        MicroJoules::new(9.5)
+    }
+
+    /// Energy of one 4 KB flash write: 76.1 µJ.
+    pub fn write_4k() -> MicroJoules {
+        MicroJoules::new(76.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let e = MicroJoules::new(3.6e9); // 3600 J = 1 Wh
+        assert!((e.as_joules() - 3600.0).abs() < 1e-9);
+        assert!((e.as_watt_hours() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_energy_clamps() {
+        assert_eq!(MicroJoules::new(-5.0).as_uj(), 0.0);
+    }
+
+    #[test]
+    fn meter_integrates_idle_and_active() {
+        let mut m = EnergyMeter::new(10.0, 5.0);
+        m.charge_op(MicroJoules::new(100.0));
+        // 2 s elapsed, 1 s busy: 20 J idle + 5 J active + 100 µJ.
+        let total = m.total(Ns::from_secs(2), Ns::from_secs(1));
+        assert!((total.as_joules() - 25.0001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_clamped_to_elapsed() {
+        let m = EnergyMeter::new(0.0, 1.0);
+        let total = m.total(Ns::from_secs(1), Ns::from_secs(10));
+        assert!((total.as_joules() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_op_energies() {
+        assert!((ssd_op_energy::read_4k().as_uj() - 9.5).abs() < 1e-12);
+        assert!((ssd_op_energy::write_4k().as_uj() - 76.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! # icash-storage — simulation substrate for the I-CASH reproduction
+//!
+//! This crate provides everything below the storage-architecture layer of
+//! the I-CASH reproduction (Ren & Yang, HPCA 2011):
+//!
+//! * [`time`] — deterministic virtual-time clock ([`time::Ns`]).
+//! * [`block`] — 4 KB block addressing and content buffers.
+//! * [`request`] — host block I/O requests and completions.
+//! * [`hdd`] — mechanical disk model (seek + rotation + transfer).
+//! * [`ssd`] — NAND flash SSD with page-mapping FTL, garbage collection,
+//!   wear tracking and per-op energy.
+//! * [`cpu`] — CPU-time model for the computation I-CASH trades for I/O.
+//! * [`energy`] — component energy meters (Table 5's power-meter stand-in).
+//! * [`stats`] — per-device operation statistics (Table 6's counters).
+//! * [`system`] — the [`system::StorageSystem`] trait every architecture
+//!   (I-CASH and the four baselines) implements.
+//!
+//! Nothing in this crate consults the wall clock or global randomness:
+//! given the same request stream, every model produces bit-identical
+//! timings, so experiments are replayable.
+//!
+//! ## Example: raw device behaviour that motivates I-CASH
+//!
+//! ```
+//! use icash_storage::hdd::{Hdd, HddConfig};
+//! use icash_storage::ssd::{Ssd, SsdConfig};
+//! use icash_storage::time::Ns;
+//!
+//! // A random HDD read costs milliseconds...
+//! let mut hdd = Hdd::new(HddConfig::seagate_sata(1 << 22));
+//! let hdd_done = hdd.read(Ns::ZERO, 2_000_000, 1);
+//! assert!(hdd_done > Ns::from_ms(2));
+//!
+//! // ...while an SSD read costs tens of microseconds.
+//! let mut ssd = Ssd::new(SsdConfig::fusion_io(1 << 24));
+//! let w = ssd.write(Ns::ZERO, 42)?;
+//! let ssd_done = ssd.read(w, 42)?;
+//! assert!(ssd_done - w < Ns::from_us(100));
+//! # Ok::<(), icash_storage::ssd::SsdError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod block;
+pub mod cpu;
+pub mod energy;
+pub mod hdd;
+pub mod request;
+pub mod ssd;
+pub mod stats;
+pub mod system;
+pub mod time;
+
+pub use block::{BlockBuf, Lba, BLOCK_SIZE};
+pub use request::{Completion, Op, Request};
+pub use system::{ContentSource, IoCtx, StorageSystem, SystemReport, ZeroSource};
+pub use time::{Ns, SimClock};

@@ -1,0 +1,174 @@
+//! Host-level block I/O requests and completions.
+
+use crate::block::{BlockBuf, Lba, BLOCK_SIZE};
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a block I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Transfer data from the storage system to the host.
+    Read,
+    /// Transfer data from the host to the storage system.
+    Write,
+}
+
+impl Op {
+    /// Whether this is a read.
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// Whether this is a write.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Write)
+    }
+}
+
+/// A host block I/O request, addressed in whole 4 KB blocks.
+///
+/// Multi-block requests (`blocks > 1`) model the variable request lengths of
+/// Table 4; storage systems treat them as a run of consecutive block
+/// operations issued together.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Read or write.
+    pub op: Op,
+    /// First block address.
+    pub lba: Lba,
+    /// Number of consecutive 4 KB blocks covered.
+    pub blocks: u32,
+    /// Virtual arrival instant.
+    pub at: Ns,
+    /// Content for each block of a write request, in LBA order.
+    ///
+    /// Empty for reads. Systems that do not inspect content (e.g. the RAID0
+    /// baseline) may ignore it.
+    pub payload: Vec<BlockBuf>,
+}
+
+impl Request {
+    /// Creates a single-block read.
+    pub fn read(lba: Lba, at: Ns) -> Self {
+        Self::read_span(lba, 1, at)
+    }
+
+    /// Creates a multi-block read of `blocks` consecutive blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn read_span(lba: Lba, blocks: u32, at: Ns) -> Self {
+        assert!(blocks > 0, "requests must cover at least one block");
+        Request {
+            op: Op::Read,
+            lba,
+            blocks,
+            at,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Creates a single-block write carrying `content`.
+    pub fn write(lba: Lba, at: Ns, content: BlockBuf) -> Self {
+        Self::write_span(lba, at, vec![content])
+    }
+
+    /// Creates a multi-block write; one buffer per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is empty.
+    pub fn write_span(lba: Lba, at: Ns, payload: Vec<BlockBuf>) -> Self {
+        assert!(!payload.is_empty(), "writes must carry at least one block");
+        Request {
+            op: Op::Write,
+            lba,
+            blocks: payload.len() as u32,
+            at,
+            payload,
+        }
+    }
+
+    /// Total bytes moved by this request.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.blocks as usize * BLOCK_SIZE
+    }
+
+    /// Iterator over the block addresses this request covers.
+    pub fn lbas(&self) -> impl Iterator<Item = Lba> + '_ {
+        (0..self.blocks as u64).map(move |i| self.lba.plus(i))
+    }
+}
+
+/// The completion report of a processed request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Virtual instant at which the host sees the request finished.
+    pub finished: Ns,
+    /// Content returned for reads, one buffer per block in LBA order.
+    ///
+    /// Empty when the system was configured not to materialise data
+    /// (timing-only runs) or for writes.
+    pub data: Vec<BlockBuf>,
+}
+
+impl Completion {
+    /// A completion at `finished` with no data.
+    pub fn at(finished: Ns) -> Self {
+        Completion {
+            finished,
+            data: Vec::new(),
+        }
+    }
+
+    /// A completion at `finished` returning `data`.
+    pub fn with_data(finished: Ns, data: Vec<BlockBuf>) -> Self {
+        Completion { finished, data }
+    }
+
+    /// Service latency relative to the request arrival.
+    pub fn latency(&self, req: &Request) -> Ns {
+        self.finished.saturating_sub(req.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_span_covers_lbas() {
+        let r = Request::read_span(Lba::new(10), 3, Ns::ZERO);
+        let lbas: Vec<u64> = r.lbas().map(Lba::raw).collect();
+        assert_eq!(lbas, vec![10, 11, 12]);
+        assert_eq!(r.bytes(), 3 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn write_span_counts_payload() {
+        let r = Request::write_span(
+            Lba::new(1),
+            Ns::ZERO,
+            vec![BlockBuf::zeroed(), BlockBuf::filled(1)],
+        );
+        assert_eq!(r.blocks, 2);
+        assert!(r.op.is_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_block_read_rejected() {
+        let _ = Request::read_span(Lba::new(0), 0, Ns::ZERO);
+    }
+
+    #[test]
+    fn latency_is_relative_to_arrival() {
+        let r = Request::read(Lba::new(0), Ns::from_us(10));
+        let c = Completion::at(Ns::from_us(35));
+        assert_eq!(c.latency(&r), Ns::from_us(25));
+    }
+}

@@ -1,0 +1,394 @@
+//! Content-locality model: the data the workloads read and write.
+//!
+//! Evaluating I-CASH "is unique in the sense that I/O address traces are
+//! not sufficient because deltas are content dependent" (paper §4.4). This
+//! model generates block *content*, deterministically, with the two
+//! properties the paper's gains rest on:
+//!
+//! * **Content locality within blocks**: a write changes only 5–20 % of a
+//!   block's bits (paper §2.2), in a few clusters.
+//! * **Content locality across blocks**: blocks come in *families* sharing
+//!   a common base (database pages of one table, blocks of cloned VM
+//!   images), so one family member can reference-encode the others.
+//!   Families are derived from the VM-stripped block offset, which is
+//!   exactly why cloned VM images (same offsets, different VM tags) share
+//!   content.
+//!
+//! A configurable fraction of blocks is *unique* (incompressible), modeling
+//! packed/encrypted/multimedia data.
+
+use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
+use icash_storage::system::ContentSource;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Static description of a content profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentProfile {
+    /// Blocks per similarity family.
+    pub family_blocks: u64,
+    /// Per-mille of blocks with unique (incompressible) content.
+    pub unique_permille: u32,
+    /// Bytes that distinguish one family member from another.
+    pub personal_bytes: usize,
+    /// Bytes changed by one write (the 5–20 %-of-bits observation).
+    pub mutation_bytes: usize,
+    /// Clusters the mutated bytes are grouped into.
+    pub clusters: usize,
+}
+
+impl ContentProfile {
+    /// Database-page-like content: tight families, small clustered updates.
+    pub fn database() -> Self {
+        ContentProfile {
+            family_blocks: 64,
+            unique_permille: 50,
+            personal_bytes: 96,
+            mutation_bytes: 300,
+            clusters: 4,
+        }
+    }
+
+    /// File-server content: looser families, bigger rewrites.
+    pub fn file_server() -> Self {
+        ContentProfile {
+            family_blocks: 32,
+            unique_permille: 150,
+            personal_bytes: 128,
+            mutation_bytes: 700,
+            clusters: 6,
+        }
+    }
+
+    /// Web/access-log text (the Hadoop WordCount input): highly repetitive
+    /// lines, so blocks across big regions are near-identical.
+    pub fn log_text() -> Self {
+        ContentProfile {
+            family_blocks: 512,
+            unique_permille: 40,
+            personal_bytes: 120,
+            mutation_bytes: 400,
+            clusters: 5,
+        }
+    }
+
+    /// Mail-store content: replicated message bodies give large similarity
+    /// families; a quarter of blocks (compressed attachments) stay unique.
+    pub fn mail_store() -> Self {
+        ContentProfile {
+            family_blocks: 64,
+            unique_permille: 250,
+            personal_bytes: 200,
+            mutation_bytes: 600,
+            clusters: 6,
+        }
+    }
+
+    /// Web/e-commerce content: large read-mostly families.
+    pub fn web_content() -> Self {
+        ContentProfile {
+            family_blocks: 128,
+            unique_permille: 80,
+            personal_bytes: 64,
+            mutation_bytes: 250,
+            clusters: 3,
+        }
+    }
+
+    /// Cloned VM images: very large families, tiny per-clone deltas.
+    pub fn vm_images() -> Self {
+        ContentProfile {
+            family_blocks: 256,
+            unique_permille: 30,
+            personal_bytes: 48,
+            mutation_bytes: 200,
+            clusters: 3,
+        }
+    }
+
+    /// Fully unique content (the adversarial case for I-CASH).
+    pub fn incompressible() -> Self {
+        ContentProfile {
+            family_blocks: 1,
+            unique_permille: 1_000,
+            personal_bytes: 0,
+            mutation_bytes: BLOCK_SIZE,
+            clusters: 1,
+        }
+    }
+}
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Cheap stateless mixer for deriving per-block seeds.
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 31;
+    x.wrapping_mul(0x94d0_49bb_1331_11eb) | 1
+}
+
+/// Deterministic content generator + per-block version tracker.
+///
+/// # Examples
+///
+/// ```
+/// use icash_storage::block::Lba;
+/// use icash_workloads::content::{ContentModel, ContentProfile};
+///
+/// let mut model = ContentModel::new(7, ContentProfile::database());
+/// let v0 = model.current_content(Lba::new(10));
+/// let v1 = model.write_payload(Lba::new(10));
+/// assert_ne!(v0, v1);
+/// // A write changes only a small part of the block.
+/// let changed = v0
+///     .as_slice()
+///     .iter()
+///     .zip(v1.as_slice())
+///     .filter(|(a, b)| a != b)
+///     .count();
+/// assert!(changed < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContentModel {
+    seed: u64,
+    profile: ContentProfile,
+    versions: HashMap<Lba, u32>,
+}
+
+impl ContentModel {
+    /// Creates a model from a seed and a content profile.
+    pub fn new(seed: u64, profile: ContentProfile) -> Self {
+        ContentModel {
+            seed,
+            profile,
+            versions: HashMap::new(),
+        }
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &ContentProfile {
+        &self.profile
+    }
+
+    /// The similarity family of `lba` — derived from the VM-stripped offset
+    /// so cloned VM images share families.
+    pub fn family_of(&self, lba: Lba) -> u64 {
+        lba.offset() / self.profile.family_blocks.max(1)
+    }
+
+    /// Whether `lba` carries unique (incompressible) content.
+    pub fn is_unique(&self, lba: Lba) -> bool {
+        (mix(self.seed ^ 0xD00D, lba.offset()) % 1_000) < self.profile.unique_permille as u64
+    }
+
+    /// Content of `lba` at version `version`.
+    pub fn content_at(&self, lba: Lba, version: u32) -> BlockBuf {
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        if self.is_unique(lba) {
+            let mut st = mix(self.seed ^ 0xFACE, lba.raw() ^ ((version as u64) << 40));
+            for chunk in buf.chunks_mut(8) {
+                let v = xorshift(&mut st).to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&v[..n]);
+            }
+            return BlockBuf::from_vec(buf);
+        }
+        // The shared family base.
+        let mut st = mix(self.seed, self.family_of(lba));
+        for chunk in buf.chunks_mut(8) {
+            let v = xorshift(&mut st).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+        // Personalization: what makes this block this block.
+        self.splat(
+            &mut buf,
+            mix(self.seed ^ 0xBEEF, lba.raw()),
+            self.profile.personal_bytes,
+            self.profile.clusters.max(1),
+        );
+        // Version mutations: what this write changed.
+        if version > 0 {
+            self.splat(
+                &mut buf,
+                mix(self.seed ^ 0xCAFE, lba.raw() ^ ((version as u64) << 32)),
+                self.profile.mutation_bytes,
+                self.profile.clusters.max(1),
+            );
+        }
+        BlockBuf::from_vec(buf)
+    }
+
+    /// Overwrites `total` bytes in `clusters` clusters at seeded positions.
+    fn splat(&self, buf: &mut [u8], seed: u64, total: usize, clusters: usize) {
+        if total == 0 {
+            return;
+        }
+        let mut st = seed;
+        let per_cluster = (total / clusters).max(1);
+        for _ in 0..clusters {
+            let start = (xorshift(&mut st) as usize) % BLOCK_SIZE;
+            for i in 0..per_cluster {
+                let pos = (start + i) % BLOCK_SIZE;
+                buf[pos] = (xorshift(&mut st) & 0xff) as u8;
+            }
+        }
+    }
+
+    /// The block's current version (0 = never written).
+    pub fn version_of(&self, lba: Lba) -> u32 {
+        self.versions.get(&lba).copied().unwrap_or(0)
+    }
+
+    /// Content of `lba` at its current version.
+    pub fn current_content(&self, lba: Lba) -> BlockBuf {
+        self.content_at(lba, self.version_of(lba))
+    }
+
+    /// Advances `lba` to its next version and returns the new content — the
+    /// payload of a write request.
+    pub fn write_payload(&mut self, lba: Lba) -> BlockBuf {
+        let v = self.versions.entry(lba).or_insert(0);
+        *v += 1;
+        let version = *v;
+        self.content_at(lba, version)
+    }
+}
+
+impl ContentSource for ContentModel {
+    fn initial_content(&self, lba: Lba) -> BlockBuf {
+        self.content_at(lba, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ContentModel {
+        ContentModel::new(42, ContentProfile::database())
+    }
+
+    fn diff_bytes(a: &BlockBuf, b: &BlockBuf) -> usize {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .filter(|(x, y)| x != y)
+            .count()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m1 = model();
+        let m2 = model();
+        for lba in [0u64, 5, 1000] {
+            assert_eq!(
+                m1.content_at(Lba::new(lba), 3),
+                m2.content_at(Lba::new(lba), 3)
+            );
+        }
+    }
+
+    #[test]
+    fn family_members_are_similar_strangers_are_not() {
+        let m = model();
+        // Find two non-unique blocks of one family and one from far away.
+        let base = (0..200u64)
+            .map(Lba::new)
+            .filter(|&l| !m.is_unique(l))
+            .collect::<Vec<_>>();
+        let a = base[0];
+        let b = base
+            .iter()
+            .copied()
+            .find(|&l| l != a && m.family_of(l) == m.family_of(a))
+            .expect("family sibling");
+        let far = base
+            .iter()
+            .copied()
+            .find(|&l| m.family_of(l) != m.family_of(a))
+            .expect("stranger");
+        let (ca, cb, cf) = (m.content_at(a, 0), m.content_at(b, 0), m.content_at(far, 0));
+        assert!(
+            diff_bytes(&ca, &cb) < 400,
+            "siblings differ by {} bytes",
+            diff_bytes(&ca, &cb)
+        );
+        assert!(
+            diff_bytes(&ca, &cf) > 3000,
+            "strangers differ by {} bytes",
+            diff_bytes(&ca, &cf)
+        );
+    }
+
+    #[test]
+    fn writes_change_a_bounded_slice_of_the_block() {
+        let mut m = model();
+        let lba = (0..100u64)
+            .map(Lba::new)
+            .find(|&l| !m.is_unique(l))
+            .expect("similar block");
+        let v0 = m.current_content(lba);
+        let v1 = m.write_payload(lba);
+        let d = diff_bytes(&v0, &v1);
+        assert!(d > 0, "writes must change something");
+        assert!(d <= 2 * 300 + 16, "changed {d} bytes");
+    }
+
+    #[test]
+    fn vm_clones_share_content() {
+        let m = ContentModel::new(9, ContentProfile::vm_images());
+        let native = Lba::new(500);
+        let clone = Lba::new(500).with_vm(3);
+        if !m.is_unique(native) {
+            let d = diff_bytes(&m.content_at(native, 0), &m.content_at(clone, 0));
+            assert!(d < 200, "clone differs by {d} bytes");
+        }
+        assert_eq!(m.family_of(native), m.family_of(clone));
+    }
+
+    #[test]
+    fn unique_blocks_are_incompressible() {
+        let m = model();
+        let unique = (0..2000u64)
+            .map(Lba::new)
+            .find(|&l| m.is_unique(l))
+            .expect("some unique block");
+        let v0 = m.content_at(unique, 0);
+        let v1 = m.content_at(unique, 1);
+        assert!(diff_bytes(&v0, &v1) > 3500, "unique rewrites are total");
+    }
+
+    #[test]
+    fn versions_advance_per_block() {
+        let mut m = model();
+        assert_eq!(m.version_of(Lba::new(1)), 0);
+        m.write_payload(Lba::new(1));
+        m.write_payload(Lba::new(1));
+        assert_eq!(m.version_of(Lba::new(1)), 2);
+        assert_eq!(m.version_of(Lba::new(2)), 0);
+        // current_content reflects the version.
+        assert_eq!(m.current_content(Lba::new(1)), m.content_at(Lba::new(1), 2));
+    }
+
+    #[test]
+    fn initial_content_is_version_zero() {
+        let mut m = model();
+        let lba = Lba::new(77);
+        let initial = ContentSource::initial_content(&m, lba);
+        assert_eq!(initial, m.content_at(lba, 0));
+        m.write_payload(lba);
+        // The backing image never changes.
+        assert_eq!(ContentSource::initial_content(&m, lba), initial);
+    }
+}

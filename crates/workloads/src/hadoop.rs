@@ -1,0 +1,57 @@
+//! Hadoop MapReduce WordCount (paper Table 3, Figures 8–9).
+//!
+//! The paper runs a two-node Hadoop cluster (two Ubuntu VMs sharing one
+//! storage system) counting words in a web-access log: 241 K reads / 62 K
+//! writes with large requests (≈21 KB reads, ≈101 KB writes) over a 4.4 GB
+//! data set. I-CASH gets 512 MB of SSD and a 256 MB delta buffer. The
+//! streaming scans make it bandwidth-bound and CPU-heavy (~83 % utilization
+//! in Figure 8b).
+
+use crate::content::ContentProfile;
+use crate::spec::WorkloadSpec;
+use crate::workload::MixedWorkload;
+use icash_storage::time::Ns;
+
+/// The Hadoop workload specification.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Hadoop".into(),
+        data_bytes: 4_718_592 << 10, // 4.4 GiB
+        table4_reads: 241_000,
+        table4_writes: 62_000,
+        avg_read_bytes: 20_992,
+        avg_write_bytes: 101_376,
+        ssd_bytes: 512 << 20,
+        vm_ram_bytes: 512 << 20,
+        ram_bytes: 256 << 20,
+        zipf_exponent: 1.7,
+        active_fraction: 1.0,
+        sequential_prob: 0.45,
+        seq_run_ops: 24,
+        ops_per_transaction: 3_000, // one "transaction" ≈ one map task
+        app_cpu_per_op: Ns::from_us(1200),
+        think_per_op: Ns::from_us(0),
+        profile: ContentProfile::log_text(),
+        clients: 16,
+        default_ops: 30_000,
+    }
+}
+
+/// A seeded Hadoop generator.
+pub fn workload(seed: u64) -> MixedWorkload {
+    MixedWorkload::new(spec(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_4() {
+        let s = spec();
+        assert_eq!(s.table4_ops(), 303_000);
+        assert!((s.read_fraction() - 0.795).abs() < 0.01);
+        assert_eq!(s.read_blocks(), 6); // 20,992 B
+        assert_eq!(s.write_blocks(), 25); // 101,376 B
+    }
+}

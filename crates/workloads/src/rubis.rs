@@ -1,0 +1,57 @@
+//! RUBiS: the eBay-style e-commerce auction benchmark (paper Table 3,
+//! Figures 14, 16).
+//!
+//! 300 clients browse/bid/sell against Apache + MySQL + PHP for 15
+//! minutes: over 99 % reads — 799 K reads vs just 7 K writes (~4.6 KB /
+//! ~20 KB) over 1.8 GB. Read-intensity caps I-CASH's write advantage
+//! (Fusion-io is ~10 % faster), but online similarity detection still
+//! stretches the 128 MB SSD budget further than the LRU and Dedup caches
+//! (1.04× and 1.29× in the paper).
+
+use crate::content::ContentProfile;
+use crate::spec::WorkloadSpec;
+use crate::workload::MixedWorkload;
+use icash_storage::time::Ns;
+
+/// The RUBiS workload specification.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "RUBiS".into(),
+        data_bytes: 1_843 << 20, // 1.8 GiB
+        table4_reads: 799_000,
+        table4_writes: 7_000,
+        avg_read_bytes: 4_608,
+        avg_write_bytes: 20_480,
+        ssd_bytes: 128 << 20,
+        vm_ram_bytes: 256 << 20,
+        ram_bytes: 32 << 20,
+        zipf_exponent: 1.8,
+        active_fraction: 1.0,
+        sequential_prob: 0.03,
+        seq_run_ops: 6,
+        ops_per_transaction: 10,
+        app_cpu_per_op: Ns::from_us(6000),
+        think_per_op: Ns::from_us(330000),
+        profile: ContentProfile::web_content(),
+        clients: 300,
+        default_ops: 150000,
+    }
+}
+
+/// A seeded RUBiS generator.
+pub fn workload(seed: u64) -> MixedWorkload {
+    MixedWorkload::new(spec(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_4() {
+        let s = spec();
+        assert_eq!(s.table4_ops(), 806_000);
+        assert!(s.read_fraction() > 0.99, "RUBiS is read-intensive");
+        assert_eq!(s.read_blocks(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! The workload interface and the generic block-level generator.
+//!
+//! Every benchmark reduces to a stream of timed block operations with the
+//! right read/write mix, request sizes, spatial/temporal locality, and
+//! application compute. [`MixedWorkload`] generates such a stream from a
+//! [`WorkloadSpec`]; the per-benchmark modules are thin constructors that
+//! pin the parameters.
+
+use crate::spec::WorkloadSpec;
+use crate::zipf::Zipf;
+use icash_storage::block::Lba;
+use icash_storage::request::Op;
+use icash_storage::time::Ns;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hot-set granularity: popularity is assigned to aligned 16-block (64 KB)
+/// extents, not single blocks, so multi-block requests stay inside hot
+/// regions (real hot structures — B-tree pages, mailbox files — are bigger
+/// than one block).
+const EXTENT_BLOCKS: u64 = 16;
+
+/// One generated block operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOp {
+    /// Read or write.
+    pub op: Op,
+    /// First block address (VM-tagged where applicable).
+    pub lba: Lba,
+    /// Consecutive blocks covered.
+    pub blocks: u32,
+    /// Application CPU work after this I/O (charged to the CPU model).
+    pub app_cpu: Ns,
+    /// Client-side wait before the next I/O (network, other tiers); spent
+    /// but not charged to this machine's CPU.
+    pub think: Ns,
+}
+
+/// A source of block operations.
+pub trait Workload {
+    /// The workload's specification.
+    fn spec(&self) -> &WorkloadSpec;
+
+    /// Generates the next operation.
+    fn next_op(&mut self) -> WorkloadOp;
+
+    /// The address spans this workload touches, as `(vm id, blocks)` —
+    /// storage systems use this for offline image preparation.
+    fn address_universe(&self) -> Vec<(u8, u64)> {
+        vec![(0, self.spec().data_blocks())]
+    }
+}
+
+/// The generic generator: Zipf temporal locality, occasional sequential
+/// runs, Table 4 request-size mix.
+///
+/// # Examples
+///
+/// ```
+/// use icash_workloads::sysbench;
+/// use icash_workloads::workload::Workload;
+///
+/// let mut wl = sysbench::workload(7);
+/// let op = wl.next_op();
+/// assert!(op.blocks >= 1);
+/// assert!(op.lba.raw() < wl.spec().data_blocks());
+/// ```
+#[derive(Debug)]
+pub struct MixedWorkload {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    zipf: Zipf,
+    seq_remaining: u32,
+    seq_next: u64,
+    vm: u8,
+}
+
+impl MixedWorkload {
+    /// Creates a generator for `spec`, seeded deterministically.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        let extents = Self::active_extents(&spec);
+        let zipf = Zipf::new(extents, spec.zipf_exponent);
+        MixedWorkload {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+            seq_remaining: 0,
+            seq_next: 0,
+            vm: 0,
+        }
+    }
+
+    /// Tags every generated address with a virtual-machine id (multi-VM
+    /// experiments).
+    pub fn with_vm(mut self, vm: u8) -> Self {
+        self.vm = vm;
+        self
+    }
+
+    /// Extents in the benchmark's active region.
+    fn active_extents(spec: &WorkloadSpec) -> u64 {
+        let blocks = (spec.data_blocks() as f64 * spec.active_fraction.clamp(0.01, 1.0)) as u64;
+        blocks.div_ceil(EXTENT_BLOCKS).max(1)
+    }
+
+    /// Scrambles a Zipf extent rank over the active region so hot extents
+    /// are spread out rather than clustered at offset zero.
+    fn rank_to_extent(&self, rank: u64) -> u64 {
+        let extents = Self::active_extents(&self.spec);
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % extents
+    }
+
+    fn pick_lba(&mut self, blocks: u32) -> Lba {
+        let n = self.spec.data_blocks();
+        let block = if self.seq_remaining > 0 {
+            self.seq_remaining -= 1;
+            let b = self.seq_next;
+            self.seq_next = (self.seq_next + blocks as u64) % n;
+            b
+        } else if self.rng.random::<f64>() < self.spec.sequential_prob {
+            // Start a sequential run at a *popular* extent: real scans
+            // re-walk the same hot files, they do not stream cold data.
+            self.seq_remaining = self.spec.seq_run_ops.saturating_sub(1);
+            let rank = self.zipf.sample(&mut self.rng);
+            let start = self.rank_to_extent(rank) * EXTENT_BLOCKS;
+            self.seq_next = (start + blocks as u64) % n;
+            start.min(n - 1)
+        } else {
+            let rank = self.zipf.sample(&mut self.rng);
+            let extent = self.rank_to_extent(rank);
+            // A random aligned position inside the hot extent that still
+            // fits the whole request.
+            let base = extent * EXTENT_BLOCKS;
+            let span = EXTENT_BLOCKS.saturating_sub(blocks as u64).max(1);
+            base + self.rng.random_range(0..span)
+        };
+        // Keep multi-block requests inside the data set.
+        let clamped = block.min(n.saturating_sub(blocks as u64));
+        Lba::new(clamped).with_vm(self.vm)
+    }
+
+    /// Request length: mean per Table 4, varied ±50 % uniformly.
+    fn pick_blocks(&mut self, mean: u32) -> u32 {
+        if mean <= 1 {
+            return 1;
+        }
+        self.rng.random_range((mean / 2).max(1)..=mean + mean / 2)
+    }
+}
+
+impl Workload for MixedWorkload {
+    fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn address_universe(&self) -> Vec<(u8, u64)> {
+        vec![(self.vm, self.spec.data_blocks())]
+    }
+
+    fn next_op(&mut self) -> WorkloadOp {
+        let is_read = self.rng.random::<f64>() < self.spec.read_fraction();
+        let (op, mean_blocks) = if is_read {
+            (Op::Read, self.spec.read_blocks())
+        } else {
+            (Op::Write, self.spec.write_blocks())
+        };
+        let blocks = self.pick_blocks(mean_blocks);
+        let lba = self.pick_lba(blocks);
+        // Application compute and client think vary ±25 % around the spec.
+        let jitter = |rng: &mut StdRng, base: u64| {
+            if base == 0 {
+                Ns::ZERO
+            } else {
+                Ns::from_ns(rng.random_range(base - base / 4..=base + base / 4).max(1))
+            }
+        };
+        let app_cpu = jitter(&mut self.rng, self.spec.app_cpu_per_op.as_ns());
+        let think = jitter(&mut self.rng, self.spec.think_per_op.as_ns());
+        WorkloadOp {
+            op,
+            lba,
+            blocks,
+            app_cpu,
+            think,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::ContentProfile;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "t".into(),
+            data_bytes: 64 << 20,
+            table4_reads: 700,
+            table4_writes: 300,
+            avg_read_bytes: 8192,
+            avg_write_bytes: 4096,
+            ssd_bytes: 8 << 20,
+            vm_ram_bytes: 8 << 20,
+            ram_bytes: 2 << 20,
+            zipf_exponent: 1.0,
+            active_fraction: 1.0,
+            sequential_prob: 0.1,
+            seq_run_ops: 4,
+            ops_per_transaction: 5,
+            app_cpu_per_op: Ns::from_us(100),
+            think_per_op: Ns::from_us(100),
+            profile: ContentProfile::database(),
+            clients: 4,
+            default_ops: 1_000,
+        }
+    }
+
+    #[test]
+    fn mix_tracks_read_fraction() {
+        let mut wl = MixedWorkload::new(spec(), 1);
+        let reads = (0..10_000).filter(|_| wl.next_op().op == Op::Read).count();
+        let frac = reads as f64 / 10_000.0;
+        assert!((0.65..0.75).contains(&frac), "read fraction = {frac}");
+    }
+
+    #[test]
+    fn addresses_stay_in_range() {
+        let mut wl = MixedWorkload::new(spec(), 2);
+        let n = wl.spec().data_blocks();
+        for _ in 0..10_000 {
+            let op = wl.next_op();
+            assert!(op.lba.offset() + op.blocks as u64 <= n);
+            assert!(op.blocks >= 1);
+        }
+    }
+
+    #[test]
+    fn sequential_runs_occur() {
+        let mut wl = MixedWorkload::new(spec(), 3);
+        let mut sequential_pairs = 0;
+        let mut prev_end = None;
+        for _ in 0..10_000 {
+            let op = wl.next_op();
+            if prev_end == Some(op.lba.offset()) {
+                sequential_pairs += 1;
+            }
+            prev_end = Some(op.lba.offset() + op.blocks as u64);
+        }
+        assert!(sequential_pairs > 100, "got {sequential_pairs}");
+    }
+
+    #[test]
+    fn zipf_concentrates_accesses_by_extent() {
+        let mut wl = MixedWorkload::new(spec(), 4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts
+                .entry(wl.next_op().lba.offset() / EXTENT_BLOCKS)
+                .or_insert(0u64) += 1;
+        }
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = sorted.iter().take(20).sum();
+        assert!(
+            top20 as f64 / 20_000.0 > 0.25,
+            "hot extent share = {}",
+            top20 as f64 / 20_000.0
+        );
+    }
+
+    #[test]
+    fn multiblock_requests_stay_inside_hot_extents() {
+        // The regression the extent model fixes: a multi-block request must
+        // not straddle a hot block and a cold one.
+        let mut wl = MixedWorkload::new(spec(), 11);
+        for _ in 0..5_000 {
+            let op = wl.next_op();
+            if op.blocks as u64 <= EXTENT_BLOCKS {
+                let first_extent = op.lba.offset() / EXTENT_BLOCKS;
+                let last_extent = (op.lba.offset() + op.blocks as u64 - 1) / EXTENT_BLOCKS;
+                assert!(
+                    last_extent - first_extent <= 1,
+                    "request sprawls {} extents",
+                    last_extent - first_extent + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vm_tag_is_applied() {
+        let mut wl = MixedWorkload::new(spec(), 5).with_vm(3);
+        for _ in 0..100 {
+            assert_eq!(wl.next_op().lba.vm_id(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = MixedWorkload::new(spec(), 9);
+        let mut b = MixedWorkload::new(spec(), 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Zipf-distributed sampling for temporal locality.
+//!
+//! Disk traces exhibit strong temporal locality (paper §3.1, case 3): a
+//! small hot set receives most accesses. The standard model is a Zipf
+//! distribution over the working set; this module implements the
+//! rejection-inversion sampler of Hörmann & Derflinger, which needs no
+//! per-element tables and works for any exponent ≥ 0.
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler producing values in `0..n` where rank 0 is hottest.
+///
+/// # Examples
+///
+/// ```
+/// use icash_workloads::zipf::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut hot = 0;
+/// for _ in 0..1000 {
+///     if zipf.sample(&mut rng) < 10 {
+///         hot += 1;
+///     }
+/// }
+/// // The hottest 1% of elements draw a large share of accesses.
+/// assert!(hot > 150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `s` (0 = uniform,
+    /// ~0.99–1.2 for storage traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "population must be nonzero");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be ≥ 0");
+        let exponent = s;
+        let h_integral_x1 = Self::h_integral(1.5, exponent) - 1.0;
+        let h_integral_n = Self::h_integral(n as f64 + 0.5, exponent);
+        let s_param = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, exponent) - Self::h(2.0, exponent),
+                exponent,
+            );
+        Zipf {
+            n,
+            exponent,
+            h_integral_x1,
+            h_integral_n,
+            s: s_param,
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// ∫₁ˣ t^(−e) dt — the integral of the weight function.
+    fn h_integral(x: f64, e: f64) -> f64 {
+        if (e - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - e) - 1.0) / (1.0 - e)
+        }
+    }
+
+    /// The weight function x^(−e).
+    fn h(x: f64, e: f64) -> f64 {
+        x.powf(-e)
+    }
+
+    /// Inverse of [`Zipf::h_integral`].
+    fn h_integral_inverse(y: f64, e: f64) -> f64 {
+        if (e - 1.0).abs() < 1e-9 {
+            y.exp()
+        } else {
+            (1.0 + (1.0 - e) * y).powf(1.0 / (1.0 - e))
+        }
+    }
+
+    /// Draws one rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.exponent == 0.0 {
+            return rng.random_range(0..self.n);
+        }
+        loop {
+            // u is uniform in (h_integral_n, h_integral_x1].
+            let u =
+                self.h_integral_n + rng.random::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = Self::h_integral_inverse(u, self.exponent);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s
+                || u >= Self::h_integral(k + 0.5, self.exponent) - Self::h(k, self.exponent)
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, s: f64, draws: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn ranks_stay_in_range() {
+        for s in [0.0, 0.5, 1.0, 1.5] {
+            let zipf = Zipf::new(100, s);
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                assert!(zipf.sample(&mut rng) < 100, "s = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_analytic_rank_zero_share() {
+        // At s=1, P(rank 0) = 1 / H_100 ≈ 1/5.187 ≈ 0.1928.
+        let counts = histogram(100, 1.0, 200_000);
+        let frac = counts[0] as f64 / 200_000.0;
+        assert!((0.17..0.22).contains(&frac), "rank-0 share = {frac}");
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let counts = histogram(10, 0.0, 100_000);
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((0.07..0.13).contains(&frac), "uniform share = {frac}");
+        }
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_harder() {
+        let light = histogram(1000, 0.8, 100_000);
+        let heavy = histogram(1000, 1.3, 100_000);
+        let top10 = |h: &[u64]| h[..10].iter().sum::<u64>();
+        assert!(top10(&heavy) > top10(&light));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let zipf = Zipf::new(1000, 1.1);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_population_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_element_population() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! OLTP head-to-head: the SysBench experiment (paper Figures 6–7) in
+//! miniature. Runs the same database workload against all five storage
+//! architectures and prints the paper-style comparison.
+//!
+//! Run with: `cargo run --release --example database_oltp`
+
+use icash::baselines::{DedupCache, LruCache, PureSsd, Raid0};
+use icash::core::{Icash, IcashConfig};
+use icash::metrics::report::{bar_chart, metric_rows};
+use icash::metrics::RunSummary;
+use icash::storage::StorageSystem;
+use icash::workloads::content::ContentModel;
+use icash::workloads::driver::{run_benchmark, DriverConfig};
+use icash::workloads::trace::{Trace, TracePlayer};
+use icash::workloads::{sysbench, MixedWorkload};
+
+fn main() {
+    // A scaled-down SysBench: same shape, laptop-friendly runtime.
+    let spec = sysbench::spec().scaled_to_ops(20_000);
+
+    // Record one op stream and replay it against every system.
+    let mut source = MixedWorkload::new(spec.clone(), 42);
+    let trace = Trace::record(&mut source, 20_000);
+
+    let mut systems: Vec<Box<dyn StorageSystem>> = vec![
+        Box::new(PureSsd::new(spec.data_bytes)),
+        Box::new(Raid0::new(spec.data_bytes, 4)),
+        Box::new(DedupCache::new(spec.ssd_bytes, spec.data_bytes)),
+        Box::new(LruCache::new(spec.ssd_bytes, spec.data_bytes)),
+        Box::new(Icash::new(
+            IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes).build(),
+        )),
+    ];
+
+    let mut summaries = Vec::new();
+    for system in systems.iter_mut() {
+        let mut player = TracePlayer::new(spec.clone(), trace.clone());
+        let mut model = ContentModel::new(42, spec.profile.clone());
+        let cfg = DriverConfig::new(20_000).clients(16);
+        summaries.push(run_benchmark(
+            system.as_mut(),
+            &mut player,
+            &mut model,
+            &cfg,
+        ));
+    }
+
+    print!(
+        "{}",
+        bar_chart(
+            "SysBench (scaled): transaction rate",
+            "tx/s",
+            &metric_rows(&summaries, RunSummary::transactions_per_sec),
+            true,
+        )
+    );
+    print!(
+        "{}",
+        bar_chart(
+            "SysBench (scaled): write response time",
+            "us",
+            &metric_rows(&summaries, RunSummary::write_mean_us),
+            false,
+        )
+    );
+    print!(
+        "{}",
+        bar_chart(
+            "SysBench (scaled): SSD write requests (wear)",
+            "writes",
+            &metric_rows(&summaries, |s| s.ssd_writes as f64),
+            false,
+        )
+    );
+}

@@ -1,0 +1,42 @@
+//! # icash — reproduction of "I-CASH: Intelligently Coupled Array of SSD
+//! and HDD" (Ren & Yang, HPCA 2011)
+//!
+//! An umbrella crate re-exporting the whole workspace:
+//!
+//! * [`core`] — the I-CASH controller (the paper's contribution).
+//! * [`storage`] — the simulation substrate: virtual time, HDD/SSD device
+//!   models (FTL, GC, wear), CPU and energy accounting.
+//! * [`delta`] — content signatures, the popularity Heatmap, and the delta
+//!   compression codecs.
+//! * [`baselines`] — the paper's four comparison architectures.
+//! * [`workloads`] — content-aware generators for the paper's benchmarks
+//!   and the closed-loop driver.
+//! * [`metrics`] — histograms, run summaries, figure/table rendering.
+//!
+//! See the `examples/` directory for runnable scenarios and the
+//! `icash-bench` crate for the binaries that regenerate every figure and
+//! table of the paper's evaluation.
+//!
+//! ```
+//! use icash::core::{Icash, IcashConfig};
+//! use icash::storage::cpu::CpuModel;
+//! use icash::storage::{BlockBuf, IoCtx, Lba, Ns, Request, StorageSystem, ZeroSource};
+//!
+//! let mut sys = Icash::new(IcashConfig::builder(1 << 20, 1 << 20, 8 << 20).build());
+//! let mut cpu = CpuModel::xeon();
+//! let backing = ZeroSource;
+//! let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+//! let w = Request::write(Lba::new(1), Ns::ZERO, BlockBuf::filled(9));
+//! let t = sys.submit(&w, &mut ctx).finished;
+//! let r = Request::read(Lba::new(1), t);
+//! assert_eq!(sys.submit(&r, &mut ctx).data[0], BlockBuf::filled(9));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use icash_baselines as baselines;
+pub use icash_core as core;
+pub use icash_delta as delta;
+pub use icash_metrics as metrics;
+pub use icash_storage as storage;
+pub use icash_workloads as workloads;

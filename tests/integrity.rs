@@ -1,0 +1,81 @@
+//! Whole-system data-integrity matrix: every storage architecture must
+//! return exactly the bytes the workload last wrote, under every
+//! benchmark's access pattern, verified against the content-model oracle
+//! on every single read.
+
+use icash::baselines::{DedupCache, LruCache, PureSsd, Raid0};
+use icash::core::{Icash, IcashConfig};
+use icash::storage::StorageSystem;
+use icash::workloads::content::ContentModel;
+use icash::workloads::driver::{run_benchmark, DriverConfig};
+use icash::workloads::{
+    hadoop, loadsim, rubis, specsfs, sysbench, tpcc, MixedWorkload, WorkloadSpec,
+};
+
+fn shrink(spec: &WorkloadSpec) -> WorkloadSpec {
+    let mut s = spec.scaled_to_ops(2_000);
+    // Keep tests fast: tiny working sets, tiny devices.
+    s.data_bytes = 24 << 20;
+    s.ssd_bytes = 3 << 20;
+    s.ram_bytes = 1 << 20;
+    s
+}
+
+fn systems(spec: &WorkloadSpec) -> Vec<Box<dyn StorageSystem>> {
+    vec![
+        Box::new(PureSsd::new(spec.data_bytes)),
+        Box::new(Raid0::new(spec.data_bytes, 4)),
+        Box::new(DedupCache::new(spec.ssd_bytes, spec.data_bytes)),
+        Box::new(LruCache::new(spec.ssd_bytes, spec.data_bytes)),
+        Box::new(Icash::new(
+            IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
+                .scan_interval(200)
+                .scan_window(256)
+                .flush_interval(100)
+                .build(),
+        )),
+    ]
+}
+
+fn verify_matrix(spec: WorkloadSpec, seed: u64) {
+    for mut system in systems(&spec) {
+        let mut workload = MixedWorkload::new(spec.clone(), seed);
+        let mut model = ContentModel::new(seed, spec.profile.clone());
+        let cfg = DriverConfig::new(2_000).clients(4).verify();
+        // The driver panics on any read that mismatches the oracle.
+        let summary = run_benchmark(system.as_mut(), &mut workload, &mut model, &cfg);
+        assert_eq!(summary.ops, 2_000, "{} lost operations", summary.system);
+    }
+}
+
+#[test]
+fn sysbench_pattern_is_lossless_on_all_systems() {
+    verify_matrix(shrink(&sysbench::spec()), 11);
+}
+
+#[test]
+fn tpcc_pattern_is_lossless_on_all_systems() {
+    verify_matrix(shrink(&tpcc::spec()), 22);
+}
+
+#[test]
+fn hadoop_pattern_is_lossless_on_all_systems() {
+    // Large multi-block requests exercise the stream-write paths.
+    verify_matrix(shrink(&hadoop::spec()), 33);
+}
+
+#[test]
+fn loadsim_pattern_is_lossless_on_all_systems() {
+    verify_matrix(shrink(&loadsim::spec()), 44);
+}
+
+#[test]
+fn specsfs_pattern_is_lossless_on_all_systems() {
+    // Write-flood: heaviest pressure on flush/eviction machinery.
+    verify_matrix(shrink(&specsfs::spec()), 55);
+}
+
+#[test]
+fn rubis_pattern_is_lossless_on_all_systems() {
+    verify_matrix(shrink(&rubis::spec()), 66);
+}
