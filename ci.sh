@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo CI gate. Everything here must pass before a change merges.
+# Runs fully offline: all third-party deps are vendored under crates/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test -q -p icash-storage --features debug_validate"
+cargo test -q -p icash-storage --features debug_validate
+
+echo "CI OK"

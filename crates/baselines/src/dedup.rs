@@ -8,9 +8,10 @@
 //! the paper's SPECsfs and RUBiS dedup observations.
 
 use crate::home::HomeDisk;
-use crate::lru_map::LruMap;
+use icash_storage::array::DeviceArray;
 use icash_storage::block::{Lba, BLOCK_SIZE};
 use icash_storage::cpu::CpuOp;
+use icash_storage::lru::LruMap;
 use icash_storage::request::{Completion, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
@@ -54,7 +55,7 @@ struct DigestEntry {
 /// ```
 #[derive(Debug)]
 pub struct DedupCache {
-    ssd: Ssd,
+    array: DeviceArray,
     home: HomeDisk,
     /// Digest → flash location of the single shared copy.
     store: LruMap<u64, DigestEntry>,
@@ -71,9 +72,10 @@ impl DedupCache {
     pub fn new(cache_bytes: u64, data_bytes: u64) -> Self {
         let ssd = Ssd::new(SsdConfig::fusion_io(cache_bytes));
         let slots = ssd.capacity_pages();
+        let data_blocks = data_bytes.div_ceil(BLOCK_SIZE as u64);
         DedupCache {
-            ssd,
-            home: HomeDisk::new(data_bytes.div_ceil(BLOCK_SIZE as u64)),
+            array: DeviceArray::coupled(ssd, HomeDisk::build_disk(data_blocks)),
+            home: HomeDisk::new(data_blocks),
             store: LruMap::new(),
             map: HashMap::new(),
             free_slots: (0..slots).rev().collect(),
@@ -91,7 +93,7 @@ impl DedupCache {
 
     /// The cache SSD.
     pub fn ssd(&self) -> &Ssd {
-        &self.ssd
+        self.array.ssd()
     }
 
     /// Times a write or fill found an existing identical copy to share.
@@ -119,7 +121,7 @@ impl DedupCache {
         };
         if freeable {
             if let Some(e) = self.store.remove(&digest) {
-                self.ssd.trim(e.slot);
+                self.array.ssd_mut().trim(e.slot);
                 self.free_slots.push(e.slot);
             }
         }
@@ -135,9 +137,10 @@ impl DedupCache {
             // block whose latest content had not reached the disk. Charge
             // one mechanical write (timing only; content stays tracked in
             // the overlay).
-            self.home.writeback_timing(entry.slot, at);
+            self.home
+                .writeback_timing(self.array.hdd_mut(), entry.slot, at);
         }
-        self.ssd.trim(entry.slot);
+        self.array.ssd_mut().trim(entry.slot);
         entry.slot
     }
 
@@ -154,7 +157,7 @@ impl DedupCache {
             }
             None => {
                 let slot = self.take_slot(at);
-                let t = self.ssd.write(at, slot).expect("cache fill");
+                let t = self.array.ssd_mut().write(at, slot).expect("cache fill");
                 self.store.insert(
                     digest,
                     DigestEntry {
@@ -183,7 +186,9 @@ impl StorageSystem for DedupCache {
                     self.unref_superseded(digest);
                 }
             }
-            let t = self.home.write_span(req.lba, &req.payload, req.at);
+            let t = self
+                .home
+                .write_span(self.array.hdd_mut(), req.lba, &req.payload, req.at);
             return Completion::with_data(t, data);
         }
         for (i, lba) in req.lbas().enumerate() {
@@ -211,11 +216,15 @@ impl StorageSystem for DedupCache {
                     let t = match cached {
                         Some((_, entry)) => {
                             self.hits += 1;
-                            self.ssd.read(req.at, entry.slot).expect("cache read")
+                            self.array
+                                .ssd_mut()
+                                .read(req.at, entry.slot)
+                                .expect("cache read")
                         }
                         None => {
                             self.misses += 1;
-                            let (t, content) = self.home.read(lba, req.at, ctx);
+                            let (t, content) =
+                                self.home.read(self.array.hdd_mut(), lba, req.at, ctx);
                             let hash_cost = ctx.cpu.charge(CpuOp::ContentHash);
                             let digest = content.digest();
                             if let Some(old) = self.map.insert(lba, digest) {
@@ -251,21 +260,14 @@ impl StorageSystem for DedupCache {
             if let Some(e) = self.store.get_mut(&digest) {
                 let slot = e.slot;
                 e.dirty = false;
-                t = self.home.writeback_timing(slot, t);
+                t = self.home.writeback_timing(self.array.hdd_mut(), slot, t);
             }
         }
         t
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {
-        SystemReport {
-            name: self.name().to_string(),
-            ssd: Some(self.ssd.stats().clone()),
-            hdd: Some(self.home.disk().stats().clone()),
-            gc: Some(*self.ssd.gc_stats()),
-            ssd_life_used: Some(self.ssd.wear().life_used()),
-            device_energy: self.ssd.energy(elapsed) + self.home.disk().energy(elapsed),
-        }
+        self.array.report(self.name(), elapsed)
     }
 }
 

@@ -1,7 +1,10 @@
-//! Shared home-disk helper for the caching baselines.
+//! Shared home-area helper for the caching baselines.
 //!
-//! Wraps one HDD holding the full data set plus a content overlay, so the
-//! LRU and dedup caches share the same miss/write-back machinery.
+//! Maps logical addresses onto a data disk and tracks a written-content
+//! overlay over the backing image, so the LRU and dedup caches share the
+//! same miss/write-back machinery. The disk itself is *not* owned here:
+//! each system's [`DeviceArray`](icash_storage::array::DeviceArray) owns
+//! the devices, and the helper borrows the HDD per operation.
 
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::hdd::{Hdd, HddConfig};
@@ -9,10 +12,9 @@ use icash_storage::system::IoCtx;
 use icash_storage::time::Ns;
 use std::collections::HashMap;
 
-/// One data disk with a written-content overlay over the backing image.
+/// Home-area addressing and written-content overlay for one data disk.
 #[derive(Debug)]
 pub struct HomeDisk {
-    disk: Hdd,
     capacity_blocks: u64,
     overlay: HashMap<Lba, BlockBuf>,
     /// Whether to retain written content for read-back verification.
@@ -20,14 +22,19 @@ pub struct HomeDisk {
 }
 
 impl HomeDisk {
-    /// Creates a home disk covering `capacity_blocks` of data.
+    /// Creates a home area covering `capacity_blocks` of data.
     pub fn new(capacity_blocks: u64) -> Self {
         HomeDisk {
-            disk: Hdd::new(HddConfig::seagate_sata(capacity_blocks.max(1))),
             capacity_blocks: capacity_blocks.max(1),
             overlay: HashMap::new(),
             keep_content: true,
         }
+    }
+
+    /// The data disk matching this home area (for the owning
+    /// `DeviceArray`).
+    pub fn build_disk(capacity_blocks: u64) -> Hdd {
+        Hdd::new(HddConfig::seagate_sata(capacity_blocks.max(1)))
     }
 
     /// Disables content retention (timing-only runs with flat memory).
@@ -36,19 +43,20 @@ impl HomeDisk {
         self
     }
 
-    /// The underlying device.
-    pub fn disk(&self) -> &Hdd {
-        &self.disk
-    }
-
     /// Disk position backing `lba`.
     fn pos(&self, lba: Lba) -> u64 {
         lba.raw() % self.capacity_blocks
     }
 
-    /// Reads `lba` from the disk: mechanical latency plus current content.
-    pub fn read(&mut self, lba: Lba, at: Ns, ctx: &mut IoCtx<'_>) -> (Ns, BlockBuf) {
-        let t = self.disk.read(at, self.pos(lba), 1);
+    /// Reads `lba` from `disk`: mechanical latency plus current content.
+    pub fn read(
+        &mut self,
+        disk: &mut Hdd,
+        lba: Lba,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> (Ns, BlockBuf) {
+        let t = disk.read(at, self.pos(lba), 1);
         let content = self
             .overlay
             .get(&lba)
@@ -57,9 +65,9 @@ impl HomeDisk {
         (t, content)
     }
 
-    /// Writes `content` to `lba`.
-    pub fn write(&mut self, lba: Lba, content: BlockBuf, at: Ns) -> Ns {
-        let t = self.disk.write(at, self.pos(lba), 1);
+    /// Writes `content` to `lba` on `disk`.
+    pub fn write(&mut self, disk: &mut Hdd, lba: Lba, content: BlockBuf, at: Ns) -> Ns {
+        let t = disk.write(at, self.pos(lba), 1);
         if self.keep_content {
             self.overlay.insert(lba, content);
         }
@@ -72,11 +80,11 @@ impl HomeDisk {
     /// # Panics
     ///
     /// Panics if `payload` is empty.
-    pub fn write_span(&mut self, lba: Lba, payload: &[BlockBuf], at: Ns) -> Ns {
+    pub fn write_span(&mut self, disk: &mut Hdd, lba: Lba, payload: &[BlockBuf], at: Ns) -> Ns {
         assert!(!payload.is_empty(), "need at least one block");
         let start = self.pos(lba);
         let n = (payload.len() as u64).min(self.capacity_blocks - start) as u32;
-        let t = self.disk.write(at, start, n.max(1));
+        let t = disk.write(at, start, n.max(1));
         if self.keep_content {
             for (i, buf) in payload.iter().enumerate() {
                 self.overlay.insert(lba.plus(i as u64), buf.clone());
@@ -88,8 +96,8 @@ impl HomeDisk {
     /// Charges one mechanical write without touching stored content —
     /// timing for write-backs whose logical address is unknown or
     /// irrelevant (e.g. a dedup store flushing a shared copy).
-    pub fn writeback_timing(&mut self, pos_hint: u64, at: Ns) -> Ns {
-        self.disk.write(at, pos_hint % self.capacity_blocks, 1)
+    pub fn writeback_timing(&mut self, disk: &mut Hdd, pos_hint: u64, at: Ns) -> Ns {
+        disk.write(at, pos_hint % self.capacity_blocks, 1)
     }
 
     /// Records `lba`'s current content without charging a disk operation.
@@ -120,27 +128,29 @@ mod tests {
     #[test]
     fn overlay_supersedes_backing() {
         let mut home = HomeDisk::new(1000);
+        let mut disk = HomeDisk::build_disk(1000);
         let mut cpu = CpuModel::xeon();
         let backing = ZeroSource;
         let mut ctx = IoCtx::verifying(&backing, &mut cpu);
 
-        let (_, before) = home.read(Lba::new(5), Ns::ZERO, &mut ctx);
+        let (_, before) = home.read(&mut disk, Lba::new(5), Ns::ZERO, &mut ctx);
         assert_eq!(before, BlockBuf::zeroed());
 
-        let t = home.write(Lba::new(5), BlockBuf::filled(9), Ns::from_ms(50));
-        let (_, after) = home.read(Lba::new(5), t, &mut ctx);
+        let t = home.write(&mut disk, Lba::new(5), BlockBuf::filled(9), Ns::from_ms(50));
+        let (_, after) = home.read(&mut disk, Lba::new(5), t, &mut ctx);
         assert_eq!(after, BlockBuf::filled(9));
     }
 
     #[test]
     fn vm_tagged_lbas_map_in_range() {
         let mut home = HomeDisk::new(100);
+        let mut disk = HomeDisk::build_disk(100);
         let mut cpu = CpuModel::xeon();
         let backing = ZeroSource;
         let mut ctx = IoCtx::verifying(&backing, &mut cpu);
         // A VM-tagged address far beyond capacity still resolves.
         let lba = Lba::new(7).with_vm(3);
-        let (t, _) = home.read(lba, Ns::ZERO, &mut ctx);
+        let (t, _) = home.read(&mut disk, lba, Ns::ZERO, &mut ctx);
         assert!(t > Ns::ZERO);
     }
 }

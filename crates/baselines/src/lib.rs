@@ -34,7 +34,6 @@
 pub mod dedup;
 pub mod home;
 pub mod lru_cache;
-pub mod lru_map;
 pub mod pure_ssd;
 pub mod raid0;
 

@@ -7,8 +7,9 @@
 //! block) and reach the disk only on eviction or flush.
 
 use crate::home::HomeDisk;
-use crate::lru_map::LruMap;
+use icash_storage::array::DeviceArray;
 use icash_storage::block::{Lba, BLOCK_SIZE};
+use icash_storage::lru::LruMap;
 use icash_storage::request::{Completion, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
@@ -45,7 +46,7 @@ struct CacheEntry {
 /// ```
 #[derive(Debug)]
 pub struct LruCache {
-    ssd: Ssd,
+    array: DeviceArray,
     home: HomeDisk,
     entries: LruMap<Lba, CacheEntry>,
     free_slots: Vec<u64>,
@@ -58,9 +59,10 @@ impl LruCache {
     pub fn new(cache_bytes: u64, data_bytes: u64) -> Self {
         let ssd = Ssd::new(SsdConfig::fusion_io(cache_bytes));
         let slots = ssd.capacity_pages();
+        let data_blocks = data_bytes.div_ceil(BLOCK_SIZE as u64);
         LruCache {
-            ssd,
-            home: HomeDisk::new(data_bytes.div_ceil(BLOCK_SIZE as u64)),
+            array: DeviceArray::coupled(ssd, HomeDisk::build_disk(data_blocks)),
+            home: HomeDisk::new(data_blocks),
             entries: LruMap::new(),
             free_slots: (0..slots).rev().collect(),
             hits: 0,
@@ -76,7 +78,7 @@ impl LruCache {
 
     /// The cache SSD.
     pub fn ssd(&self) -> &Ssd {
-        &self.ssd
+        self.array.ssd()
     }
 
     /// (hits, misses) over the run so far.
@@ -92,9 +94,9 @@ impl LruCache {
         let (victim, entry) = self.entries.pop_lru().expect("cache cannot be empty");
         if entry.dirty {
             let content = self.home.content(victim, ctx);
-            self.home.write(victim, content, at);
+            self.home.write(self.array.hdd_mut(), victim, content, at);
         }
-        self.ssd.trim(entry.slot);
+        self.array.ssd_mut().trim(entry.slot);
         entry.slot
     }
 }
@@ -111,11 +113,13 @@ impl StorageSystem for LruCache {
             // Stream to disk sequentially; drop any stale cached copies.
             for lba in req.lbas() {
                 if let Some(entry) = self.entries.remove(&lba) {
-                    self.ssd.trim(entry.slot);
+                    self.array.ssd_mut().trim(entry.slot);
                     self.free_slots.push(entry.slot);
                 }
             }
-            let t = self.home.write_span(req.lba, &req.payload, req.at);
+            let t = self
+                .home
+                .write_span(self.array.hdd_mut(), req.lba, &req.payload, req.at);
             return Completion::with_data(t, data);
         }
         for (i, lba) in req.lbas().enumerate() {
@@ -126,13 +130,19 @@ impl StorageSystem for LruCache {
                             entry.dirty = true;
                             let slot = entry.slot;
                             self.hits += 1;
-                            self.ssd.write(req.at, slot).expect("cache write")
+                            self.array
+                                .ssd_mut()
+                                .write(req.at, slot)
+                                .expect("cache write")
                         }
                         None => {
                             self.misses += 1;
                             let slot = self.take_slot(req.at, ctx);
                             self.entries.insert(lba, CacheEntry { slot, dirty: true });
-                            self.ssd.write(req.at, slot).expect("cache fill")
+                            self.array
+                                .ssd_mut()
+                                .write(req.at, slot)
+                                .expect("cache fill")
                         }
                     };
                     // Track current content for read-back (timing already
@@ -144,16 +154,19 @@ impl StorageSystem for LruCache {
                     let t = match self.entries.get(&lba).copied() {
                         Some(entry) => {
                             self.hits += 1;
-                            self.ssd.read(req.at, entry.slot).expect("cache read")
+                            self.array
+                                .ssd_mut()
+                                .read(req.at, entry.slot)
+                                .expect("cache read")
                         }
                         None => {
                             self.misses += 1;
-                            let (t, _) = self.home.read(lba, req.at, ctx);
+                            let (t, _) = self.home.read(self.array.hdd_mut(), lba, req.at, ctx);
                             // Fill the cache; the flash program overlaps the
                             // host response.
                             let slot = self.take_slot(req.at, ctx);
                             self.entries.insert(lba, CacheEntry { slot, dirty: false });
-                            self.ssd.write(t, slot).expect("cache fill");
+                            self.array.ssd_mut().write(t, slot).expect("cache fill");
                             t
                         }
                     };
@@ -177,7 +190,7 @@ impl StorageSystem for LruCache {
         let mut t = now;
         for lba in dirty {
             let content = self.home.content(lba, ctx);
-            t = self.home.write(lba, content, t);
+            t = self.home.write(self.array.hdd_mut(), lba, content, t);
             if let Some(e) = self.entries.get_mut(&lba) {
                 e.dirty = false;
             }
@@ -186,14 +199,7 @@ impl StorageSystem for LruCache {
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {
-        SystemReport {
-            name: self.name().to_string(),
-            ssd: Some(self.ssd.stats().clone()),
-            hdd: Some(self.home.disk().stats().clone()),
-            gc: Some(*self.ssd.gc_stats()),
-            ssd_life_used: Some(self.ssd.wear().life_used()),
-            device_energy: self.ssd.energy(elapsed) + self.home.disk().energy(elapsed),
-        }
+        self.array.report(self.name(), elapsed)
     }
 }
 
@@ -234,7 +240,7 @@ mod tests {
             t = sys.submit(&w, &mut ctx).finished;
         }
         // 10 dirty blocks through 4 slots: at least 6 write-backs.
-        assert!(sys.home.disk().stats().writes >= 6);
+        assert!(sys.array.hdd().stats().writes >= 6);
     }
 
     #[test]
@@ -265,9 +271,9 @@ mod tests {
         let mut sys = LruCache::new(1 << 20, 64 << 20).timing_only();
         let w = Request::write(Lba::new(3), Ns::ZERO, BlockBuf::zeroed());
         let t = sys.submit(&w, &mut ctx).finished;
-        let before = sys.home.disk().stats().writes;
+        let before = sys.array.hdd().stats().writes;
         let t2 = sys.flush(t, &mut ctx);
-        assert_eq!(sys.home.disk().stats().writes, before + 1);
+        assert_eq!(sys.array.hdd().stats().writes, before + 1);
         // A second flush has nothing to do.
         assert_eq!(sys.flush(t2, &mut ctx), t2);
     }

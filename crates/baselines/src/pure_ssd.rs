@@ -5,6 +5,7 @@
 //! garbage-collection amplification, which is exactly the behaviour I-CASH
 //! sidesteps by absorbing writes as HDD-logged deltas.
 
+use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::request::{Completion, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
@@ -32,7 +33,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct PureSsd {
-    ssd: Ssd,
+    array: DeviceArray,
     /// LBA → logical page; assigned on first touch so VM-tagged addresses
     /// coexist.
     pages: HashMap<Lba, u64>,
@@ -45,7 +46,7 @@ impl PureSsd {
     /// Creates a drive big enough for `data_bytes` of application data.
     pub fn new(data_bytes: u64) -> Self {
         PureSsd {
-            ssd: Ssd::new(SsdConfig::fusion_io(data_bytes)),
+            array: DeviceArray::ssd_only(Ssd::new(SsdConfig::fusion_io(data_bytes))),
             pages: HashMap::new(),
             next_page: 0,
             overlay: HashMap::new(),
@@ -61,7 +62,7 @@ impl PureSsd {
 
     /// The underlying SSD (wear and write counts for Tables 5–6).
     pub fn ssd(&self) -> &Ssd {
-        &self.ssd
+        self.array.ssd()
     }
 
     /// The logical page assigned to `lba`, allocating (and factory-filling)
@@ -70,7 +71,7 @@ impl PureSsd {
         match self.pages.get(&lba) {
             Some(&p) => p,
             None => {
-                let p = self.next_page % self.ssd.capacity_pages();
+                let p = self.next_page % self.array.ssd().capacity_pages();
                 self.next_page += 1;
                 self.pages.insert(lba, p);
                 p
@@ -91,17 +92,17 @@ impl StorageSystem for PureSsd {
             let page = self.page_of(lba);
             match req.op {
                 Op::Write => {
-                    done = done.max(self.ssd.write(req.at, page).expect("ssd write"));
+                    done = done.max(self.array.ssd_mut().write(req.at, page).expect("ssd write"));
                     if self.keep_content {
                         self.overlay.insert(lba, req.payload[i].clone());
                     }
                 }
                 Op::Read => {
                     // First read of an untouched page hits the factory image.
-                    if !self.ssd.is_mapped(page) {
-                        self.ssd.prefill(page).expect("prefill");
+                    if !self.array.ssd().is_mapped(page) {
+                        self.array.ssd_mut().prefill(page).expect("prefill");
                     }
-                    done = done.max(self.ssd.read(req.at, page).expect("ssd read"));
+                    done = done.max(self.array.ssd_mut().read(req.at, page).expect("ssd read"));
                     if ctx.collect_data {
                         data.push(
                             self.overlay
@@ -117,14 +118,7 @@ impl StorageSystem for PureSsd {
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {
-        SystemReport {
-            name: self.name().to_string(),
-            ssd: Some(self.ssd.stats().clone()),
-            hdd: None,
-            gc: Some(*self.ssd.gc_stats()),
-            ssd_life_used: Some(self.ssd.wear().life_used()),
-            device_energy: self.ssd.energy(elapsed),
-        }
+        self.array.report(self.name(), elapsed)
     }
 }
 

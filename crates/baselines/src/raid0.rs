@@ -6,11 +6,10 @@
 //! is why the paper's RAID0 numbers trail everything with flash in it.
 
 use crate::home::HomeDisk;
+use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
-use icash_storage::energy::MicroJoules;
 use icash_storage::hdd::{Hdd, HddConfig};
 use icash_storage::request::{Completion, Op, Request};
-use icash_storage::stats::DeviceStats;
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
 use std::collections::HashMap;
@@ -38,7 +37,7 @@ const CHUNK_BLOCKS: u64 = 16;
 /// ```
 #[derive(Debug)]
 pub struct Raid0 {
-    disks: Vec<Hdd>,
+    array: DeviceArray,
     blocks_per_disk: u64,
     data_blocks: u64,
     overlay: HashMap<Lba, BlockBuf>,
@@ -56,9 +55,11 @@ impl Raid0 {
         let data_blocks = data_bytes.div_ceil(4096).max(1);
         let blocks_per_disk = data_blocks.div_ceil(disks as u64) + CHUNK_BLOCKS;
         Raid0 {
-            disks: (0..disks)
-                .map(|_| Hdd::new(HddConfig::seagate_sata(blocks_per_disk)))
-                .collect(),
+            array: DeviceArray::striped(
+                (0..disks)
+                    .map(|_| Hdd::new(HddConfig::seagate_sata(blocks_per_disk)))
+                    .collect(),
+            ),
             blocks_per_disk,
             data_blocks,
             overlay: HashMap::new(),
@@ -74,15 +75,15 @@ impl Raid0 {
 
     /// Number of member disks.
     pub fn width(&self) -> usize {
-        self.disks.len()
+        self.array.width()
     }
 
     /// Maps a logical block to `(disk index, disk-local position)`.
     fn locate(&self, lba: Lba) -> (usize, u64) {
         let block = lba.raw() % self.data_blocks;
         let chunk = block / CHUNK_BLOCKS;
-        let disk = (chunk % self.disks.len() as u64) as usize;
-        let local_chunk = chunk / self.disks.len() as u64;
+        let disk = (chunk % self.array.width() as u64) as usize;
+        let local_chunk = chunk / self.array.width() as u64;
         let pos = (local_chunk * CHUNK_BLOCKS + block % CHUNK_BLOCKS) % self.blocks_per_disk;
         (disk, pos)
     }
@@ -100,13 +101,13 @@ impl StorageSystem for Raid0 {
             let (disk, pos) = self.locate(lba);
             match req.op {
                 Op::Write => {
-                    done = done.max(self.disks[disk].write(req.at, pos, 1));
+                    done = done.max(self.array.hdd_at_mut(disk).write(req.at, pos, 1));
                     if self.keep_content {
                         self.overlay.insert(lba, req.payload[i].clone());
                     }
                 }
                 Op::Read => {
-                    done = done.max(self.disks[disk].read(req.at, pos, 1));
+                    done = done.max(self.array.hdd_at_mut(disk).read(req.at, pos, 1));
                     if ctx.collect_data {
                         data.push(
                             self.overlay
@@ -122,20 +123,7 @@ impl StorageSystem for Raid0 {
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {
-        let mut hdd = DeviceStats::new();
-        let mut energy = MicroJoules::ZERO;
-        for d in &self.disks {
-            hdd.merge(d.stats());
-            energy.add(d.energy(elapsed));
-        }
-        SystemReport {
-            name: self.name().to_string(),
-            ssd: None,
-            hdd: Some(hdd),
-            gc: None,
-            ssd_life_used: None,
-            device_energy: energy,
-        }
+        self.array.report(self.name(), elapsed)
     }
 }
 

@@ -3,10 +3,19 @@
 //! Every exhibit runs the same recorded operation trace against the five
 //! storage architectures of §4.4 — FusionIO (pure SSD), RAID0, Dedup, LRU,
 //! and I-CASH — under identical driver settings, then formats the results
-//! the way the paper's figure does. Systems run in parallel threads (they
-//! share nothing; content generation is deterministic per replay).
+//! the way the paper's figure does.
+//!
+//! ## Execution model
+//!
+//! Each (system × workload) pair is one independent **cell**: it owns its
+//! entire simulated world (devices, RNG streams, virtual clock), so cells
+//! can run on any worker thread in any order and still produce bit-identical
+//! results. [`run_plan`] flattens all requested cells into one job list and
+//! executes it on a [`std::thread::scope`] pool sized by the
+//! `ICASH_THREADS` environment variable (default: available parallelism).
+//! A determinism regression test (`tests/determinism.rs`) holds that
+//! parallel and sequential replays serialize identically.
 
-use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
 use icash_core::{Icash, IcashConfig};
 use icash_metrics::summary::RunSummary;
 use icash_storage::system::StorageSystem;
@@ -14,7 +23,11 @@ use icash_workloads::content::ContentModel;
 use icash_workloads::driver::{run_benchmark, DriverConfig};
 use icash_workloads::spec::WorkloadSpec;
 use icash_workloads::trace::{Trace, TracePlayer};
+use icash_workloads::vm::MultiVm;
 use icash_workloads::workload::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// The five architectures of the paper's comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,8 +55,10 @@ impl SystemKind {
     ];
 
     /// Builds the system sized for `spec` (baseline caches get exactly the
-    /// I-CASH SSD budget; FusionIO gets the whole data set, §4.4).
+    /// I-CASH SSD budget; FusionIO gets the whole data set, §4.4). Every
+    /// architecture constructs its devices through [`DeviceArray`].
     pub fn build(self, spec: &WorkloadSpec) -> Box<dyn StorageSystem> {
+        use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
         match self {
             SystemKind::FusionIo => Box::new(PureSsd::new(spec.data_bytes).timing_only()),
             SystemKind::Raid0 => Box::new(Raid0::new(spec.data_bytes, 4).timing_only()),
@@ -90,103 +105,151 @@ impl ExperimentConfig {
 
     /// Honours `ICASH_OPS` / `ICASH_FULL=1` environment overrides so the
     /// same binaries drive quick checks and full reproductions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when an override is malformed:
+    /// `ICASH_OPS` must parse as a positive integer, and `ICASH_FULL` (when
+    /// set) must be `0` or `1`. A typo'd override silently falling back to
+    /// quick mode would invalidate a "full reproduction" run.
     pub fn from_env(spec: &WorkloadSpec) -> Self {
         let mut cfg = Self::quick(spec);
-        if std::env::var("ICASH_FULL")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-        {
-            cfg.ops = spec.table4_ops();
+        if let Ok(full) = std::env::var("ICASH_FULL") {
+            match full.as_str() {
+                "1" => cfg.ops = spec.table4_ops(),
+                "0" | "" => {}
+                other => {
+                    panic!("invalid ICASH_FULL={other:?}: expected \"1\" (full run) or \"0\"/unset")
+                }
+            }
         }
         if let Ok(ops) = std::env::var("ICASH_OPS") {
-            if let Ok(n) = ops.parse::<u64>() {
-                cfg.ops = n;
+            match ops.parse::<u64>() {
+                Ok(0) => panic!("invalid ICASH_OPS=0: the run must issue at least one operation"),
+                Ok(n) => cfg.ops = n,
+                Err(_) => panic!(
+                    "invalid ICASH_OPS={ops:?}: expected a positive integer number of operations"
+                ),
             }
         }
         cfg
     }
 }
 
-/// Runs one workload (built by `make_workload`) against all five systems
-/// and returns the summaries in [`SystemKind::ALL`] order.
+// ----------------------------------------------------------------------
+// The worker pool
+// ----------------------------------------------------------------------
+
+/// Worker-thread count: `ICASH_THREADS` if set, else available parallelism,
+/// clamped to the number of jobs.
 ///
-/// The op stream is recorded once and replayed bit-identically per system;
-/// systems run on parallel threads.
-pub fn run_five_systems(
-    spec: &WorkloadSpec,
-    cfg: &ExperimentConfig,
-    make_workload: impl Fn(u64) -> Box<dyn Workload>,
-) -> Vec<RunSummary> {
-    let mut source = make_workload(cfg.seed);
-    let universe = source.address_universe();
-    let trace = Trace::record(source.as_mut(), cfg.ops);
-
-    let results: Vec<(usize, RunSummary)> = crossbeam::thread::scope(|scope| {
-        let trace = &trace;
-        let universe = &universe;
-        let handles: Vec<_> = SystemKind::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, kind)| {
-                scope.spawn(move |_| {
-                    let mut system = kind.build(spec);
-                    let mut player = TracePlayer::new(spec.clone(), trace.clone())
-                        .with_universe(universe.clone());
-                    let mut model = ContentModel::new(cfg.seed, spec.profile.clone());
-                    let driver = DriverConfig {
-                        clients: cfg.clients,
-                        ops: cfg.ops,
-                        warmup_ops: cfg.ops / 4,
-                        verify: false,
-                        guest_cache: false,
-                        cpu: None,
-                    };
-                    let summary = run_benchmark(system.as_mut(), &mut player, &mut model, &driver);
-                    (i, summary)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run"))
-            .collect()
-    })
-    .expect("scope");
-
-    let mut out: Vec<Option<RunSummary>> = (0..SystemKind::ALL.len()).map(|_| None).collect();
-    for (i, s) in results {
-        out[i] = Some(s);
-    }
-    out.into_iter().map(|s| s.expect("all ran")).collect()
+/// # Panics
+///
+/// Panics when `ICASH_THREADS` is set but is not a positive integer.
+fn worker_count(jobs: usize) -> usize {
+    let configured = match std::env::var("ICASH_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(0) | Err(_) => {
+                panic!("invalid ICASH_THREADS={v:?}: expected a positive integer thread count")
+            }
+            Ok(n) => n,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    configured.max(1).min(jobs.max(1))
 }
 
-/// The standard single-workload exhibit: scale per environment, announce,
-/// run the five systems. Returns the scaled spec and the summaries.
-pub fn standard_run(base: &WorkloadSpec) -> (WorkloadSpec, Vec<RunSummary>) {
-    let cfg = ExperimentConfig::from_env(base);
-    let spec = cfg.scaled_spec(base);
-    eprintln!(
-        "running {}: {} ops x 5 systems ({} clients, data {} MB, ssd {} MB)",
-        spec.name,
-        cfg.ops,
-        cfg.clients,
-        spec.data_bytes >> 20,
-        spec.ssd_bytes >> 20
-    );
-    let wl_spec = spec.clone();
-    let summaries = run_five_systems(&spec, &cfg, move |seed| {
-        Box::new(icash_workloads::MixedWorkload::new(wl_spec.clone(), seed))
+/// Runs `jobs` on a scoped worker pool and returns their results in job
+/// order. Workers pull the next job index from a shared atomic counter, so
+/// scheduling is dynamic but the output order (and, because every job is a
+/// self-contained simulation, every result) is deterministic.
+fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let workers = worker_count(jobs.len());
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job slot")
+                    .take()
+                    .expect("job taken once");
+                let result = job();
+                *results[i].lock().expect("result slot") = Some(result);
+            });
+        }
     });
-    (spec, summaries)
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result lock").expect("job ran"))
+        .collect()
 }
 
-/// The multi-VM exhibit runner (Figures 15-16): `make` builds the 5-VM
-/// workload; the aggregate spec is scaled and the inner VMs rescaled with
-/// it.
-pub fn vm_run(
-    make: impl Fn(u64) -> icash_workloads::vm::MultiVm + Copy,
-) -> (WorkloadSpec, Vec<RunSummary>) {
-    let base = make(0).spec().clone();
+// ----------------------------------------------------------------------
+// Planning and running cells
+// ----------------------------------------------------------------------
+
+/// One workload an exhibit wants run against all five systems.
+pub enum PlannedWorkload {
+    /// A single-machine workload generated from the spec itself.
+    Standard(WorkloadSpec),
+    /// A five-VM consolidation workload (Figures 15-16): the constructor
+    /// builds the aggregate from a seed; the spec is rescaled per
+    /// environment before VM construction.
+    MultiVm(fn(u64) -> MultiVm),
+}
+
+impl std::fmt::Debug for PlannedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannedWorkload::Standard(spec) => f.debug_tuple("Standard").field(&spec.name).finish(),
+            PlannedWorkload::MultiVm(_) => f.debug_tuple("MultiVm").finish(),
+        }
+    }
+}
+
+/// A recorded, scaled workload ready to fan out into five cells.
+struct PreparedWorkload {
+    spec: WorkloadSpec,
+    cfg: ExperimentConfig,
+    trace: Trace,
+    universe: Vec<(u8, u64)>,
+}
+
+/// Builds a workload instance for one cell from its seed and scaled spec.
+type WorkloadFactory = Box<dyn Fn(u64, &WorkloadSpec) -> Box<dyn Workload>>;
+
+fn prepare(plan: &PlannedWorkload) -> PreparedWorkload {
+    let (base, make): (WorkloadSpec, WorkloadFactory) = match plan {
+        PlannedWorkload::Standard(spec) => (
+            spec.clone(),
+            Box::new(|seed, scaled: &WorkloadSpec| {
+                Box::new(icash_workloads::MixedWorkload::new(scaled.clone(), seed))
+                    as Box<dyn Workload>
+            }),
+        ),
+        PlannedWorkload::MultiVm(make) => {
+            let make = *make;
+            (
+                make(0).spec().clone(),
+                Box::new(move |seed, scaled: &WorkloadSpec| {
+                    Box::new(icash_workloads::vm::rescale(make, seed, scaled)) as Box<dyn Workload>
+                }),
+            )
+        }
+    };
     let cfg = ExperimentConfig::from_env(&base);
     let spec = cfg.scaled_spec(&base);
     eprintln!(
@@ -197,17 +260,165 @@ pub fn vm_run(
         spec.data_bytes >> 20,
         spec.ssd_bytes >> 20
     );
-    let scaled = spec.clone();
-    let summaries = run_five_systems(&spec, &cfg, move |seed| {
-        Box::new(icash_workloads::vm::rescale(make, seed, &scaled))
-    });
-    (spec, summaries)
+    let mut source = make(cfg.seed, &spec);
+    let universe = source.address_universe();
+    let trace = Trace::record(source.as_mut(), cfg.ops);
+    PreparedWorkload {
+        spec,
+        cfg,
+        trace,
+        universe,
+    }
+}
+
+/// Runs one prepared cell: build the system, replay the trace, time it.
+fn run_cell(kind: SystemKind, prep: &PreparedWorkload) -> RunSummary {
+    let wall_start = Instant::now();
+    let mut system = kind.build(&prep.spec);
+    let mut player = TracePlayer::new(prep.spec.clone(), prep.trace.clone())
+        .with_universe(prep.universe.clone());
+    let mut model = ContentModel::new(prep.cfg.seed, prep.spec.profile.clone());
+    let driver = DriverConfig {
+        clients: prep.cfg.clients,
+        ops: prep.cfg.ops,
+        warmup_ops: prep.cfg.ops / 4,
+        verify: false,
+        guest_cache: false,
+        cpu: None,
+    };
+    let mut summary = run_benchmark(system.as_mut(), &mut player, &mut model, &driver);
+    summary.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    summary
+}
+
+/// Runs every planned workload against all five systems, with all
+/// (system × workload) cells sharing one worker pool — so a slow cell in
+/// one workload overlaps with cells of every other workload. Returns, per
+/// plan in order, the scaled spec and the five summaries in
+/// [`SystemKind::ALL`] order.
+pub fn run_plan(plans: &[PlannedWorkload]) -> Vec<(WorkloadSpec, Vec<RunSummary>)> {
+    let prepared: Vec<PreparedWorkload> = plans.iter().map(prepare).collect();
+    let jobs: Vec<_> = prepared
+        .iter()
+        .flat_map(|prep| SystemKind::ALL.iter().map(move |&kind| (kind, prep)))
+        .map(|(kind, prep)| move || run_cell(kind, prep))
+        .collect();
+    let mut results = run_jobs(jobs).into_iter();
+    prepared
+        .into_iter()
+        .map(|prep| {
+            let summaries: Vec<RunSummary> = SystemKind::ALL
+                .iter()
+                .map(|_| results.next().expect("cell ran"))
+                .collect();
+            (prep.spec, summaries)
+        })
+        .collect()
+}
+
+/// Runs one workload (built by `make_workload`) against all five systems
+/// and returns the summaries in [`SystemKind::ALL`] order.
+///
+/// The op stream is recorded once and replayed bit-identically per system;
+/// cells run on the shared worker pool (see the module docs).
+pub fn run_five_systems(
+    spec: &WorkloadSpec,
+    cfg: &ExperimentConfig,
+    make_workload: impl Fn(u64) -> Box<dyn Workload>,
+) -> Vec<RunSummary> {
+    let mut source = make_workload(cfg.seed);
+    let universe = source.address_universe();
+    let trace = Trace::record(source.as_mut(), cfg.ops);
+    let prep = PreparedWorkload {
+        spec: spec.clone(),
+        cfg: cfg.clone(),
+        trace,
+        universe,
+    };
+    let jobs: Vec<_> = SystemKind::ALL
+        .iter()
+        .map(|&kind| {
+            let prep = &prep;
+            move || run_cell(kind, prep)
+        })
+        .collect();
+    run_jobs(jobs)
+}
+
+/// The standard single-workload exhibit: scale per environment, announce,
+/// run the five systems. Returns the scaled spec and the summaries.
+pub fn standard_run(base: &WorkloadSpec) -> (WorkloadSpec, Vec<RunSummary>) {
+    run_plan(std::slice::from_ref(&PlannedWorkload::Standard(
+        base.clone(),
+    )))
+    .pop()
+    .expect("one plan in, one result out")
+}
+
+/// The multi-VM exhibit runner (Figures 15-16): `make` builds the 5-VM
+/// workload; the aggregate spec is scaled and the inner VMs rescaled with
+/// it.
+pub fn vm_run(make: fn(u64) -> MultiVm) -> (WorkloadSpec, Vec<RunSummary>) {
+    run_plan(std::slice::from_ref(&PlannedWorkload::MultiVm(make)))
+        .pop()
+        .expect("one plan in, one result out")
+}
+
+/// Formats the per-cell instrumentation table: ops replayed, virtual time
+/// advanced, host wall time, and replay throughput for every
+/// (workload × system) cell, plus a totals row.
+pub fn cell_table(results: &[(WorkloadSpec, Vec<RunSummary>)]) -> String {
+    let mut out = String::from(
+        "| Workload | System | Ops replayed | Virtual time | Wall time | Replay rate |\n\
+         |---|---|---:|---:|---:|---:|\n",
+    );
+    let mut total_ops = 0u64;
+    let mut total_wall_ns = 0u64;
+    for (spec, summaries) in results {
+        for s in summaries {
+            let wall_s = s.wall_ns as f64 / 1e9;
+            let rate = if s.wall_ns == 0 {
+                0.0
+            } else {
+                s.ops as f64 / wall_s
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.2} s | {:.3} s | {:.0} ops/s |\n",
+                spec.name,
+                s.system,
+                s.ops,
+                s.elapsed.as_secs_f64(),
+                wall_s,
+                rate
+            ));
+            total_ops += s.ops;
+            total_wall_ns += s.wall_ns;
+        }
+    }
+    out.push_str(&format!(
+        "\n{} cells, {} ops replayed, {:.3} s of cell wall time ({} workers)\n",
+        results.iter().map(|(_, s)| s.len()).sum::<usize>(),
+        total_ops,
+        total_wall_ns as f64 / 1e9,
+        worker_count(usize::MAX),
+    ));
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use icash_workloads::sysbench;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that mutate process-global environment variables.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn env_guard() -> MutexGuard<'static, ()> {
+        ENV_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 
     #[test]
     fn five_systems_run_one_small_workload() {
@@ -233,15 +444,90 @@ mod tests {
         for s in &summaries {
             assert_eq!(s.ops, 2_000);
             assert!(s.elapsed.as_ns() > 0, "{} did not advance time", s.system);
+            assert!(s.wall_ns > 0, "{} cell was not wall-timed", s.system);
         }
     }
 
     #[test]
     fn env_overrides_ops() {
+        let _guard = env_guard();
         let spec = sysbench::spec();
         std::env::set_var("ICASH_OPS", "1234");
         let cfg = ExperimentConfig::from_env(&spec);
         std::env::remove_var("ICASH_OPS");
         assert_eq!(cfg.ops, 1234);
+    }
+
+    #[test]
+    fn zero_ops_override_is_rejected() {
+        let _guard = env_guard();
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_OPS", "0");
+        let result = std::panic::catch_unwind(|| ExperimentConfig::from_env(&spec));
+        std::env::remove_var("ICASH_OPS");
+        let message = panic_message(result);
+        assert!(message.contains("ICASH_OPS=0"), "got: {message}");
+    }
+
+    #[test]
+    fn non_numeric_ops_override_is_rejected() {
+        let _guard = env_guard();
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_OPS", "lots");
+        let result = std::panic::catch_unwind(|| ExperimentConfig::from_env(&spec));
+        std::env::remove_var("ICASH_OPS");
+        let message = panic_message(result);
+        assert!(
+            message.contains("ICASH_OPS=\"lots\"") && message.contains("positive integer"),
+            "got: {message}"
+        );
+    }
+
+    #[test]
+    fn bad_full_flag_is_rejected() {
+        let _guard = env_guard();
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_FULL", "yes");
+        let result = std::panic::catch_unwind(|| ExperimentConfig::from_env(&spec));
+        std::env::remove_var("ICASH_FULL");
+        let message = panic_message(result);
+        assert!(message.contains("ICASH_FULL"), "got: {message}");
+    }
+
+    #[test]
+    fn bad_thread_count_is_rejected() {
+        let _guard = env_guard();
+        std::env::set_var("ICASH_THREADS", "0");
+        let result = std::panic::catch_unwind(|| worker_count(4));
+        std::env::remove_var("ICASH_THREADS");
+        let message = panic_message(result);
+        assert!(message.contains("ICASH_THREADS"), "got: {message}");
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_jobs() {
+        let _guard = env_guard();
+        std::env::set_var("ICASH_THREADS", "64");
+        let n = worker_count(3);
+        std::env::remove_var("ICASH_THREADS");
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn pool_preserves_job_order() {
+        let jobs: Vec<_> = (0..37).map(|i| move || i * i).collect();
+        let results = run_jobs(jobs);
+        assert_eq!(results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    fn panic_message<T>(result: std::thread::Result<T>) -> String {
+        let err = match result {
+            Ok(_) => panic!("validation must reject the override"),
+            Err(err) => err,
+        };
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
     }
 }

@@ -27,6 +27,7 @@ use icash_delta::codec::DeltaCodec;
 use icash_delta::heatmap::Heatmap;
 use icash_delta::signature::BlockSignature;
 use icash_delta::similarity::SimilarityFilter;
+use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::cpu::CpuOp;
 use icash_storage::hdd::Hdd;
@@ -80,8 +81,9 @@ pub(crate) enum EvictedState {
 #[derive(Debug)]
 pub struct Icash {
     pub(crate) cfg: IcashConfig,
-    pub(crate) ssd: Ssd,
-    pub(crate) hdd: Hdd,
+    /// The coupled SSD + HDD pair plus the RAM-buffer budget; owns all
+    /// device accounting (stats, wear, energy, report assembly).
+    pub(crate) array: DeviceArray,
     pub(crate) codec: DeltaCodec,
     pub(crate) filter: SimilarityFilter,
     pub(crate) heatmap: Heatmap,
@@ -115,14 +117,14 @@ impl Icash {
         cfg.validate();
         let ssd = Ssd::new(cfg.ssd_config());
         let hdd = Hdd::new(cfg.hdd_config());
+        let array = DeviceArray::coupled(ssd, hdd).with_ram_buffer(cfg.ram_budget() as u64);
         let pool = SegmentPool::new(cfg.ram_budget(), cfg.segment_bytes);
         let log = DeltaLog::new(cfg.log_blocks);
         // Metadata is ~100 B/block; allow 16 tracked blocks per RAM-resident
         // block, bounded to keep the table itself small.
         let max_virtual_blocks = ((cfg.ram_budget() / 4096) * 16).clamp(4_096, 4 << 20);
         Icash {
-            ssd,
-            hdd,
+            array,
             codec: DeltaCodec::default(),
             filter: SimilarityFilter::default(),
             heatmap: Heatmap::standard(),
@@ -176,14 +178,19 @@ impl Icash {
         self.table.validate();
     }
 
+    /// The device array (SSD + HDD + RAM budget) backing the controller.
+    pub fn devices(&self) -> &DeviceArray {
+        &self.array
+    }
+
     /// The SSD device (wear, GC, op counts — Table 6 reads its writes).
     pub fn ssd(&self) -> &Ssd {
-        &self.ssd
+        self.array.ssd()
     }
 
     /// The HDD device.
     pub fn hdd(&self) -> &Hdd {
-        &self.hdd
+        self.array.hdd()
     }
 
     /// The HDD home-area position backing `lba`.
@@ -240,7 +247,7 @@ impl Icash {
                     // No dependants and nothing similar left: retire the
                     // reference and overwrite its SSD copy in place.
                     let s = slot.expect("reference without slot");
-                    resp = self.ssd.write(at, s).expect("ssd write");
+                    resp = self.array.ssd_mut().write(at, s).expect("ssd write");
                     self.ssd_store.insert(s, content.clone());
                     let sig_old = self.table.get(id).sig;
                     self.ref_index.remove(lba, &sig_old);
@@ -268,7 +275,7 @@ impl Icash {
             Role::Independent => {
                 if let Some(s) = slot {
                     // Already SSD-resident from an earlier direct write.
-                    resp = self.ssd.write(at, s).expect("ssd write");
+                    resp = self.array.ssd_mut().write(at, s).expect("ssd write");
                     self.ssd_store.insert(s, content.clone());
                     self.stats.ssd_direct_writes += 1;
                 } else if !self.try_bind(id, &content, &sig, at, ctx) {
@@ -331,7 +338,7 @@ impl Icash {
                 return self.write_as_independent(id, &content, at, ctx).max(at);
             }
         };
-        let t = self.ssd.write(at, slot).expect("ssd write");
+        let t = self.array.ssd_mut().write(at, slot).expect("ssd write");
         self.ssd_store.insert(slot, content.clone());
         self.slot_dir.insert(lba, slot);
         self.drop_delta(id);
@@ -468,7 +475,11 @@ impl Icash {
         match role {
             Role::Reference => {
                 let s = slot.expect("reference without slot");
-                let mut t = self.ssd.read(at, s).expect("reference slot mapped");
+                let mut t = self
+                    .array
+                    .ssd_mut()
+                    .read(at, s)
+                    .expect("reference slot mapped");
                 let base = self.ssd_store[&s].clone();
                 // A written reference needs its own delta applied.
                 if has_delta || log_loc.is_some() {
@@ -514,7 +525,7 @@ impl Icash {
             }
             Role::Independent => {
                 if let Some(s) = slot {
-                    let t = self.ssd.read(at, s).expect("slot mapped");
+                    let t = self.array.ssd_mut().read(at, s).expect("slot mapped");
                     self.stats.delta_hits += 1;
                     (t, self.ssd_store[&s].clone())
                 } else if has_delta || log_loc.is_some() {
@@ -538,7 +549,7 @@ impl Icash {
                 } else {
                     // Fall through to the mechanical home area.
                     let pos = self.home_pos(lba);
-                    let t = self.hdd.read(at, pos, 1);
+                    let t = self.array.hdd_mut().read(at, pos, 1);
                     self.stats.home_reads += 1;
                     let content = self
                         .home_overlay
@@ -572,7 +583,11 @@ impl Icash {
         if vb.data.is_some() && vb.delta.is_none() && vb.log_loc.is_none() {
             (at, base)
         } else {
-            let t = self.ssd.read(at, slot).expect("reference slot mapped");
+            let t = self
+                .array
+                .ssd_mut()
+                .read(at, slot)
+                .expect("reference slot mapped");
             (t, base)
         }
     }
@@ -588,9 +603,8 @@ impl Icash {
         let loc = self.table.get(id).log_loc.expect("delta must be logged");
         let lba = self.table.get(id).lba;
         let span = (READAHEAD as u64).min(self.log.len_blocks() - loc as u64) as u32;
-        let t = self
-            .hdd
-            .read(at, self.cfg.log_start() + loc as u64, span.max(1));
+        let log_pos = self.cfg.log_start() + loc as u64;
+        let t = self.array.hdd_mut().read(at, log_pos, span.max(1));
         self.stats.log_fetches += 1;
 
         let entries: Vec<(u32, Lba, icash_delta::codec::Delta)> = (loc..loc + span.max(1))
@@ -918,7 +932,7 @@ impl Icash {
                     continue;
                 }
                 if let Some(slot) = self.alloc_slot() {
-                    self.ssd.prefill(slot).expect("factory image");
+                    self.array.ssd_mut().prefill(slot).expect("factory image");
                     self.ssd_store.insert(slot, content);
                     self.slot_dir.insert(lba, slot);
                     let mut vb = VirtualBlock::independent(lba, sig);
@@ -982,13 +996,6 @@ impl StorageSystem for Icash {
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {
-        SystemReport {
-            name: self.name().to_string(),
-            ssd: Some(self.ssd.stats().clone()),
-            hdd: Some(self.hdd.stats().clone()),
-            gc: Some(*self.ssd.gc_stats()),
-            ssd_life_used: Some(self.ssd.wear().life_used()),
-            device_energy: self.ssd.energy(elapsed) + self.hdd.energy(elapsed),
-        }
+        self.array.report(self.name(), elapsed)
     }
 }

@@ -11,8 +11,9 @@
 //!
 //! * [`controller`] — the [`Icash`] storage element ([read/write paths](Icash::submit)).
 //! * [`config`] — tunables; defaults follow the paper's prototype.
-//! * [`table`], [`virtual_block`], [`lru`] — the virtual-block machinery
-//!   (reference / associate / independent roles, §4.3).
+//! * [`table`], [`virtual_block`] — the virtual-block machinery
+//!   (reference / associate / independent roles, §4.3); the recency list
+//!   is the workspace-wide [`icash_storage::lru`] (re-exported as [`lru`]).
 //! * [`segment`] — the 64-byte-segment RAM budget.
 //! * [`delta_log`] — the packed HDD delta log (§3.1).
 //! * [`ref_index`] — sub-signature index over the reference set.
@@ -48,7 +49,6 @@
 pub mod config;
 pub mod controller;
 pub mod delta_log;
-pub mod lru;
 pub mod maintenance;
 pub mod recovery;
 pub mod ref_index;
@@ -59,5 +59,6 @@ pub mod virtual_block;
 
 pub use config::{IcashConfig, IcashConfigBuilder};
 pub use controller::Icash;
+pub use icash_storage::lru;
 pub use stats::IcashStats;
 pub use virtual_block::Role;

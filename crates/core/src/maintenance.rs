@@ -62,7 +62,7 @@ impl Icash {
             flushed.push(id);
         }
         let report = self.log.append(entries);
-        let t = self.hdd.write(
+        let t = self.array.hdd_mut().write(
             now,
             self.cfg.log_start() + report.first_block,
             report.blocks_written,
@@ -103,7 +103,7 @@ impl Icash {
         }
         let (new_locs, blocks) = self.log.clean(|lba, loc| expected.get(&lba) == Some(&loc));
         if blocks > 0 {
-            self.hdd.write(
+            self.array.hdd_mut().write(
                 now,
                 self.cfg.log_start(),
                 blocks.min(u32::MAX as u64) as u32,
@@ -151,7 +151,8 @@ impl Icash {
             vb.dirty_data = false;
             (vb.lba, content)
         };
-        let t = self.hdd.write(now, self.home_pos(lba), 1);
+        let pos = self.home_pos(lba);
+        let t = self.array.hdd_mut().write(now, pos, 1);
         self.home_overlay.insert(lba, content);
         t
     }
@@ -254,7 +255,7 @@ impl Icash {
                     .data
                     .clone()
                     .expect("promotion needs data");
-                self.ssd.write(now, s).expect("ssd write");
+                self.array.ssd_mut().write(now, s).expect("ssd write");
                 self.ssd_store.insert(s, content);
                 s
             }
@@ -295,9 +296,10 @@ impl Icash {
             (vb.lba, vb.ssd_slot.expect("reference without slot"), vb.sig)
         };
         let content = self.ssd_store.remove(&slot).expect("slot content");
-        self.hdd.write(now, self.home_pos(lba), 1);
+        let pos = self.home_pos(lba);
+        self.array.hdd_mut().write(now, pos, 1);
         self.home_overlay.insert(lba, content);
-        self.ssd.trim(slot);
+        self.array.ssd_mut().trim(slot);
         self.free_slots.push(slot);
         self.slot_dir.remove(&lba);
         self.ref_index.remove(lba, &sig);
@@ -336,9 +338,10 @@ impl Icash {
             .collect();
         for (lba, slot) in spill {
             let content = self.ssd_store.remove(&slot).expect("slot content");
-            self.hdd.write(now, self.home_pos(lba), 1);
+            let pos = self.home_pos(lba);
+            self.array.hdd_mut().write(now, pos, 1);
             self.home_overlay.insert(lba, content);
-            self.ssd.trim(slot);
+            self.array.ssd_mut().trim(slot);
             self.free_slots.push(slot);
             self.slot_dir.remove(&lba);
             self.evicted.remove(&lba);

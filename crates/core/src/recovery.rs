@@ -31,8 +31,7 @@ impl Icash {
     pub fn crash_and_recover(self) -> Icash {
         let Icash {
             cfg,
-            ssd,
-            hdd,
+            array,
             codec,
             filter,
             log,
@@ -127,8 +126,7 @@ impl Icash {
             ios_since_flush: 0,
             stats: IcashStats::default(),
             cfg,
-            ssd,
-            hdd,
+            array,
             codec,
             filter,
             log,

@@ -131,6 +131,28 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// A canonical JSON rendering: summary fields plus the non-empty
+    /// buckets as `[index, count]` pairs. Two histograms produce the same
+    /// string iff they recorded identical sample multisets (up to bucket
+    /// resolution) — the determinism tests compare these.
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{i},{c}]"))
+            .collect();
+        format!(
+            "{{\"total\":{},\"sum_ns\":{},\"min\":{},\"max\":{},\"counts\":[{}]}}",
+            self.total,
+            self.sum_ns,
+            self.min().as_ns(),
+            self.max.as_ns(),
+            counts.join(",")
+        )
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

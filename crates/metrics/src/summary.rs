@@ -36,6 +36,11 @@ pub struct RunSummary {
     pub energy_wh: f64,
     /// The storage system's own report (device stats, GC, wear).
     pub report: SystemReport,
+    /// Real (host) time the harness spent producing this cell, in
+    /// nanoseconds. Pure instrumentation: it is set by the harness, varies
+    /// run to run, and is deliberately excluded from [`RunSummary::to_json`]
+    /// so parallel and sequential replays stay bit-identical.
+    pub wall_ns: u64,
 }
 
 impl RunSummary {
@@ -105,6 +110,77 @@ impl RunSummary {
     pub fn loadsim_score(&self) -> f64 {
         self.mean_response_ms() * 1000.0
     }
+
+    /// A canonical JSON rendering of every *simulation-determined* field.
+    ///
+    /// Two summaries render identically iff the simulated runs were
+    /// bit-identical; `wall_ns` (host-time instrumentation) is excluded on
+    /// purpose. Floats use Rust's shortest round-trip `{:?}` form, so equal
+    /// bit patterns give equal strings. The determinism regression test
+    /// compares these strings across `ICASH_THREADS` settings.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let dev = |d: &Option<icash_storage::stats::DeviceStats>| match d {
+            None => "null".to_string(),
+            Some(d) => format!(
+                "{{\"reads\":{},\"writes\":{},\"erases\":{},\"read_bytes\":{},\
+                 \"write_bytes\":{},\"busy\":{},\"queued\":{}}}",
+                d.reads,
+                d.writes,
+                d.erases,
+                d.read_bytes,
+                d.write_bytes,
+                d.busy.as_ns(),
+                d.queued.as_ns()
+            ),
+        };
+        let gc = match &r.gc {
+            None => "null".to_string(),
+            Some(g) => format!(
+                "{{\"collections\":{},\"moved_pages\":{},\"erases\":{},\
+                 \"host_programs\":{},\"gc_programs\":{}}}",
+                g.collections, g.moved_pages, g.erases, g.host_programs, g.gc_programs
+            ),
+        };
+        let life = match r.ssd_life_used {
+            None => "null".to_string(),
+            Some(l) => format!("{l:?}"),
+        };
+        format!(
+            "{{\"system\":{:?},\"workload\":{:?},\"ops\":{},\"transactions\":{},\
+             \"elapsed_ns\":{},\"steady_ops\":{},\"steady_elapsed_ns\":{},\
+             \"read_latency\":{},\"write_latency\":{},\
+             \"cpu_utilization\":{:?},\"storage_cpu_utilization\":{:?},\
+             \"ssd_writes\":{},\"energy_wh\":{:?},\
+             \"report\":{{\"name\":{:?},\"ssd\":{},\"hdd\":{},\"gc\":{},\
+             \"ssd_life_used\":{},\"device_energy_uj\":{:?}}}}}",
+            self.system,
+            self.workload,
+            self.ops,
+            self.transactions,
+            self.elapsed.as_ns(),
+            self.steady_ops,
+            self.steady_elapsed.as_ns(),
+            self.read_latency.to_json(),
+            self.write_latency.to_json(),
+            self.cpu_utilization,
+            self.storage_cpu_utilization,
+            self.ssd_writes,
+            self.energy_wh,
+            r.name,
+            dev(&r.ssd),
+            dev(&r.hdd),
+            gc,
+            life,
+            r.device_energy.as_uj(),
+        )
+    }
+
+    /// Renders a whole result vector as a JSON array (determinism tests).
+    pub fn slice_to_json(summaries: &[RunSummary]) -> String {
+        let items: Vec<String> = summaries.iter().map(|s| s.to_json()).collect();
+        format!("[{}]", items.join(","))
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +208,7 @@ mod tests {
             ssd_writes: 7,
             energy_wh: 0.2,
             report: SystemReport::default(),
+            wall_ns: 0,
         }
     }
 
@@ -157,5 +234,24 @@ mod tests {
         s.elapsed = Ns::ZERO;
         assert_eq!(s.transactions_per_sec(), 0.0);
         assert_eq!(s.ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_ignores_wall_time_but_sees_everything_else() {
+        let a = summary();
+        let mut b = summary();
+        b.wall_ns = 123_456_789; // host-time noise must not affect the digest
+        assert_eq!(a.to_json(), b.to_json());
+
+        let mut c = summary();
+        c.ssd_writes += 1;
+        assert_ne!(a.to_json(), c.to_json());
+        let mut d = summary();
+        d.read_latency.record(Ns::from_us(99));
+        assert_ne!(a.to_json(), d.to_json());
+
+        let arr = RunSummary::slice_to_json(&[a.clone(), b]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert!(arr.contains("\"system\":\"test\""));
     }
 }

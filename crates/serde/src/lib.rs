@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives from the sibling
+//! `serde_derive` stub so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(...)]` compiles unchanged. No trait machinery is provided —
+//! nothing in the workspace performs serde-based (de)serialization.
+
+pub use serde_derive::{Deserialize, Serialize};

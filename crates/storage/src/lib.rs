@@ -4,6 +4,8 @@
 //! the I-CASH reproduction (Ren & Yang, HPCA 2011):
 //!
 //! * [`time`] — deterministic virtual-time clock ([`time::Ns`]).
+//! * [`array`] — the [`array::DeviceArray`] service layer owning each
+//!   system's devices and their shared accounting.
 //! * [`block`] — 4 KB block addressing and content buffers.
 //! * [`request`] — host block I/O requests and completions.
 //! * [`hdd`] — mechanical disk model (seek + rotation + transfer).
@@ -12,6 +14,9 @@
 //! * [`cpu`] — CPU-time model for the computation I-CASH trades for I/O.
 //! * [`energy`] — component energy meters (Table 5's power-meter stand-in).
 //! * [`stats`] — per-device operation statistics (Table 6's counters).
+//! * [`lru`] — the workspace's single LRU implementation ([`lru::LruList`]
+//!   and the keyed [`lru::LruMap`]), shared by the controller, the
+//!   baselines and the workload driver.
 //! * [`system`] — the [`system::StorageSystem`] trait every architecture
 //!   (I-CASH and the four baselines) implements.
 //!
@@ -42,16 +47,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod array;
 pub mod block;
 pub mod cpu;
 pub mod energy;
 pub mod hdd;
+pub mod lru;
 pub mod request;
 pub mod ssd;
 pub mod stats;
 pub mod system;
 pub mod time;
 
+pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
 pub use request::{Completion, Op, Request};
 pub use system::{ContentSource, IoCtx, StorageSystem, SystemReport, ZeroSource};

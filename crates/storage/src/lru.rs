@@ -1,21 +1,29 @@
-//! Intrusive LRU list over slab indices.
+//! The workspace's single LRU implementation.
 //!
-//! The I-CASH controller keeps every virtual block on one LRU list (paper
-//! §4.3). The list is index-linked so membership costs two `usize`s per
-//! slot and every operation is O(1); the scanner walks the head (most
-//! recent) and the replacement policies walk the tail.
+//! Historically the tree carried three parallel recency structures: an
+//! intrusive index-linked list in the I-CASH controller, a
+//! `HashMap`+`BTreeMap` tick map in the caching baselines, and another tick
+//! map inside the driver's guest page cache. They are unified here:
+//! [`LruList`] is the intrusive O(1) list (paper §4.3 keeps every virtual
+//! block on it), and [`LruMap`] is a keyed map built *on top of* that same
+//! list plus a slab — so every consumer shares one eviction-order
+//! implementation and one set of invariants.
+//!
+//! With the `debug_validate` feature enabled, every mutating [`LruList`]
+//! operation re-checks the full link structure ([`LruList::validate`]);
+//! CI exercises this, release builds pay nothing.
 
 const NONE: usize = usize::MAX;
 
 /// An intrusive doubly-linked LRU list over external slab indices.
 ///
-/// Slots must be `attach`ed before use and are identified by their slab
-/// index. The *front* is the most recently used end.
+/// Slots must be grown before use ([`LruList::grow_to`]) and are identified
+/// by their slab index. The *front* is the most recently used end.
 ///
 /// # Examples
 ///
 /// ```
-/// use icash_core::lru::LruList;
+/// use icash_storage::lru::LruList;
 ///
 /// let mut lru = LruList::new();
 /// for i in 0..3 {
@@ -111,6 +119,7 @@ impl LruList {
             self.tail = idx;
         }
         self.len += 1;
+        self.debug_validate();
     }
 
     /// Removes `idx` from the list.
@@ -135,6 +144,7 @@ impl LruList {
         self.prev[idx] = NONE;
         self.next[idx] = NONE;
         self.len -= 1;
+        self.debug_validate();
     }
 
     /// Moves `idx` to the front (marks it most recently used).
@@ -170,6 +180,14 @@ impl LruList {
         }
         assert_eq!(count, self.len, "list length mismatch");
         assert_eq!(self.tail, prev, "tail pointer mismatch");
+    }
+
+    /// [`LruList::validate`] after every mutation when the `debug_validate`
+    /// feature is on; free otherwise.
+    #[inline]
+    fn debug_validate(&self) {
+        #[cfg(feature = "debug_validate")]
+        self.validate();
     }
 
     /// Iterates from most recent to least recent.
@@ -214,6 +232,144 @@ impl Iterator for LruIter<'_> {
             self.list.prev[item]
         };
         Some(item)
+    }
+}
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A map with least-recently-used eviction order, built over [`LruList`].
+///
+/// Keys map to slab slots; the shared intrusive list tracks recency, so
+/// every operation is O(1) (the old baseline implementation paid O(log n)
+/// through a `BTreeMap` of recency ticks).
+///
+/// # Examples
+///
+/// ```
+/// use icash_storage::lru::LruMap;
+///
+/// let mut cache: LruMap<&str, u32> = LruMap::new();
+/// cache.insert("a", 1);
+/// cache.insert("b", 2);
+/// cache.get(&"a"); // refresh "a"
+/// assert_eq!(cache.pop_lru(), Some(("b", 2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruMap<K, V> {
+    list: LruList,
+    index: HashMap<K, usize>,
+    slots: Vec<Option<(K, V)>>,
+    free: Vec<usize>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        LruMap {
+            list: LruList::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is present (does not refresh recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts or replaces `key`, marking it most recently used. Returns
+    /// the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&slot) = self.index.get(&key) {
+            self.list.touch(slot);
+            let (_, old) = self.slots[slot]
+                .replace((key, value))
+                .expect("indexed slot");
+            return Some(old);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.list.grow_to(self.slots.len());
+                self.slots.len() - 1
+            }
+        };
+        self.slots[slot] = Some((key.clone(), value));
+        self.index.insert(key, slot);
+        self.list.push_front(slot);
+        None
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.index.get(key)?;
+        self.list.touch(slot);
+        self.slots[slot].as_ref().map(|(_, v)| v)
+    }
+
+    /// Looks up `key` without refreshing recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let &slot = self.index.get(key)?;
+        self.slots[slot].as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable lookup, marking the entry most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let &slot = self.index.get(key)?;
+        self.list.touch(slot);
+        self.slots[slot].as_mut().map(|(_, v)| v)
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.index.remove(key)?;
+        self.list.remove(slot);
+        self.free.push(slot);
+        self.slots[slot].take().map(|(_, v)| v)
+    }
+
+    /// Removes and returns the least recently used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        let slot = self.list.tail()?;
+        self.list.remove(slot);
+        self.free.push(slot);
+        let (key, value) = self.slots[slot].take().expect("listed slot");
+        self.index.remove(&key);
+        Some((key, value))
+    }
+
+    /// Iterates over entries in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterates over entries from most to least recently used.
+    pub fn iter_recent(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.list.iter_front().map(|slot| {
+            let (k, v) = self.slots[slot].as_ref().expect("listed slot");
+            (k, v)
+        })
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for LruMap<K, V> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -300,5 +456,84 @@ mod tests {
         let mut l = LruList::new();
         l.grow_to(1);
         l.remove(0);
+    }
+
+    #[test]
+    fn map_eviction_order_follows_use() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(3, "c");
+        m.get(&1);
+        assert_eq!(m.pop_lru(), Some((2, "b")));
+        assert_eq!(m.pop_lru(), Some((3, "c")));
+        assert_eq!(m.pop_lru(), Some((1, "a")));
+        assert_eq!(m.pop_lru(), None);
+    }
+
+    #[test]
+    fn map_reinsert_refreshes_and_replaces() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.insert(1, "a2"), Some("a"));
+        assert_eq!(m.pop_lru(), Some((2, "b")));
+        assert_eq!(m.peek(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn map_peek_does_not_refresh() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.peek(&1);
+        assert_eq!(m.pop_lru(), Some((1, "a")));
+    }
+
+    #[test]
+    fn map_remove_and_len() {
+        let mut m = LruMap::new();
+        m.insert(1, "a");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&1), Some("a"));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(&1), None);
+    }
+
+    #[test]
+    fn map_get_mut_updates_value() {
+        let mut m = LruMap::new();
+        m.insert(1, 10);
+        *m.get_mut(&1).unwrap() += 5;
+        assert_eq!(m.peek(&1), Some(&15));
+    }
+
+    #[test]
+    fn map_reuses_slots_after_removal() {
+        let mut m = LruMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+            if i % 2 == 0 {
+                m.pop_lru();
+            }
+        }
+        // Slab never exceeds the peak live count by more than one growth.
+        assert!(m.slots.len() <= 52, "slab leaked: {} slots", m.slots.len());
+    }
+
+    #[test]
+    fn map_iter_recent_matches_pop_order() {
+        let mut m = LruMap::new();
+        for i in 0..5 {
+            m.insert(i, ());
+        }
+        m.get(&2);
+        let recent: Vec<i32> = m.iter_recent().map(|(k, _)| *k).collect();
+        let mut pops = Vec::new();
+        while let Some((k, _)) = m.pop_lru() {
+            pops.push(k);
+        }
+        pops.reverse();
+        assert_eq!(recent, pops);
     }
 }

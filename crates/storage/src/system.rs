@@ -91,8 +91,11 @@ pub struct SystemReport {
 /// Implementations process block requests against their simulated devices
 /// and return the completion instant (and data when requested). The trait is
 /// object-safe: the benchmark driver holds systems as `Box<dyn
-/// StorageSystem>`.
-pub trait StorageSystem {
+/// StorageSystem>`. It also requires [`Send`], so the harness can run each
+/// (system × workload) benchmark cell on its own worker thread — every
+/// system owns its entire simulated world, so there is no shared state to
+/// protect.
+pub trait StorageSystem: Send {
     /// Architecture name as shown in the paper's figures ("I-CASH",
     /// "FusionIO", "RAID0", "LRU", "Dedup").
     fn name(&self) -> &str;

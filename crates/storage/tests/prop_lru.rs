@@ -1,0 +1,232 @@
+//! Property tests for the unified LRU layer.
+//!
+//! [`LruList`] is checked against a `VecDeque` recency model, and
+//! [`LruMap`] against an inline reimplementation of the *pre-unification*
+//! baseline algorithm (`HashMap` of values + `BTreeMap` of recency ticks) —
+//! proving the baselines' eviction order is unchanged by the migration to
+//! the shared intrusive list.
+
+use icash_storage::lru::{LruList, LruMap};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+const SLOTS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    Push(usize),
+    Touch(usize),
+    Remove(usize),
+}
+
+fn list_op() -> BoxedStrategy<ListOp> {
+    prop_oneof![
+        (0usize..SLOTS).prop_map(ListOp::Push),
+        (0usize..SLOTS).prop_map(ListOp::Touch),
+        (0usize..SLOTS).prop_map(ListOp::Remove),
+    ]
+    .boxed()
+}
+
+/// The recency map exactly as `icash-baselines::lru_map` implemented it
+/// before the unification: values keyed directly, order kept as a
+/// `BTreeMap` of monotone ticks. Kept here as the behavioural oracle.
+struct TickLruMap<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+    tick: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> TickLruMap<K, V> {
+    fn new() -> Self {
+        TickLruMap {
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn refresh(&mut self, key: &K) {
+        self.tick += 1;
+        if let Some((_, t)) = self.entries.get_mut(key) {
+            self.order.remove(t);
+            *t = self.tick;
+            self.order.insert(self.tick, key.clone());
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.refresh(&key);
+        match self.entries.get_mut(&key) {
+            Some((v, _)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.insert(key.clone(), (value, self.tick));
+                self.order.insert(self.tick, key);
+                None
+            }
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        self.refresh(key);
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let (v, t) = self.entries.remove(key)?;
+        self.order.remove(&t);
+        Some(v)
+    }
+
+    fn pop_lru(&mut self) -> Option<(K, V)> {
+        let (&t, key) = self.order.iter().next()?;
+        let key = key.clone();
+        self.order.remove(&t);
+        let (v, _) = self.entries.remove(&key)?;
+        Some((key, v))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u16),
+    Get(u8),
+    Peek(u8),
+    Remove(u8),
+    PopLru,
+}
+
+fn map_op() -> BoxedStrategy<MapOp> {
+    prop_oneof![
+        (0u8..6, any::<u16>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0u8..6).prop_map(MapOp::Get),
+        (0u8..6).prop_map(MapOp::Peek),
+        (0u8..6).prop_map(MapOp::Remove),
+        Just(MapOp::PopLru),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Push/touch/remove on [`LruList`] matches a `VecDeque` recency model
+    /// (front = most recent) at every step.
+    #[test]
+    fn list_matches_vecdeque_model(ops in prop::collection::vec(list_op(), 0..64)) {
+        let mut list = LruList::new();
+        list.grow_to(SLOTS);
+        let mut model: VecDeque<usize> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                ListOp::Push(i) => {
+                    if !model.contains(&i) {
+                        model.push_front(i);
+                        list.push_front(i);
+                    }
+                }
+                ListOp::Touch(i) => {
+                    if model.contains(&i) {
+                        model.retain(|&x| x != i);
+                        model.push_front(i);
+                        list.touch(i);
+                    }
+                }
+                ListOp::Remove(i) => {
+                    if model.contains(&i) {
+                        model.retain(|&x| x != i);
+                        list.remove(i);
+                    }
+                }
+            }
+            list.validate();
+            prop_assert_eq!(list.len(), model.len());
+            prop_assert_eq!(list.front(), model.front().copied());
+            prop_assert_eq!(list.tail(), model.back().copied());
+            let order: Vec<usize> = list.iter_front().collect();
+            let want: Vec<usize> = model.iter().copied().collect();
+            prop_assert_eq!(order, want);
+        }
+    }
+
+    /// [`LruMap`] agrees with the old tick-based baseline implementation on
+    /// every return value and on the final eviction order.
+    #[test]
+    fn map_matches_old_baseline_impl(ops in prop::collection::vec(map_op(), 0..96)) {
+        let mut new_map: LruMap<u8, u16> = LruMap::new();
+        let mut old_map: TickLruMap<u8, u16> = TickLruMap::new();
+
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(new_map.insert(k, v), old_map.insert(k, v));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(new_map.get(&k).copied(), old_map.get(&k).copied());
+                }
+                MapOp::Peek(k) => {
+                    prop_assert_eq!(new_map.peek(&k).copied(), old_map.peek(&k).copied());
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(new_map.remove(&k), old_map.remove(&k));
+                }
+                MapOp::PopLru => {
+                    prop_assert_eq!(new_map.pop_lru(), old_map.pop_lru());
+                }
+            }
+            prop_assert_eq!(new_map.len(), old_map.len());
+        }
+
+        // Drain both: identical eviction order, oldest first.
+        loop {
+            let (a, b) = (new_map.pop_lru(), old_map.pop_lru());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `iter_recent` always lists entries most-recent-first, agreeing with
+    /// the reverse of the eviction order.
+    #[test]
+    fn map_iter_recent_is_reverse_eviction_order(
+        ops in prop::collection::vec(map_op(), 0..64),
+    ) {
+        let mut map: LruMap<u8, u16> = LruMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    map.insert(k, v);
+                }
+                MapOp::Get(k) => {
+                    map.get(&k);
+                }
+                MapOp::Peek(k) => {
+                    map.peek(&k);
+                }
+                MapOp::Remove(k) => {
+                    map.remove(&k);
+                }
+                MapOp::PopLru => {
+                    map.pop_lru();
+                }
+            }
+        }
+        let recent: Vec<u8> = map.iter_recent().map(|(k, _)| *k).collect();
+        let mut evictions: Vec<u8> = Vec::new();
+        while let Some((k, _)) = map.pop_lru() {
+            evictions.push(k);
+        }
+        evictions.reverse();
+        prop_assert_eq!(recent, evictions);
+    }
+}
