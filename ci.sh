@@ -1,8 +1,31 @@
 #!/usr/bin/env bash
 # Repo CI gate. Everything here must pass before a change merges.
 # Runs fully offline: all third-party deps are vendored under crates/.
+#
+#   ./ci.sh         the merge gate (fmt, clippy, build, tests, bench smoke)
+#   ./ci.sh bench   hot-path trajectory: run the codec + controller benches
+#                   and diff them against the committed BENCH_codec.json
+#                   baseline (tolerance band via BENCH_TOLERANCE, default 4x)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+run_benches() {
+  mkdir -p target
+  CRITERION_JSON="$PWD/target/bench_codec_current.json" \
+    cargo bench -q -p icash-bench --bench codec
+  CRITERION_JSON="$PWD/target/bench_controller_current.json" \
+    cargo bench -q -p icash-bench --bench controller
+}
+
+if [[ "${1:-}" == "bench" ]]; then
+  echo "==> bench trajectory: codec + controller benches vs BENCH_codec.json"
+  run_benches
+  cargo run -q --release -p icash-bench --bin bench_diff -- \
+    BENCH_codec.json \
+    target/bench_codec_current.json \
+    target/bench_controller_current.json
+  exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -18,5 +41,10 @@ cargo test -q --workspace
 
 echo "==> cargo test -q -p icash-storage --features debug_validate"
 cargo test -q -p icash-storage --features debug_validate
+
+echo "==> bench smoke (benches must run and emit CRITERION_JSON)"
+run_benches
+test -s target/bench_codec_current.json
+test -s target/bench_controller_current.json
 
 echo "CI OK"

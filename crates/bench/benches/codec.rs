@@ -5,8 +5,9 @@
 //! across the content regimes the evaluation generates.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use icash_delta::codec::DeltaCodec;
+use icash_delta::codec::{ChunkIndex, DeltaCodec};
 use icash_delta::signature::BlockSignature;
+use icash_storage::block::BlockBuf;
 use std::hint::black_box;
 
 fn patterned(n: usize) -> Vec<u8> {
@@ -39,6 +40,15 @@ fn shifted_pair() -> (Vec<u8>, Vec<u8>) {
     (a, b)
 }
 
+/// The reference rotated by `shift` bytes: forces the chunk (COPY) path, so
+/// every encode pays for reference-index candidate lookups.
+fn rotated(a: &[u8], shift: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(a.len());
+    v.extend_from_slice(&a[shift..]);
+    v.extend_from_slice(&a[..shift]);
+    v
+}
+
 fn bench_codec(c: &mut Criterion) {
     let codec = DeltaCodec::default();
     let mut group = c.benchmark_group("delta_codec");
@@ -61,6 +71,45 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("signature_4k", |bench| {
         let (a, _) = similar_pair();
         bench.iter(|| BlockSignature::of(black_box(&a)))
+    });
+
+    group.bench_function("digest_4k", |bench| {
+        let buf = BlockBuf::from_vec(patterned(4096));
+        bench.iter(|| black_box(&buf).digest())
+    });
+
+    // The controller's hot case: one SSD-pinned reference serves encode
+    // after encode (its own re-writes plus every bound associate). Uncached
+    // rebuilds the chunk index per call — what the seed codec did
+    // implicitly; cached reuses one index across the whole run, which is
+    // what `Icash` now does per slot via its `RefIndexCache`.
+    let reference = patterned(4096);
+    let targets: Vec<Vec<u8>> = (0..32).map(|i| rotated(&reference, 64 + i * 96)).collect();
+
+    group.bench_function("repeated_reference_encode_uncached", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            let d = codec.encode(
+                black_box(&reference),
+                black_box(&targets[i % targets.len()]),
+            );
+            i += 1;
+            d
+        })
+    });
+
+    group.bench_function("repeated_reference_encode_cached", |bench| {
+        let mut index: Option<ChunkIndex> = None;
+        let mut i = 0usize;
+        bench.iter(|| {
+            let d = codec.encode_cached(
+                black_box(&reference),
+                black_box(&targets[i % targets.len()]),
+                &mut index,
+            );
+            i += 1;
+            d
+        })
     });
 
     group.bench_function("encode_roundtrip_batch64", |bench| {

@@ -18,6 +18,7 @@
 
 use crate::config::IcashConfig;
 use crate::delta_log::DeltaLog;
+use crate::index_cache::RefIndexCache;
 use crate::ref_index::RefIndex;
 use crate::segment::SegmentPool;
 use crate::stats::IcashStats;
@@ -42,6 +43,12 @@ use std::collections::{HashMap, HashSet};
 /// compresses and the rest is stored raw — either way the write rides the
 /// sequential delta log instead of a random home write.
 const ZERO_REF: [u8; icash_storage::block::BLOCK_SIZE] = [0; icash_storage::block::BLOCK_SIZE];
+
+/// How many reference blocks keep a cached chunk index (see
+/// [`crate::index_cache`]): enough to cover the working reference set of
+/// the paper's workloads at ~57 KB per built index, bounded so the cache
+/// can never outgrow a few MB of host RAM.
+pub(crate) const REF_INDEX_CACHE_SLOTS: usize = 128;
 
 /// Where an evicted virtual block's content lives, so the controller can
 /// rebuild it on the next access.
@@ -91,6 +98,9 @@ pub struct Icash {
     pub(crate) pool: SegmentPool,
     pub(crate) log: DeltaLog,
     pub(crate) ref_index: RefIndex,
+    /// Cached chunk indexes over reference content (keyed by SSD slot,
+    /// plus the permanent zero-reference index).
+    pub(crate) ref_cache: RefIndexCache,
     /// SSD slot → pinned content (reference blocks and direct writes).
     pub(crate) ssd_store: HashMap<u64, BlockBuf>,
     /// Persistent metadata: which LBA owns which SSD slot (flushed with the
@@ -132,6 +142,7 @@ impl Icash {
             pool,
             log,
             ref_index: RefIndex::new(),
+            ref_cache: RefIndexCache::new(REF_INDEX_CACHE_SLOTS),
             ssd_store: HashMap::new(),
             slot_dir: HashMap::new(),
             next_slot: 0,
@@ -154,17 +165,13 @@ impl Icash {
     }
 
     /// Controller-level statistics (role mix, hit classes, log traffic).
+    ///
+    /// O(1): the role census is maintained incrementally by the table at
+    /// every insert/remove/role transition rather than recounted here with
+    /// a full LRU walk (workload drivers poll stats every reporting tick).
     pub fn stats(&self) -> IcashStats {
         let mut s = self.stats.clone();
-        let mut roles = (0u64, 0u64, 0u64);
-        for id in self.table.head_ids(usize::MAX) {
-            match self.table.get(id).role {
-                Role::Reference => roles.0 += 1,
-                Role::Associate => roles.1 += 1,
-                Role::Independent => roles.2 += 1,
-            }
-        }
-        s.role_counts = roles;
+        s.role_counts = self.table.role_counts();
         s
     }
 
@@ -212,6 +219,47 @@ impl Icash {
         }
     }
 
+    /// Pins `content` in SSD slot `slot`. The **only** way slot content may
+    /// be installed or overwritten: it invalidates any chunk index cached
+    /// over the slot's previous content first (see [`crate::index_cache`]).
+    pub(crate) fn ssd_install(&mut self, slot: u64, content: BlockBuf) {
+        self.ref_cache.invalidate_slot(slot);
+        self.ssd_store.insert(slot, content);
+    }
+
+    /// Unpins SSD slot `slot`, dropping its cached chunk index with it so
+    /// slot reuse always starts cold. The **only** way slot content may be
+    /// removed.
+    pub(crate) fn ssd_discard(&mut self, slot: u64) -> Option<BlockBuf> {
+        self.ref_cache.invalidate_slot(slot);
+        self.ssd_store.remove(&slot)
+    }
+
+    /// Encodes `target` against the content pinned in SSD slot `slot`,
+    /// reusing (and lazily populating) the slot's cached chunk index. The
+    /// delta's payload shares `target`'s allocation where the encoding
+    /// keeps whole runs of it (Raw).
+    pub(crate) fn encode_against_slot(
+        &mut self,
+        slot: u64,
+        target: &BlockBuf,
+    ) -> icash_delta::codec::Delta {
+        let base = self.ssd_store[&slot].clone();
+        let codec = &self.codec;
+        codec.encode_shared(
+            base.as_slice(),
+            target.as_bytes(),
+            self.ref_cache.slot_entry(slot),
+        )
+    }
+
+    /// Encodes `target` against the all-zero pseudo-reference, reusing the
+    /// permanent zero-reference chunk index.
+    pub(crate) fn encode_against_zero(&mut self, target: &BlockBuf) -> icash_delta::codec::Delta {
+        let codec = &self.codec;
+        codec.encode_shared(&ZERO_REF, target.as_bytes(), self.ref_cache.zero_entry())
+    }
+
     // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
@@ -237,8 +285,8 @@ impl Icash {
             Role::Reference => {
                 // The SSD copy is immutable while referenced: store the
                 // reference's own changes as a delta against it.
-                let base = self.ssd_store[&slot.expect("reference without slot")].clone();
-                let delta = self.codec.encode(base.as_slice(), content.as_slice());
+                let s = slot.expect("reference without slot");
+                let delta = self.encode_against_slot(s, &content);
                 ctx.cpu.charge(CpuOp::DeltaEncode);
                 if delta.len() <= self.cfg.delta_threshold || dependants > 0 {
                     self.store_delta(id, delta, at, ctx);
@@ -246,21 +294,28 @@ impl Icash {
                 } else {
                     // No dependants and nothing similar left: retire the
                     // reference and overwrite its SSD copy in place.
-                    let s = slot.expect("reference without slot");
                     resp = self.array.ssd_mut().write(at, s).expect("ssd write");
-                    self.ssd_store.insert(s, content.clone());
+                    self.ssd_install(s, content.clone());
                     let sig_old = self.table.get(id).sig;
                     self.ref_index.remove(lba, &sig_old);
-                    let vb = self.table.get_mut(id);
-                    vb.role = Role::Independent;
+                    self.table.set_role(id, Role::Independent);
                     self.drop_delta(id);
                     self.stats.ssd_direct_writes += 1;
                 }
             }
             Role::Associate => {
                 let ref_lba = reference.expect("associate without reference");
-                let base = self.reference_content(ref_lba, at, ctx).1;
-                let delta = self.codec.encode(base.as_slice(), content.as_slice());
+                // Charge the device/LRU effects of touching the reference,
+                // then encode via its slot's cached index.
+                let _ = self.reference_content(ref_lba, at, ctx);
+                let rslot = {
+                    let rid = self.table.lookup(ref_lba).expect("reference must exist");
+                    self.table
+                        .get(rid)
+                        .ssd_slot
+                        .expect("reference without slot")
+                };
+                let delta = self.encode_against_slot(rslot, &content);
                 ctx.cpu.charge(CpuOp::DeltaEncode);
                 if delta.len() <= self.cfg.delta_threshold {
                     self.store_delta(id, delta, at, ctx);
@@ -276,7 +331,7 @@ impl Icash {
                 if let Some(s) = slot {
                     // Already SSD-resident from an earlier direct write.
                     resp = self.array.ssd_mut().write(at, s).expect("ssd write");
-                    self.ssd_store.insert(s, content.clone());
+                    self.ssd_install(s, content.clone());
                     self.stats.ssd_direct_writes += 1;
                 } else if !self.try_bind(id, &content, &sig, at, ctx) {
                     resp = self.write_as_independent(id, &content, at, ctx).max(resp);
@@ -307,13 +362,13 @@ impl Icash {
         at: Ns,
         ctx: &mut IoCtx<'_>,
     ) -> Ns {
+        self.table.set_role(id, Role::Independent);
         {
             let vb = self.table.get_mut(id);
-            vb.role = Role::Independent;
             vb.reference = None;
             vb.dirty_data = false;
         }
-        let delta = self.codec.encode(&ZERO_REF, content.as_slice());
+        let delta = self.encode_against_zero(content);
         ctx.cpu.charge(CpuOp::DeltaEncode);
         self.store_delta(id, delta, at, ctx);
         self.stats.independent_writes += 1;
@@ -339,12 +394,12 @@ impl Icash {
             }
         };
         let t = self.array.ssd_mut().write(at, slot).expect("ssd write");
-        self.ssd_store.insert(slot, content.clone());
+        self.ssd_install(slot, content.clone());
         self.slot_dir.insert(lba, slot);
         self.drop_delta(id);
+        self.table.set_role(id, Role::Independent);
         {
             let vb = self.table.get_mut(id);
-            vb.role = Role::Independent;
             vb.reference = None;
             vb.ssd_slot = Some(slot);
             vb.dirty_data = false;
@@ -373,14 +428,15 @@ impl Icash {
             if cand == lba {
                 continue;
             }
-            let base = match self.table.lookup(cand).and_then(|rid| {
-                let rvb = self.table.get(rid);
-                rvb.ssd_slot.map(|s| self.ssd_store[&s].clone())
-            }) {
-                Some(b) => b,
+            let rslot = match self
+                .table
+                .lookup(cand)
+                .and_then(|rid| self.table.get(rid).ssd_slot)
+            {
+                Some(s) => s,
                 None => continue,
             };
-            let delta = self.codec.encode(base.as_slice(), content.as_slice());
+            let delta = self.encode_against_slot(rslot, content);
             ctx.cpu.charge(CpuOp::DeltaEncode);
             if delta.len() <= self.cfg.delta_threshold {
                 self.bind(id, cand, delta, at, ctx);
@@ -402,9 +458,9 @@ impl Icash {
         self.unbind(id); // release any previous pairing
         let rid = self.table.lookup(reference).expect("reference must exist");
         self.table.get_mut(rid).dependants += 1;
+        self.table.set_role(id, Role::Associate);
         {
             let vb = self.table.get_mut(id);
-            vb.role = Role::Associate;
             vb.reference = Some(reference);
             // Content is now recoverable from reference + delta once the
             // delta is flushed; the full copy no longer needs a home write.
@@ -429,9 +485,8 @@ impl Icash {
                 rvb.dependants = rvb.dependants.saturating_sub(1);
             }
         }
-        let vb = self.table.get_mut(id);
-        vb.role = Role::Independent;
-        vb.reference = None;
+        self.table.set_role(id, Role::Independent);
+        self.table.get_mut(id).reference = None;
         self.drop_delta(id);
     }
 
@@ -853,8 +908,7 @@ impl Icash {
                 // associates: track the new content as the reference's own
                 // delta.
                 let slot = self.table.get(id).ssd_slot.expect("reference without slot");
-                let base = self.ssd_store[&slot].clone();
-                let delta = self.codec.encode(base.as_slice(), buf.as_slice());
+                let delta = self.encode_against_slot(slot, buf);
                 ctx.cpu.charge(CpuOp::DeltaEncode);
                 self.store_delta(id, delta, req.at, ctx);
                 self.stats.delta_writes += 1;
@@ -905,9 +959,7 @@ impl Icash {
                         Some(s) => s,
                         None => continue,
                     };
-                    let delta = self
-                        .codec
-                        .encode(self.ssd_store[&slot].as_slice(), content.as_slice());
+                    let delta = self.encode_against_slot(slot, &content);
                     if delta.len() <= self.cfg.delta_threshold {
                         let rid = self.table.lookup(cand).expect("indexed");
                         self.table.get_mut(rid).dependants += 1;
@@ -933,7 +985,7 @@ impl Icash {
                 }
                 if let Some(slot) = self.alloc_slot() {
                     self.array.ssd_mut().prefill(slot).expect("factory image");
-                    self.ssd_store.insert(slot, content);
+                    self.ssd_install(slot, content);
                     self.slot_dir.insert(lba, slot);
                     let mut vb = VirtualBlock::independent(lba, sig);
                     vb.role = Role::Reference;

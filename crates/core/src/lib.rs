@@ -49,6 +49,7 @@
 pub mod config;
 pub mod controller;
 pub mod delta_log;
+pub(crate) mod index_cache;
 pub mod maintenance;
 pub mod recovery;
 pub mod ref_index;

@@ -88,9 +88,13 @@ impl Icash {
     /// Compacts the delta log, dropping superseded entries, and rewrites
     /// the survivors sequentially from the start of the log region.
     pub(crate) fn clean_log(&mut self, now: Ns) {
+        // One LRU walk serves both the liveness census and the remap below:
+        // neither `log.clean` nor the HDD write touches the table, so the
+        // id set cannot go stale in between.
+        let ids = self.table.head_ids(usize::MAX);
         // An entry is live iff the block's current state points at it.
         let mut expected: std::collections::HashMap<Lba, u32> = std::collections::HashMap::new();
-        for id in self.table.head_ids(usize::MAX) {
+        for &id in &ids {
             let vb = self.table.get(id);
             if let Some(loc) = vb.log_loc {
                 expected.insert(vb.lba, loc);
@@ -109,7 +113,7 @@ impl Icash {
                 blocks.min(u32::MAX as u64) as u32,
             );
         }
-        for id in self.table.head_ids(usize::MAX) {
+        for id in ids {
             let lba = self.table.get(id).lba;
             if self.table.get(id).log_loc.is_some() {
                 self.table.get_mut(id).log_loc = new_locs.get(&lba).copied();
@@ -256,7 +260,7 @@ impl Icash {
                     .clone()
                     .expect("promotion needs data");
                 self.array.ssd_mut().write(now, s).expect("ssd write");
-                self.ssd_store.insert(s, content);
+                self.ssd_install(s, content);
                 s
             }
         };
@@ -266,9 +270,9 @@ impl Icash {
             self.log.mark_stale(loc);
         }
         let sig = self.table.get(id).sig;
+        self.table.set_role(id, Role::Reference);
         {
             let vb = self.table.get_mut(id);
-            vb.role = Role::Reference;
             vb.ssd_slot = Some(slot);
             vb.dirty_data = false;
         }
@@ -295,7 +299,7 @@ impl Icash {
             }
             (vb.lba, vb.ssd_slot.expect("reference without slot"), vb.sig)
         };
-        let content = self.ssd_store.remove(&slot).expect("slot content");
+        let content = self.ssd_discard(slot).expect("slot content");
         let pos = self.home_pos(lba);
         self.array.hdd_mut().write(now, pos, 1);
         self.home_overlay.insert(lba, content);
@@ -303,8 +307,8 @@ impl Icash {
         self.free_slots.push(slot);
         self.slot_dir.remove(&lba);
         self.ref_index.remove(lba, &sig);
+        self.table.set_role(id, Role::Independent);
         let vb = self.table.get_mut(id);
-        vb.role = Role::Independent;
         vb.ssd_slot = None;
         vb.dirty_data = false;
         self.stats.ref_demotions += 1;
@@ -337,7 +341,7 @@ impl Icash {
             .take(8 - reclaimed.min(8))
             .collect();
         for (lba, slot) in spill {
-            let content = self.ssd_store.remove(&slot).expect("slot content");
+            let content = self.ssd_discard(slot).expect("slot content");
             let pos = self.home_pos(lba);
             self.array.hdd_mut().write(now, pos, 1);
             self.home_overlay.insert(lba, content);

@@ -10,7 +10,8 @@
 //! replays the log in append order (latest entry per LBA wins) to rebuild
 //! the virtual-block table.
 
-use crate::controller::Icash;
+use crate::controller::{Icash, REF_INDEX_CACHE_SLOTS};
+use crate::index_cache::RefIndexCache;
 use crate::segment::SegmentPool;
 use crate::stats::IcashStats;
 use crate::table::BlockTable;
@@ -73,9 +74,8 @@ impl Icash {
                 match table.lookup(lba) {
                     // A written reference block's own delta (SSD-pinned).
                     Some(id) => {
-                        let vb = table.get_mut(id);
-                        vb.role = Role::Reference;
-                        vb.log_loc = Some(loc);
+                        table.set_role(id, Role::Reference);
+                        table.get_mut(id).log_loc = Some(loc);
                     }
                     // A log-resident independent (zero-based raw delta).
                     None => {
@@ -107,9 +107,8 @@ impl Icash {
         for (&ref_lba, &count) in &dependants {
             if let Some(id) = table.lookup(ref_lba) {
                 let sig = table.get(id).sig;
-                let vb = table.get_mut(id);
-                vb.role = Role::Reference;
-                vb.dependants = count;
+                table.set_role(id, Role::Reference);
+                table.get_mut(id).dependants = count;
                 ref_index.insert(ref_lba, &sig);
             }
         }
@@ -119,6 +118,8 @@ impl Icash {
             heatmap: Heatmap::standard(),
             table,
             ref_index,
+            // The index cache is RAM: the crash lost it, recovery starts cold.
+            ref_cache: RefIndexCache::new(REF_INDEX_CACHE_SLOTS),
             evicted: HashMap::new(),
             dirty: HashSet::new(),
             dirty_bytes: 0,

@@ -5,7 +5,7 @@
 //! policies (tail).
 
 use crate::lru::LruList;
-use crate::virtual_block::VirtualBlock;
+use crate::virtual_block::{Role, VirtualBlock};
 use icash_storage::block::Lba;
 use std::collections::HashMap;
 
@@ -50,6 +50,11 @@ pub struct BlockTable {
     free: Vec<usize>,
     by_lba: HashMap<Lba, usize>,
     lru: LruList,
+    /// Incremental (references, associates, independents) census,
+    /// maintained at insert/remove/[`set_role`](Self::set_role) so
+    /// `Icash::stats` never walks the table. Cross-checked against a full
+    /// scan by [`validate`](Self::validate).
+    role_counts: (u64, u64, u64),
 }
 
 impl BlockTable {
@@ -80,6 +85,7 @@ impl BlockTable {
             vb.lba
         );
         let lba = vb.lba;
+        *self.count_mut(vb.role) += 1;
         let idx = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Some(vb);
@@ -136,10 +142,44 @@ impl BlockTable {
     /// Panics if the handle is stale.
     pub fn remove(&mut self, id: VbId) -> VirtualBlock {
         let vb = self.slots[id.0].take().expect("stale VbId");
+        *self.count_mut(vb.role) -= 1;
         self.by_lba.remove(&vb.lba);
         self.lru.remove(id.0);
         self.free.push(id.0);
         vb
+    }
+
+    /// Changes a block's role, keeping the incremental role census exact.
+    /// All in-table role transitions must go through here (mutating
+    /// `vb.role` directly through [`get_mut`](Self::get_mut) would
+    /// desynchronize the census; [`validate`](Self::validate) catches
+    /// that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn set_role(&mut self, id: VbId, role: Role) {
+        let old = self.get(id).role;
+        if old == role {
+            return;
+        }
+        *self.count_mut(old) -= 1;
+        *self.count_mut(role) += 1;
+        self.get_mut(id).role = role;
+    }
+
+    /// Current (references, associates, independents) counts, maintained
+    /// incrementally — O(1), no table walk.
+    pub fn role_counts(&self) -> (u64, u64, u64) {
+        self.role_counts
+    }
+
+    fn count_mut(&mut self, role: Role) -> &mut u64 {
+        match role {
+            Role::Reference => &mut self.role_counts.0,
+            Role::Associate => &mut self.role_counts.1,
+            Role::Independent => &mut self.role_counts.2,
+        }
     }
 
     /// Handles from most recently used to least, up to `limit`.
@@ -170,6 +210,19 @@ impl BlockTable {
                 "map points at wrong slot"
             );
         }
+        // Cross-check the incremental role census against a full scan.
+        let mut scanned = (0u64, 0u64, 0u64);
+        for vb in self.slots.iter().flatten() {
+            match vb.role {
+                Role::Reference => scanned.0 += 1,
+                Role::Associate => scanned.1 += 1,
+                Role::Independent => scanned.2 += 1,
+            }
+        }
+        assert_eq!(
+            self.role_counts, scanned,
+            "incremental role counts diverged from the table contents"
+        );
     }
 }
 
@@ -226,6 +279,32 @@ mod tests {
             .collect();
         assert_eq!(tail, vec![2, 3]);
         let _ = (b, c);
+    }
+
+    #[test]
+    fn role_census_tracks_transitions() {
+        let mut t = BlockTable::new();
+        let a = t.insert(vb(1));
+        let b = t.insert(vb(2));
+        assert_eq!(t.role_counts(), (0, 0, 2));
+        t.set_role(a, Role::Reference);
+        t.set_role(b, Role::Associate);
+        assert_eq!(t.role_counts(), (1, 1, 0));
+        t.set_role(b, Role::Associate); // no-op transition
+        assert_eq!(t.role_counts(), (1, 1, 0));
+        t.set_role(b, Role::Independent);
+        t.remove(b);
+        assert_eq!(t.role_counts(), (1, 0, 0));
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn validate_catches_raw_role_mutation() {
+        let mut t = BlockTable::new();
+        let a = t.insert(vb(1));
+        t.get_mut(a).role = Role::Reference; // bypasses set_role
+        t.validate();
     }
 
     #[test]

@@ -7,8 +7,73 @@
 //! `criterion_group!` / `criterion_main!` macros — backed by a simple
 //! calibrated wall-clock timing loop instead of criterion's statistics
 //! engine. Results print as `<group>/<name>  <mean per iteration>`.
+//!
+//! ## Machine-readable results
+//!
+//! Every result is also recorded in a process-wide registry. When the
+//! `CRITERION_JSON` environment variable names a file, the `criterion_main!`
+//! generated `main` writes all recorded results there as JSON:
+//!
+//! ```json
+//! {"results": [{"name": "group/bench", "ns_per_iter": 123.4, "iterations": 1620}]}
+//! ```
+//!
+//! The repo's bench-trajectory tooling (`ci.sh bench`, `bench_diff`)
+//! consumes this file to detect hot-path regressions against the committed
+//! `BENCH_codec.json` baseline.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Writes every recorded result to the file named by `CRITERION_JSON`,
+/// if set. Called by the `main` that `criterion_main!` generates; harmless
+/// to call more than once (the file is rewritten with the full registry).
+pub fn flush_json_results() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let records = RESULTS.lock().unwrap();
+    let mut out = String::from("{\"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}",
+            json_escape(&r.name),
+            r.ns_per_iter,
+            r.iterations
+        ));
+    }
+    out.push_str("\n]}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
 
 /// Controls how `iter_batched` amortises setup cost. The stub runs one
 /// routine invocation per setup either way, so the variants only document
@@ -91,6 +156,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
         fmt_ns(per_iter),
         bencher.iterations
     );
+    RESULTS.lock().unwrap().push(Record {
+        name: label.to_string(),
+        ns_per_iter: bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64,
+        iterations: bencher.iterations,
+    });
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -162,12 +232,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` for one or more benchmark groups.
+/// Declares `main` for one or more benchmark groups. After all groups run,
+/// the recorded results are flushed to `CRITERION_JSON` (if set).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json_results();
         }
     };
 }

@@ -3,23 +3,22 @@
 //! The skip/literal codec fails when content moves *within* a block (an
 //! insertion early in the block misaligns every later byte). This codec is a
 //! small vcdiff-style differ: it indexes the reference block with a rolling
-//! hash over fixed windows, then greedily emits `COPY(offset, len)`
-//! instructions for target spans found in the reference and `ADD(bytes)`
-//! for novel spans — the classic approach of the delta-encoding literature
-//! the paper cites (Ajtai et al.).
+//! hash over fixed windows (see [`chunk_index`](super::chunk_index)), then
+//! greedily emits `COPY(offset, len)` instructions for target spans found in
+//! the reference and `ADD(bytes)` for novel spans — the classic approach of
+//! the delta-encoding literature the paper cites (Ajtai et al.).
+//!
+//! The target scan carries a true rolling hash: advancing one byte after a
+//! miss costs two multiplies, not a [`WINDOW`]-byte recomputation, and the
+//! hash is re-primed from scratch only after a COPY jumps the cursor.
+//! Verified matches extend word-at-a-time. Output is byte-identical to the
+//! original scalar encoder (pinned by `tests/golden.rs`).
 //!
 //! Wire format, repeated until the target is covered:
 //! `0x00 varint(len) bytes…` (ADD) | `0x01 varint(offset) varint(len)` (COPY).
 
+use crate::codec::chunk_index::{roll, window_hash, ChunkIndex, WINDOW};
 use crate::varint::{self, Reader};
-use std::collections::HashMap;
-
-/// Rolling-hash window width. Matches shorter than this are invisible.
-const WINDOW: usize = 16;
-
-/// Reference positions are indexed at this stride (denser = better matches,
-/// bigger index).
-const STRIDE: usize = 4;
 
 /// Minimum match length worth a COPY instruction (a COPY costs ~4 bytes).
 const MIN_MATCH: usize = 24;
@@ -27,34 +26,30 @@ const MIN_MATCH: usize = 24;
 const OP_ADD: u8 = 0x00;
 const OP_COPY: u8 = 0x01;
 
-fn window_hash(bytes: &[u8]) -> u64 {
-    // Polynomial hash over the window; cheap and adequate for a 4 KB index.
-    bytes.iter().fold(0u64, |h, &b| {
-        h.wrapping_mul(1_000_003).wrapping_add(b as u64)
-    })
-}
-
 /// Encodes `target` relative to `reference` (the blocks may differ in
 /// length; the target length is implicit in the instruction stream).
+///
+/// Builds a throwaway [`ChunkIndex`]; callers encoding many targets against
+/// one reference should build the index once and use
+/// [`encode_with_index`].
 pub fn encode(reference: &[u8], target: &[u8]) -> Vec<u8> {
-    // Index reference windows.
-    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
-    if reference.len() >= WINDOW {
-        let mut pos = 0;
-        while pos + WINDOW <= reference.len() {
-            index
-                .entry(window_hash(&reference[pos..pos + WINDOW]))
-                .or_default()
-                .push(pos);
-            pos += STRIDE;
-        }
-    }
+    encode_with_index(&ChunkIndex::build(reference), reference, target)
+}
 
+/// Encodes `target` relative to `reference` through a prebuilt index.
+///
+/// `index` must have been built over this `reference`; the output is
+/// byte-identical to [`encode`].
+pub fn encode_with_index(index: &ChunkIndex, reference: &[u8], target: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(
+        index.ref_len(),
+        reference.len(),
+        "chunk index was built over a different reference"
+    );
     let mut out = Vec::new();
     let mut pending_add_start = 0usize;
-    let mut i = 0usize;
 
-    let flush_add = |out: &mut Vec<u8>, target: &[u8], start: usize, end: usize| {
+    let flush_add = |out: &mut Vec<u8>, start: usize, end: usize| {
         if end > start {
             out.push(OP_ADD);
             varint::encode((end - start) as u64, out);
@@ -62,41 +57,37 @@ pub fn encode(reference: &[u8], target: &[u8]) -> Vec<u8> {
         }
     };
 
-    while i + WINDOW <= target.len() {
-        let h = window_hash(&target[i..i + WINDOW]);
-        let mut best: Option<(usize, usize)> = None; // (ref_off, len)
-        if let Some(candidates) = index.get(&h) {
-            // Check a bounded number of candidates to stay O(n).
-            for &cand in candidates.iter().take(8) {
-                if reference[cand..cand + WINDOW] != target[i..i + WINDOW] {
-                    continue; // hash collision
+    let n = target.len();
+    if n >= WINDOW {
+        let mut i = 0usize;
+        // Invariant: `h` is the hash of `target[i..i + WINDOW]`.
+        let mut h = window_hash(&target[..WINDOW]);
+        loop {
+            match index.best_match(reference, target, i, h) {
+                Some((off, len)) if len >= MIN_MATCH => {
+                    flush_add(&mut out, pending_add_start, i);
+                    out.push(OP_COPY);
+                    varint::encode(off as u64, &mut out);
+                    varint::encode(len as u64, &mut out);
+                    i += len;
+                    pending_add_start = i;
+                    if i + WINDOW > n {
+                        break;
+                    }
+                    // The cursor jumped; re-prime the rolling hash.
+                    h = window_hash(&target[i..i + WINDOW]);
                 }
-                // Extend the verified window forwards.
-                let mut len = WINDOW;
-                while cand + len < reference.len()
-                    && i + len < target.len()
-                    && reference[cand + len] == target[i + len]
-                {
-                    len += 1;
-                }
-                if best.is_none_or(|(_, bl)| len > bl) {
-                    best = Some((cand, len));
+                _ => {
+                    if i + 1 + WINDOW > n {
+                        break;
+                    }
+                    h = roll(h, target[i], target[i + WINDOW]);
+                    i += 1;
                 }
             }
-        }
-        match best {
-            Some((off, len)) if len >= MIN_MATCH => {
-                flush_add(&mut out, target, pending_add_start, i);
-                out.push(OP_COPY);
-                varint::encode(off as u64, &mut out);
-                varint::encode(len as u64, &mut out);
-                i += len;
-                pending_add_start = i;
-            }
-            _ => i += 1,
         }
     }
-    flush_add(&mut out, target, pending_add_start, target.len());
+    flush_add(&mut out, pending_add_start, n);
     out
 }
 
@@ -195,6 +186,23 @@ mod tests {
         let b = vec![2u8; 100];
         let d = encode(&a, &b);
         assert_eq!(decode(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn prebuilt_index_is_equivalent() {
+        let a = patterned(4096);
+        let index = ChunkIndex::build(&a);
+        for target in [
+            a.clone(),
+            {
+                let mut b = vec![0xEEu8; 16];
+                b.extend_from_slice(&a[..4080]);
+                b
+            },
+            (0..4096).map(|i| ((i * 7919 + 13) % 251) as u8).collect(),
+        ] {
+            assert_eq!(encode_with_index(&index, &a, &target), encode(&a, &target));
+        }
     }
 
     #[test]

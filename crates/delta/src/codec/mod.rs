@@ -5,10 +5,22 @@
 //! codec ([`sparse`]) for in-place changes, the chunk-match codec
 //! ([`chunk`]) for shifted content, and raw storage when the blocks share
 //! nothing. [`DeltaCodec::decode`] reconstructs the target exactly.
+//!
+//! Hot-path variants: [`DeltaCodec::encode_cached`] reuses (and lazily
+//! populates) a per-reference [`ChunkIndex`] so the chunk codec does not
+//! re-index the reference block on every call, and
+//! [`DeltaCodec::encode_shared`] additionally takes the target as a
+//! [`Bytes`] buffer so a raw fallback clones a refcount instead of 4 KB.
+//! All variants produce identical [`Delta`]s.
 
 pub mod chunk;
+pub mod chunk_index;
+pub(crate) mod scan;
 pub mod sparse;
 
+pub use chunk_index::ChunkIndex;
+
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// How a [`Delta`]'s payload is encoded.
@@ -25,6 +37,10 @@ pub enum Encoding {
 }
 
 /// A compressed difference between a target block and its reference block.
+///
+/// The payload is a [`Bytes`] buffer, so cloning a `Delta` — which the
+/// controller does when packing segments, appending to the delta log, and
+/// unpacking log segments — bumps a refcount instead of copying the bytes.
 ///
 /// # Examples
 ///
@@ -43,7 +59,7 @@ pub enum Encoding {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Delta {
     encoding: Encoding,
-    payload: Vec<u8>,
+    payload: Bytes,
 }
 
 impl Delta {
@@ -51,7 +67,7 @@ impl Delta {
     pub fn identity() -> Self {
         Delta {
             encoding: Encoding::Identity,
-            payload: Vec::new(),
+            payload: Bytes::new(),
         }
     }
 
@@ -73,6 +89,11 @@ impl Delta {
 
     /// The raw payload bytes.
     pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The payload as a shared buffer (clone to share, never to copy).
+    pub fn payload_bytes(&self) -> &Bytes {
         &self.payload
     }
 
@@ -119,6 +140,52 @@ impl DeltaCodec {
     ///
     /// Panics if the slices differ in length.
     pub fn encode(&self, reference: &[u8], target: &[u8]) -> Delta {
+        self.encode_cached(reference, target, &mut None)
+    }
+
+    /// Like [`encode`](Self::encode), but reuses `index` across calls that
+    /// share a reference block.
+    ///
+    /// If the chunk codec runs and `index` is `None`, the reference is
+    /// indexed and the index stored back for the next caller; sparse-only
+    /// encodes never pay for it. The caller owns invalidation: `index` must
+    /// either be `None` or have been built over this exact `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn encode_cached(
+        &self,
+        reference: &[u8],
+        target: &[u8],
+        index: &mut Option<ChunkIndex>,
+    ) -> Delta {
+        self.encode_inner(reference, target, index, Bytes::copy_from_slice)
+    }
+
+    /// Like [`encode_cached`](Self::encode_cached), but takes the target as
+    /// a shared [`Bytes`] buffer so a raw fallback reuses the caller's
+    /// allocation instead of copying 4 KB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ in length.
+    pub fn encode_shared(
+        &self,
+        reference: &[u8],
+        target: &Bytes,
+        index: &mut Option<ChunkIndex>,
+    ) -> Delta {
+        self.encode_inner(reference, target, index, |_| target.clone())
+    }
+
+    fn encode_inner(
+        &self,
+        reference: &[u8],
+        target: &[u8],
+        index: &mut Option<ChunkIndex>,
+        raw_payload: impl FnOnce(&[u8]) -> Bytes,
+    ) -> Delta {
         assert_eq!(
             reference.len(),
             target.len(),
@@ -131,10 +198,13 @@ impl DeltaCodec {
         if sparse_payload.len() <= self.sparse_good_enough {
             return Delta {
                 encoding: Encoding::Sparse,
-                payload: sparse_payload,
+                payload: sparse_payload.into(),
             };
         }
-        let chunk_payload = chunk::encode(reference, target);
+        let chunk_payload = {
+            let index = index.get_or_insert_with(|| ChunkIndex::build(reference));
+            chunk::encode_with_index(index, reference, target)
+        };
         let (encoding, payload) = if chunk_payload.len() < sparse_payload.len() {
             (Encoding::Chunk, chunk_payload)
         } else {
@@ -143,10 +213,13 @@ impl DeltaCodec {
         if payload.len() >= target.len() {
             return Delta {
                 encoding: Encoding::Raw,
-                payload: target.to_vec(),
+                payload: raw_payload(target),
             };
         }
-        Delta { encoding, payload }
+        Delta {
+            encoding,
+            payload: payload.into(),
+        }
     }
 
     /// Reconstructs the target block from `reference` and `delta`.
@@ -160,7 +233,7 @@ impl DeltaCodec {
             Encoding::Identity => reference.to_vec(),
             Encoding::Sparse => sparse::decode(reference, &delta.payload).ok_or(DecodeError)?,
             Encoding::Chunk => chunk::decode(reference, &delta.payload).ok_or(DecodeError)?,
-            Encoding::Raw => delta.payload.clone(),
+            Encoding::Raw => delta.payload.to_vec(),
         };
         if out.len() != reference.len() {
             return Err(DecodeError);
@@ -229,6 +302,46 @@ mod tests {
         assert_eq!(d.encoding(), Encoding::Raw);
         assert_eq!(d.len(), 4096);
         assert_eq!(codec.decode(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn cached_index_is_populated_lazily_and_reused() {
+        let a = patterned(4096);
+        let codec = DeltaCodec::default();
+        let mut index = None;
+
+        // Sparse-only encode: the chunk index is never built.
+        let mut b = a.clone();
+        b[100] ^= 0xFF;
+        let d = codec.encode_cached(&a, &b, &mut index);
+        assert_eq!(d.encoding(), Encoding::Sparse);
+        assert!(index.is_none(), "sparse path must not build the index");
+
+        // Chunk encode: builds the index, result identical to uncached.
+        let mut shifted = vec![0xEEu8; 16];
+        shifted.extend_from_slice(&a[..4080]);
+        let cached = codec.encode_cached(&a, &shifted, &mut index);
+        assert!(index.is_some(), "chunk path populates the index");
+        assert_eq!(cached, codec.encode(&a, &shifted));
+
+        // Reuse: same answer through the now-warm index.
+        assert_eq!(codec.encode_cached(&a, &shifted, &mut index), cached);
+    }
+
+    #[test]
+    fn shared_raw_payload_reuses_target_buffer() {
+        let a = vec![0u8; 4096];
+        let b: Bytes = (0..4096u32)
+            .map(|i| ((i * 7919 + 13) % 251) as u8)
+            .collect();
+        let codec = DeltaCodec::default();
+        let d = codec.encode_shared(&a, &b, &mut None);
+        assert_eq!(d.encoding(), Encoding::Raw);
+        assert!(
+            std::ptr::eq(d.payload().as_ptr(), b.as_ptr()),
+            "raw payload must share the target allocation"
+        );
+        assert_eq!(codec.decode(&a, &d).unwrap(), &b[..]);
     }
 
     #[test]

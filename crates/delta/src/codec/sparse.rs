@@ -10,6 +10,7 @@
 //! `varint(skip) varint(lit_len) lit_bytes…` — decoding fills any remainder
 //! from the reference.
 
+use crate::codec::scan;
 use crate::varint::{self, Reader};
 
 /// Nearby literal runs separated by a gap shorter than this are merged:
@@ -30,19 +31,19 @@ pub fn encode(reference: &[u8], target: &[u8]) -> Vec<u8> {
         target.len(),
         "sparse deltas require equal-length blocks"
     );
-    // Collect difference runs, merging runs separated by tiny gaps.
+    // Collect difference runs, merging runs separated by tiny gaps. The
+    // scans are word-at-a-time: unchanged spans (the common case — the
+    // paper's workloads change 5–20% of a block) cost one XOR per 8 bytes.
     let mut runs: Vec<(usize, usize)> = Vec::new(); // (start, len)
     let mut i = 0;
     let n = target.len();
     while i < n {
-        if reference[i] == target[i] {
-            i += 1;
-            continue;
+        i = scan::mismatch_from(reference, target, i);
+        if i >= n {
+            break;
         }
         let start = i;
-        while i < n && reference[i] != target[i] {
-            i += 1;
-        }
+        i = scan::match_from(reference, target, i);
         match runs.last_mut() {
             Some((last_start, last_len)) if start - (*last_start + *last_len) < MERGE_GAP => {
                 *last_len = i - *last_start;

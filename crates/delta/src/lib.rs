@@ -44,7 +44,7 @@ pub mod signature;
 pub mod similarity;
 pub mod varint;
 
-pub use codec::{DecodeError, Delta, DeltaCodec, Encoding};
+pub use codec::{ChunkIndex, DecodeError, Delta, DeltaCodec, Encoding};
 pub use heatmap::Heatmap;
 pub use signature::BlockSignature;
 pub use similarity::SimilarityFilter;

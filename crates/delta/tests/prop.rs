@@ -2,7 +2,7 @@
 //! codec must reconstruct targets exactly, signatures must respond to
 //! mutations locally, and varints must roundtrip.
 
-use icash_delta::codec::{chunk, sparse, DeltaCodec};
+use icash_delta::codec::{chunk, sparse, ChunkIndex, DeltaCodec};
 use icash_delta::signature::{BlockSignature, SUB_BLOCK_SIZE};
 use icash_delta::varint;
 use proptest::prelude::*;
@@ -102,6 +102,42 @@ proptest! {
         prop_assert_eq!(back, v);
         prop_assert_eq!(used, buf.len());
         prop_assert!(buf.len() <= 10);
+    }
+
+    /// Differential: a cached reference index yields byte-identical deltas
+    /// to the uncached path — for mutated targets (sparse territory),
+    /// through cold and warm indexes, and for shared-buffer raw fallbacks.
+    #[test]
+    fn cached_index_encodes_identically(base in block_strategy(),
+                                        muts in mutations(),
+                                        unrelated in block_strategy()) {
+        let mut target = base.clone();
+        for (pos, byte) in muts {
+            target[pos] = byte;
+        }
+        let codec = DeltaCodec::default();
+        let mut index = None;
+        for t in [&target, &unrelated] {
+            let uncached = codec.encode(&base, t);
+            let cached = codec.encode_cached(&base, t, &mut index);
+            prop_assert_eq!(&uncached, &cached);
+            let shared = codec.encode_shared(
+                &base, &bytes::Bytes::copy_from_slice(t), &mut index);
+            prop_assert_eq!(&uncached, &shared);
+        }
+    }
+
+    /// Differential: shifted targets (chunk territory) encode identically
+    /// through a prebuilt index and a throwaway one.
+    #[test]
+    fn chunk_index_reuse_is_exact(a in block_strategy(), shift in 0usize..128) {
+        let mut b = vec![0x5Au8; shift];
+        b.extend_from_slice(&a[..4096 - shift]);
+        let index = ChunkIndex::build(&a);
+        prop_assert_eq!(
+            chunk::encode_with_index(&index, &a, &b),
+            chunk::encode(&a, &b)
+        );
     }
 
     /// Decoding arbitrary garbage never panics (it may error).

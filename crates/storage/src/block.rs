@@ -161,13 +161,26 @@ impl BlockBuf {
         &self.0
     }
 
-    /// A 64-bit FNV-1a digest of the content, used by the dedup baseline to
-    /// identify identical blocks.
+    /// A 64-bit content digest, used by the dedup baseline to identify
+    /// identical blocks.
+    ///
+    /// Word-wise FNV-1a: the mix step absorbs eight bytes per multiply
+    /// instead of one, which is ~8x cheaper than the byte-at-a-time variant
+    /// on the 4 KB blocks this runs over (the dedup baseline digests every
+    /// write). The baseline only ever compares digests for equality, so the
+    /// function just has to be deterministic and well-distributed — the
+    /// exact values are pinned by `digest_values_are_pinned` below so any
+    /// accidental change to dedup behavior shows up as a test failure.
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
-        for &b in self.0.iter() {
+        let mut chunks = self.0.chunks_exact(8);
+        for chunk in &mut chunks {
+            h ^= u64::from_le_bytes(chunk.try_into().unwrap());
+            h = h.wrapping_mul(PRIME);
+        }
+        for &b in chunks.remainder() {
             h ^= b as u64;
             h = h.wrapping_mul(PRIME);
         }
@@ -230,6 +243,21 @@ mod tests {
     #[should_panic(expected = "4096")]
     fn blockbuf_rejects_wrong_size() {
         let _ = BlockBuf::from_vec(vec![0; 100]);
+    }
+
+    #[test]
+    fn digest_values_are_pinned() {
+        // Pinned word-wise FNV values for known blocks: the dedup baseline
+        // keys purely on digest equality, so any change to these values
+        // means dedup behavior changed.
+        let patterned = BlockBuf::from_vec(
+            (0..BLOCK_SIZE)
+                .map(|i| ((i * 31 + i / 7) % 256) as u8)
+                .collect(),
+        );
+        assert_eq!(BlockBuf::zeroed().digest(), 0x7da1_44b9_7d05_4b25);
+        assert_eq!(BlockBuf::filled(0xAB).digest(), 0x4f61_5941_4b85_9125);
+        assert_eq!(patterned.digest(), 0xce38_ecc5_5bc6_35e8);
     }
 
     #[test]
