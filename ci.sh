@@ -6,6 +6,10 @@
 #   ./ci.sh bench   hot-path trajectory: run the codec + controller benches
 #                   and diff them against the committed BENCH_codec.json
 #                   baseline (tolerance band via BENCH_TOLERANCE, default 4x)
+#   ./ci.sh faults  fault-injection campaign: every architecture under
+#                   seeded media faults + I-CASH crash/torn-write recovery,
+#                   asserting zero silent corruption (fixed seeds; exits
+#                   nonzero on any violation)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,6 +20,12 @@ run_benches() {
   CRITERION_JSON="$PWD/target/bench_controller_current.json" \
     cargo bench -q -p icash-bench --bench controller
 }
+
+if [[ "${1:-}" == "faults" ]]; then
+  echo "==> fault-injection campaign (run_faults)"
+  cargo run -q --release -p icash-bench --bin run_faults
+  exit 0
+fi
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "==> bench trajectory: codec + controller benches vs BENCH_codec.json"
@@ -32,6 +42,9 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo clippy -p icash-core --no-deps -- -D warnings -D clippy::unwrap_used"
+cargo clippy -q -p icash-core --no-deps -- -D warnings -D clippy::unwrap_used
 
 echo "==> cargo build --release"
 cargo build --release

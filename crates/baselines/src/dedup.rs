@@ -9,10 +9,11 @@
 
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
-use icash_storage::block::{Lba, BLOCK_SIZE};
+use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
 use icash_storage::cpu::CpuOp;
+use icash_storage::fault::FaultPlan;
 use icash_storage::lru::LruMap;
-use icash_storage::request::{Completion, Op, Request};
+use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -91,6 +92,13 @@ impl DedupCache {
         self
     }
 
+    /// Arms deterministic fault injection on both devices. A disabled plan
+    /// installs nothing, keeping fault-free runs bit-identical.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.array.install_fault_plan(plan);
+        self
+    }
+
     /// The cache SSD.
     pub fn ssd(&self) -> &Ssd {
         self.array.ssd()
@@ -146,27 +154,35 @@ impl DedupCache {
 
     /// Ensures a flash copy of `content` exists; returns the completion
     /// instant of the work this required (just `at` when the copy was
-    /// shared).
-    fn intern(&mut self, digest: u64, at: Ns, dirty: bool) -> Ns {
+    /// shared), or `None` when the flash program failed and no copy was
+    /// interned — the caller's degraded path takes over.
+    fn intern(&mut self, digest: u64, at: Ns, dirty: bool) -> Option<Ns> {
         match self.store.get_mut(&digest) {
             Some(entry) => {
                 entry.dirty |= dirty;
                 entry.refs += 1;
                 self.shared_hits += 1;
-                at
+                Some(at)
             }
             None => {
                 let slot = self.take_slot(at);
-                let t = self.array.ssd_mut().write(at, slot).expect("cache fill");
-                self.store.insert(
-                    digest,
-                    DigestEntry {
-                        slot,
-                        dirty,
-                        refs: 1,
-                    },
-                );
-                t
+                match self.array.ssd_mut().write(at, slot) {
+                    Ok(t) => {
+                        self.store.insert(
+                            digest,
+                            DigestEntry {
+                                slot,
+                                dirty,
+                                refs: 1,
+                            },
+                        );
+                        Some(t)
+                    }
+                    Err(_) => {
+                        self.free_slots.push(slot);
+                        None
+                    }
+                }
             }
         }
     }
@@ -180,6 +196,7 @@ impl StorageSystem for DedupCache {
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
         let mut done = req.at;
         let mut data = Vec::new();
+        let mut errors = Vec::new();
         if req.op == Op::Write && req.blocks >= WRITE_BYPASS_BLOCKS {
             for lba in req.lbas() {
                 if let Some(digest) = self.map.remove(&lba) {
@@ -204,7 +221,17 @@ impl StorageSystem for DedupCache {
                         }
                     }
                     // Response: hash + (shared: nothing | new: flash write).
-                    let t = self.intern(digest, req.at + hash_cost, true);
+                    let t = match self.intern(digest, req.at + hash_cost, true) {
+                        Some(t) => t,
+                        // Degraded write: the flash program failed, so the
+                        // bytes go straight to the disk instead.
+                        None => self.home.write(
+                            self.array.hdd_mut(),
+                            lba,
+                            content.clone(),
+                            req.at + hash_cost,
+                        ),
+                    };
                     self.home.remember(lba, content.clone());
                     done = done.max(t);
                 }
@@ -214,27 +241,82 @@ impl StorageSystem for DedupCache {
                         .get(&lba)
                         .and_then(|d| self.store.get(d).map(|e| (*d, *e)));
                     let t = match cached {
-                        Some((_, entry)) => {
+                        Some((digest, entry)) => {
                             self.hits += 1;
-                            self.array
+                            match self
+                                .array
                                 .ssd_mut()
                                 .read(req.at, entry.slot)
-                                .expect("cache read")
+                                .or_else(|_| self.array.ssd_mut().read(req.at, entry.slot))
+                            {
+                                Ok(t) => t,
+                                Err(_) => {
+                                    // The shared copy is unreadable: retire
+                                    // it so the slot stops serving anyone.
+                                    if let Some(e) = self.store.remove(&digest) {
+                                        self.array.ssd_mut().trim(e.slot);
+                                        self.free_slots.push(e.slot);
+                                    }
+                                    if entry.dirty {
+                                        // Some block's latest bytes lived
+                                        // only in flash: report the loss.
+                                        errors.push(BlockError {
+                                            lba,
+                                            kind: IoErrorKind::SsdMedia,
+                                        });
+                                        if ctx.collect_data {
+                                            data.push(BlockBuf::zeroed());
+                                        }
+                                        continue;
+                                    }
+                                    // Clean copy: the disk still holds the
+                                    // block; serve the home copy.
+                                    match self.home.read(self.array.hdd_mut(), lba, req.at, ctx) {
+                                        (t, Ok(_)) => t,
+                                        (t, Err(_)) => {
+                                            errors.push(BlockError {
+                                                lba,
+                                                kind: IoErrorKind::HddMedia,
+                                            });
+                                            if ctx.collect_data {
+                                                data.push(BlockBuf::zeroed());
+                                            }
+                                            done = done.max(t);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
                         }
                         None => {
                             self.misses += 1;
-                            let (t, content) =
-                                self.home.read(self.array.hdd_mut(), lba, req.at, ctx);
-                            let hash_cost = ctx.cpu.charge(CpuOp::ContentHash);
-                            let digest = content.digest();
-                            if let Some(old) = self.map.insert(lba, digest) {
-                                if old != digest {
-                                    self.unref_superseded(old);
+                            match self.home.read(self.array.hdd_mut(), lba, req.at, ctx) {
+                                (t, Ok(content)) => {
+                                    let hash_cost = ctx.cpu.charge(CpuOp::ContentHash);
+                                    let digest = content.digest();
+                                    if let Some(old) = self.map.insert(lba, digest) {
+                                        if old != digest {
+                                            self.unref_superseded(old);
+                                        }
+                                    }
+                                    // The fill program overlaps the host
+                                    // response (best effort: a failed fill
+                                    // just stays uncached).
+                                    let _ = self.intern(digest, t, false);
+                                    t + hash_cost
+                                }
+                                (t, Err(_)) => {
+                                    errors.push(BlockError {
+                                        lba,
+                                        kind: IoErrorKind::HddMedia,
+                                    });
+                                    if ctx.collect_data {
+                                        data.push(BlockBuf::zeroed());
+                                    }
+                                    done = done.max(t);
+                                    continue;
                                 }
                             }
-                            // The fill program overlaps the host response.
-                            self.intern(digest, t, false);
-                            t + hash_cost
                         }
                     };
                     if ctx.collect_data {
@@ -244,7 +326,7 @@ impl StorageSystem for DedupCache {
                 }
             }
         }
-        Completion::with_data(done, data)
+        Completion::with_data(done, data).with_errors(errors)
     }
 
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {

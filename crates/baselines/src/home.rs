@@ -7,7 +7,7 @@
 //! the devices, and the helper borrows the HDD per operation.
 
 use icash_storage::block::{BlockBuf, Lba};
-use icash_storage::hdd::{Hdd, HddConfig};
+use icash_storage::hdd::{Hdd, HddConfig, HddError};
 use icash_storage::system::IoCtx;
 use icash_storage::time::Ns;
 use std::collections::HashMap;
@@ -49,29 +49,51 @@ impl HomeDisk {
     }
 
     /// Reads `lba` from `disk`: mechanical latency plus current content.
+    /// A media error gets one retry; a latent sector error persists across
+    /// retries, so a second failure is reported to the caller instead of
+    /// serving content the platter could not actually deliver.
     pub fn read(
         &mut self,
         disk: &mut Hdd,
         lba: Lba,
         at: Ns,
         ctx: &mut IoCtx<'_>,
-    ) -> (Ns, BlockBuf) {
-        let t = disk.read(at, self.pos(lba), 1);
+    ) -> (Ns, Result<BlockBuf, HddError>) {
+        let pos = self.pos(lba);
+        let t = match disk.read(at, pos, 1).or_else(|_| disk.read(at, pos, 1)) {
+            Ok(t) => t,
+            Err(e) => return (at, Err(e)),
+        };
         let content = self
             .overlay
             .get(&lba)
             .cloned()
             .unwrap_or_else(|| ctx.backing.initial_content(lba));
-        (t, content)
+        (t, Ok(content))
     }
 
-    /// Writes `content` to `lba` on `disk`.
+    /// Writes `content` to `lba` on `disk`. Write faults are transient
+    /// (the drive remaps the sector on rewrite), so a bounded retry clears
+    /// them; the overlay records the intended bytes either way.
     pub fn write(&mut self, disk: &mut Hdd, lba: Lba, content: BlockBuf, at: Ns) -> Ns {
-        let t = disk.write(at, self.pos(lba), 1);
+        let t = Self::write_retry(disk, at, self.pos(lba), 1);
         if self.keep_content {
             self.overlay.insert(lba, content);
         }
         t
+    }
+
+    /// A disk write with bounded retries; residual failures fall back to
+    /// the arrival instant (the drive remaps the sector on the next pass).
+    fn write_retry(disk: &mut Hdd, at: Ns, pos: u64, blocks: u32) -> Ns {
+        let mut last = disk.write(at, pos, blocks);
+        for _ in 0..3 {
+            if last.is_ok() {
+                break;
+            }
+            last = disk.write(at, pos, blocks);
+        }
+        last.unwrap_or(at)
     }
 
     /// Writes a run of consecutive blocks in one sequential disk operation
@@ -84,7 +106,7 @@ impl HomeDisk {
         assert!(!payload.is_empty(), "need at least one block");
         let start = self.pos(lba);
         let n = (payload.len() as u64).min(self.capacity_blocks - start) as u32;
-        let t = disk.write(at, start, n.max(1));
+        let t = Self::write_retry(disk, at, start, n.max(1));
         if self.keep_content {
             for (i, buf) in payload.iter().enumerate() {
                 self.overlay.insert(lba.plus(i as u64), buf.clone());
@@ -97,7 +119,7 @@ impl HomeDisk {
     /// timing for write-backs whose logical address is unknown or
     /// irrelevant (e.g. a dedup store flushing a shared copy).
     pub fn writeback_timing(&mut self, disk: &mut Hdd, pos_hint: u64, at: Ns) -> Ns {
-        disk.write(at, pos_hint % self.capacity_blocks, 1)
+        Self::write_retry(disk, at, pos_hint % self.capacity_blocks, 1)
     }
 
     /// Records `lba`'s current content without charging a disk operation.
@@ -134,11 +156,11 @@ mod tests {
         let mut ctx = IoCtx::verifying(&backing, &mut cpu);
 
         let (_, before) = home.read(&mut disk, Lba::new(5), Ns::ZERO, &mut ctx);
-        assert_eq!(before, BlockBuf::zeroed());
+        assert_eq!(before.unwrap(), BlockBuf::zeroed());
 
         let t = home.write(&mut disk, Lba::new(5), BlockBuf::filled(9), Ns::from_ms(50));
         let (_, after) = home.read(&mut disk, Lba::new(5), t, &mut ctx);
-        assert_eq!(after, BlockBuf::filled(9));
+        assert_eq!(after.unwrap(), BlockBuf::filled(9));
     }
 
     #[test]

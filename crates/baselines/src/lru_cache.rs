@@ -8,9 +8,10 @@
 
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
-use icash_storage::block::{Lba, BLOCK_SIZE};
+use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
+use icash_storage::fault::FaultPlan;
 use icash_storage::lru::LruMap;
-use icash_storage::request::{Completion, Op, Request};
+use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -76,6 +77,13 @@ impl LruCache {
         self
     }
 
+    /// Arms deterministic fault injection on both devices. A disabled plan
+    /// installs nothing, keeping fault-free runs bit-identical.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.array.install_fault_plan(plan);
+        self
+    }
+
     /// The cache SSD.
     pub fn ssd(&self) -> &Ssd {
         self.array.ssd()
@@ -109,6 +117,7 @@ impl StorageSystem for LruCache {
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
         let mut done = req.at;
         let mut data = Vec::new();
+        let mut errors = Vec::new();
         if req.op == Op::Write && req.blocks >= WRITE_BYPASS_BLOCKS {
             // Stream to disk sequentially; drop any stale cached copies.
             for lba in req.lbas() {
@@ -130,19 +139,41 @@ impl StorageSystem for LruCache {
                             entry.dirty = true;
                             let slot = entry.slot;
                             self.hits += 1;
-                            self.array
-                                .ssd_mut()
-                                .write(req.at, slot)
-                                .expect("cache write")
+                            match self.array.ssd_mut().write(req.at, slot) {
+                                Ok(t) => t,
+                                Err(_) => {
+                                    // Degraded write: the program failed, so
+                                    // retire the entry and write through.
+                                    self.entries.remove(&lba);
+                                    self.array.ssd_mut().trim(slot);
+                                    self.free_slots.push(slot);
+                                    self.home.write(
+                                        self.array.hdd_mut(),
+                                        lba,
+                                        req.payload[i].clone(),
+                                        req.at,
+                                    )
+                                }
+                            }
                         }
                         None => {
                             self.misses += 1;
                             let slot = self.take_slot(req.at, ctx);
-                            self.entries.insert(lba, CacheEntry { slot, dirty: true });
-                            self.array
-                                .ssd_mut()
-                                .write(req.at, slot)
-                                .expect("cache fill")
+                            match self.array.ssd_mut().write(req.at, slot) {
+                                Ok(t) => {
+                                    self.entries.insert(lba, CacheEntry { slot, dirty: true });
+                                    t
+                                }
+                                Err(_) => {
+                                    self.free_slots.push(slot);
+                                    self.home.write(
+                                        self.array.hdd_mut(),
+                                        lba,
+                                        req.payload[i].clone(),
+                                        req.at,
+                                    )
+                                }
+                            }
                         }
                     };
                     // Track current content for read-back (timing already
@@ -154,20 +185,80 @@ impl StorageSystem for LruCache {
                     let t = match self.entries.get(&lba).copied() {
                         Some(entry) => {
                             self.hits += 1;
-                            self.array
+                            match self
+                                .array
                                 .ssd_mut()
                                 .read(req.at, entry.slot)
-                                .expect("cache read")
+                                .or_else(|_| self.array.ssd_mut().read(req.at, entry.slot))
+                            {
+                                Ok(t) => t,
+                                Err(_) if !entry.dirty => {
+                                    // Clean entry: the disk still holds the
+                                    // block. Serve the home copy and
+                                    // reprogram the slot to retire the bad
+                                    // cells.
+                                    match self.home.read(self.array.hdd_mut(), lba, req.at, ctx) {
+                                        (t, Ok(_)) => {
+                                            let _ = self.array.ssd_mut().write(t, entry.slot);
+                                            t
+                                        }
+                                        (t, Err(_)) => {
+                                            errors.push(BlockError {
+                                                lba,
+                                                kind: IoErrorKind::HddMedia,
+                                            });
+                                            if ctx.collect_data {
+                                                data.push(BlockBuf::zeroed());
+                                            }
+                                            done = done.max(t);
+                                            continue;
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    // Dirty entry: the only current copy
+                                    // lived in flash. Retire the slot and
+                                    // report the loss.
+                                    self.entries.remove(&lba);
+                                    self.array.ssd_mut().trim(entry.slot);
+                                    self.free_slots.push(entry.slot);
+                                    errors.push(BlockError {
+                                        lba,
+                                        kind: IoErrorKind::SsdMedia,
+                                    });
+                                    if ctx.collect_data {
+                                        data.push(BlockBuf::zeroed());
+                                    }
+                                    continue;
+                                }
+                            }
                         }
                         None => {
                             self.misses += 1;
-                            let (t, _) = self.home.read(self.array.hdd_mut(), lba, req.at, ctx);
-                            // Fill the cache; the flash program overlaps the
-                            // host response.
-                            let slot = self.take_slot(req.at, ctx);
-                            self.entries.insert(lba, CacheEntry { slot, dirty: false });
-                            self.array.ssd_mut().write(t, slot).expect("cache fill");
-                            t
+                            match self.home.read(self.array.hdd_mut(), lba, req.at, ctx) {
+                                (t, Ok(_)) => {
+                                    // Fill the cache; the flash program
+                                    // overlaps the host response.
+                                    let slot = self.take_slot(req.at, ctx);
+                                    if self.array.ssd_mut().write(t, slot).is_ok() {
+                                        self.entries.insert(lba, CacheEntry { slot, dirty: false });
+                                    } else {
+                                        self.free_slots.push(slot);
+                                    }
+                                    t
+                                }
+                                (t, Err(_)) => {
+                                    errors.push(BlockError {
+                                        lba,
+                                        kind: IoErrorKind::HddMedia,
+                                    });
+                                    if ctx.collect_data {
+                                        data.push(BlockBuf::zeroed());
+                                    }
+                                    done = done.max(t);
+                                    continue;
+                                }
+                            }
                         }
                     };
                     if ctx.collect_data {
@@ -177,7 +268,7 @@ impl StorageSystem for LruCache {
                 }
             }
         }
-        Completion::with_data(done, data)
+        Completion::with_data(done, data).with_errors(errors)
     }
 
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {

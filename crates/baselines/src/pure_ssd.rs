@@ -7,7 +7,8 @@
 
 use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
-use icash_storage::request::{Completion, Op, Request};
+use icash_storage::fault::FaultPlan;
+use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -60,6 +61,13 @@ impl PureSsd {
         self
     }
 
+    /// Arms deterministic fault injection on the drive. A disabled plan
+    /// installs nothing, keeping fault-free runs bit-identical.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.array.install_fault_plan(plan);
+        self
+    }
+
     /// The underlying SSD (wear and write counts for Tables 5–6).
     pub fn ssd(&self) -> &Ssd {
         self.array.ssd()
@@ -88,21 +96,62 @@ impl StorageSystem for PureSsd {
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
         let mut done = req.at;
         let mut data = Vec::new();
+        let mut errors = Vec::new();
         for (i, lba) in req.lbas().enumerate() {
             let page = self.page_of(lba);
             match req.op {
                 Op::Write => {
-                    done = done.max(self.array.ssd_mut().write(req.at, page).expect("ssd write"));
+                    // Program failures are handled by the FTL remapping the
+                    // page; a bounded retry models the reprogram.
+                    let mut last = self.array.ssd_mut().write(req.at, page);
+                    for _ in 0..3 {
+                        if last.is_ok() {
+                            break;
+                        }
+                        last = self.array.ssd_mut().write(req.at, page);
+                    }
+                    done = done.max(last.unwrap_or(req.at));
                     if self.keep_content {
                         self.overlay.insert(lba, req.payload[i].clone());
                     }
                 }
                 Op::Read => {
                     // First read of an untouched page hits the factory image.
-                    if !self.array.ssd().is_mapped(page) {
-                        self.array.ssd_mut().prefill(page).expect("prefill");
+                    if !self.array.ssd().is_mapped(page)
+                        && self.array.ssd_mut().prefill(page).is_err()
+                    {
+                        errors.push(BlockError {
+                            lba,
+                            kind: IoErrorKind::SsdSpace,
+                        });
+                        if ctx.collect_data {
+                            data.push(BlockBuf::zeroed());
+                        }
+                        continue;
                     }
-                    done = done.max(self.array.ssd_mut().read(req.at, page).expect("ssd read"));
+                    match self
+                        .array
+                        .ssd_mut()
+                        .read(req.at, page)
+                        .or_else(|_| self.array.ssd_mut().read(req.at, page))
+                    {
+                        Ok(t) => done = done.max(t),
+                        Err(_) => {
+                            // Uncorrectable: the page is lost. Reprogram it
+                            // so the bad cells are retired, but report the
+                            // read failed rather than serve bytes the flash
+                            // could not deliver.
+                            let _ = self.array.ssd_mut().write(req.at, page);
+                            errors.push(BlockError {
+                                lba,
+                                kind: IoErrorKind::SsdMedia,
+                            });
+                            if ctx.collect_data {
+                                data.push(BlockBuf::zeroed());
+                            }
+                            continue;
+                        }
+                    }
                     if ctx.collect_data {
                         data.push(
                             self.overlay
@@ -114,7 +163,7 @@ impl StorageSystem for PureSsd {
                 }
             }
         }
-        Completion::with_data(done, data)
+        Completion::with_data(done, data).with_errors(errors)
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {

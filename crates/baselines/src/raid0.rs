@@ -8,8 +8,9 @@
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::fault::FaultPlan;
 use icash_storage::hdd::{Hdd, HddConfig};
-use icash_storage::request::{Completion, Op, Request};
+use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
 use std::collections::HashMap;
@@ -73,6 +74,13 @@ impl Raid0 {
         self
     }
 
+    /// Arms deterministic fault injection on every member disk. A disabled
+    /// plan installs nothing, keeping fault-free runs bit-identical.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.array.install_fault_plan(plan);
+        self
+    }
+
     /// Number of member disks.
     pub fn width(&self) -> usize {
         self.array.width()
@@ -97,17 +105,46 @@ impl StorageSystem for Raid0 {
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
         let mut done = req.at;
         let mut data = Vec::new();
+        let mut errors = Vec::new();
         for (i, lba) in req.lbas().enumerate() {
             let (disk, pos) = self.locate(lba);
             match req.op {
                 Op::Write => {
-                    done = done.max(self.array.hdd_at_mut(disk).write(req.at, pos, 1));
+                    // Write faults are transient: the drive remaps on
+                    // rewrite, so a bounded retry clears them.
+                    let mut last = self.array.hdd_at_mut(disk).write(req.at, pos, 1);
+                    for _ in 0..3 {
+                        if last.is_ok() {
+                            break;
+                        }
+                        last = self.array.hdd_at_mut(disk).write(req.at, pos, 1);
+                    }
+                    done = done.max(last.unwrap_or(req.at));
                     if self.keep_content {
                         self.overlay.insert(lba, req.payload[i].clone());
                     }
                 }
                 Op::Read => {
-                    done = done.max(self.array.hdd_at_mut(disk).read(req.at, pos, 1));
+                    // RAID0 has no redundancy: a latent sector error that
+                    // survives the retry is an unrecoverable read.
+                    match self
+                        .array
+                        .hdd_at_mut(disk)
+                        .read(req.at, pos, 1)
+                        .or_else(|_| self.array.hdd_at_mut(disk).read(req.at, pos, 1))
+                    {
+                        Ok(t) => done = done.max(t),
+                        Err(_) => {
+                            errors.push(BlockError {
+                                lba,
+                                kind: IoErrorKind::HddMedia,
+                            });
+                            if ctx.collect_data {
+                                data.push(BlockBuf::zeroed());
+                            }
+                            continue;
+                        }
+                    }
                     if ctx.collect_data {
                         data.push(
                             self.overlay
@@ -119,7 +156,7 @@ impl StorageSystem for Raid0 {
                 }
             }
         }
-        Completion::with_data(done, data)
+        Completion::with_data(done, data).with_errors(errors)
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {

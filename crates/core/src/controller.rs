@@ -31,8 +31,9 @@ use icash_delta::similarity::SimilarityFilter;
 use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::cpu::CpuOp;
-use icash_storage::hdd::Hdd;
-use icash_storage::request::{Completion, Op, Request};
+use icash_storage::fault::{crc32, FaultPlan};
+use icash_storage::hdd::{Hdd, HddError};
+use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::Ssd;
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -49,6 +50,23 @@ const ZERO_REF: [u8; icash_storage::block::BLOCK_SIZE] = [0; icash_storage::bloc
 /// the paper's workloads at ~57 KB per built index, bounded so the cache
 /// can never outgrow a few MB of host RAM.
 pub(crate) const REF_INDEX_CACHE_SLOTS: usize = 128;
+
+/// A slot-directory record: which SSD slot a block owns and the controller
+/// generation at which the slot's content was installed. Log entries carry
+/// the same monotonic stamps, so recovery can order a logged delta against
+/// the pinned copy — a reused or rewritten slot must never resurrect stale
+/// log data ("latest per LBA" alone is not enough once slots are reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotRecord {
+    /// The SSD slot (logical page) holding the content.
+    pub slot: u64,
+    /// Generation stamp of the install that wrote the current content.
+    pub generation: u64,
+}
+
+/// The outcome of resolving one block's content: the completion instant
+/// plus either the bytes or the error class reported to the host.
+pub(crate) type BlockRead = (Ns, Result<BlockBuf, IoErrorKind>);
 
 /// Where an evicted virtual block's content lives, so the controller can
 /// rebuild it on the next access.
@@ -103,9 +121,19 @@ pub struct Icash {
     pub(crate) ref_cache: RefIndexCache,
     /// SSD slot → pinned content (reference blocks and direct writes).
     pub(crate) ssd_store: HashMap<u64, BlockBuf>,
-    /// Persistent metadata: which LBA owns which SSD slot (flushed with the
-    /// paper's periodic metadata writes; recovery reads it back).
-    pub(crate) slot_dir: HashMap<Lba, u64>,
+    /// Persistent metadata: which LBA owns which SSD slot and at which
+    /// generation its content was installed (flushed with the paper's
+    /// periodic metadata writes; recovery reads it back).
+    pub(crate) slot_dir: HashMap<Lba, SlotRecord>,
+    /// CRC32 of each pinned slot's content, maintained exclusively by
+    /// [`Icash::ssd_install`]/[`Icash::ssd_discard`]. Repair-from-home
+    /// refuses to "heal" a slot with bytes that do not match this sum.
+    pub(crate) slot_sums: HashMap<u64, u32>,
+    /// Monotonic stamp source for slot installs and log entries.
+    pub(crate) next_generation: u64,
+    /// The armed fault campaign (disabled by default; see
+    /// [`Icash::with_fault_plan`]).
+    pub(crate) fault_plan: FaultPlan,
     pub(crate) next_slot: u64,
     pub(crate) free_slots: Vec<u64>,
     /// Independent content written back to the HDD home area.
@@ -117,6 +145,7 @@ pub struct Icash {
     pub(crate) dirty_bytes: usize,
     pub(crate) ios_since_scan: u64,
     pub(crate) ios_since_flush: u64,
+    pub(crate) ios_since_scrub: u64,
     pub(crate) max_virtual_blocks: usize,
     pub(crate) stats: IcashStats,
 }
@@ -145,6 +174,9 @@ impl Icash {
             ref_cache: RefIndexCache::new(REF_INDEX_CACHE_SLOTS),
             ssd_store: HashMap::new(),
             slot_dir: HashMap::new(),
+            slot_sums: HashMap::new(),
+            next_generation: 1,
+            fault_plan: FaultPlan::none(),
             next_slot: 0,
             free_slots: Vec::new(),
             home_overlay: HashMap::new(),
@@ -153,10 +185,34 @@ impl Icash {
             dirty_bytes: 0,
             ios_since_scan: 0,
             ios_since_flush: 0,
+            ios_since_scrub: 0,
             max_virtual_blocks,
             stats: IcashStats::default(),
             cfg,
         }
+    }
+
+    /// Arms a deterministic fault campaign: the plan is installed into every
+    /// device and the controller switches on its resilience machinery
+    /// (slot hardening, retries, repair-from-home, scrubbing, torn-write
+    /// recovery). A disabled plan installs nothing, keeping fault-free runs
+    /// bit-identical to a controller built without one.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.array.install_fault_plan(&plan);
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The armed fault plan (disabled unless [`Icash::with_fault_plan`] ran).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Draws the next generation stamp.
+    pub(crate) fn next_gen(&mut self) -> u64 {
+        let g = self.next_generation;
+        self.next_generation += 1;
+        g
     }
 
     /// The active configuration.
@@ -224,6 +280,7 @@ impl Icash {
     /// over the slot's previous content first (see [`crate::index_cache`]).
     pub(crate) fn ssd_install(&mut self, slot: u64, content: BlockBuf) {
         self.ref_cache.invalidate_slot(slot);
+        self.slot_sums.insert(slot, crc32(content.as_slice()));
         self.ssd_store.insert(slot, content);
     }
 
@@ -232,7 +289,143 @@ impl Icash {
     /// removed.
     pub(crate) fn ssd_discard(&mut self, slot: u64) -> Option<BlockBuf> {
         self.ref_cache.invalidate_slot(slot);
+        self.slot_sums.remove(&slot);
         self.ssd_store.remove(&slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling: retries, repair, hardening
+    // ------------------------------------------------------------------
+
+    /// HDD read with one bounded retry (latent sector errors persist, so a
+    /// second failure means the sector is genuinely gone until rewritten).
+    pub(crate) fn hdd_read_retry(&mut self, at: Ns, pos: u64, blocks: u32) -> Result<Ns, HddError> {
+        match self.array.hdd_mut().read(at, pos, blocks) {
+            Ok(t) => Ok(t),
+            Err(_) => {
+                self.stats.fault_retries += 1;
+                self.array.hdd_mut().read(at, pos, blocks)
+            }
+        }
+    }
+
+    /// HDD write with bounded retries. Write faults are transient (the
+    /// drive remaps on rewrite), so retrying almost always clears them; the
+    /// residual failure case is left to the caller's degraded path.
+    pub(crate) fn hdd_write_retry(
+        &mut self,
+        at: Ns,
+        pos: u64,
+        blocks: u32,
+    ) -> Result<Ns, HddError> {
+        let mut last = self.array.hdd_mut().write(at, pos, blocks);
+        for _ in 0..3 {
+            if last.is_ok() {
+                return last;
+            }
+            self.stats.fault_retries += 1;
+            last = self.array.hdd_mut().write(at, pos, blocks);
+        }
+        last
+    }
+
+    /// With faults armed, a freshly installed slot's content is also written
+    /// to its HDD home position so a later uncorrectable flash read can be
+    /// repaired from the redundant copy. A no-op when the plan is disabled,
+    /// keeping fault-free runs bit-identical to the unhardened controller.
+    pub(crate) fn harden_slot(&mut self, lba: Lba, content: &BlockBuf, at: Ns) -> Ns {
+        if !self.fault_plan.is_enabled() {
+            return at;
+        }
+        let pos = self.home_pos(lba);
+        let t = self.hdd_write_retry(at, pos, 1).unwrap_or(at);
+        // Even if every retry failed the drive remaps the sector on the
+        // next rewrite; model the overlay as holding the intended bytes so
+        // the redundant copy stays usable rather than silently stale.
+        self.home_overlay.insert(lba, content.clone());
+        t
+    }
+
+    /// Rebuilds SSD slot `slot` from `lba`'s HDD home copy: read the home
+    /// position, check the bytes against the slot checksum, reprogram the
+    /// slot. Refuses to "repair" with bytes that do not match the sum —
+    /// serving wrong data silently is the one forbidden outcome.
+    pub(crate) fn repair_slot(
+        &mut self,
+        lba: Lba,
+        slot: u64,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> BlockRead {
+        let pos = self.home_pos(lba);
+        let t = match self.hdd_read_retry(at, pos, 1) {
+            Ok(t) => t,
+            Err(_) => return (at, Err(IoErrorKind::SsdMedia)),
+        };
+        let content = self
+            .home_overlay
+            .get(&lba)
+            .cloned()
+            .unwrap_or_else(|| ctx.backing.initial_content(lba));
+        let sum = crc32(content.as_slice());
+        if self.slot_sums.get(&slot) != Some(&sum) {
+            return (t, Err(IoErrorKind::SsdMedia));
+        }
+        let t = match self.array.ssd_mut().write(t, slot) {
+            Ok(t) => t,
+            Err(_) => return (t, Err(IoErrorKind::SsdMedia)),
+        };
+        self.stats.slot_repairs += 1;
+        (t, Ok(content))
+    }
+
+    /// Reads the content pinned for `lba` in SSD slot `slot`, retrying and
+    /// then repairing from the HDD home copy on an uncorrectable error.
+    pub(crate) fn read_slot(
+        &mut self,
+        lba: Lba,
+        slot: u64,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> BlockRead {
+        match self.array.ssd_mut().read(at, slot) {
+            Ok(t) => (t, Ok(self.ssd_store[&slot].clone())),
+            Err(_) => {
+                self.stats.fault_retries += 1;
+                let (t, res) = self.repair_slot(lba, slot, at, ctx);
+                if res.is_err() {
+                    self.stats.unrecoverable_reads += 1;
+                }
+                (t, res)
+            }
+        }
+    }
+
+    /// One background scrub pass (triggered every
+    /// [`FaultPlan::scrub_interval`] I/Os): probe every pinned slot and
+    /// repair unreadable ones from their HDD home copies before the host
+    /// trips over them.
+    pub fn scrub(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        self.stats.scrubs += 1;
+        let mut slots: Vec<(Lba, u64)> = self.slot_dir.iter().map(|(&l, r)| (l, r.slot)).collect();
+        slots.sort_by_key(|&(l, _)| l.raw());
+        let mut t = now;
+        for (lba, slot) in slots {
+            match self.array.ssd_mut().read(t, slot) {
+                Ok(t2) => t = t2,
+                Err(_) => {
+                    self.stats.fault_retries += 1;
+                    let (t2, res) = self.repair_slot(lba, slot, t, ctx);
+                    t = t2;
+                    if res.is_ok() {
+                        self.stats.scrub_repairs += 1;
+                    } else {
+                        self.stats.scrub_failures += 1;
+                    }
+                }
+            }
+        }
+        t
     }
 
     /// Encodes `target` against the content pinned in SSD slot `slot`,
@@ -294,13 +487,48 @@ impl Icash {
                 } else {
                     // No dependants and nothing similar left: retire the
                     // reference and overwrite its SSD copy in place.
-                    resp = self.array.ssd_mut().write(at, s).expect("ssd write");
-                    self.ssd_install(s, content.clone());
                     let sig_old = self.table.get(id).sig;
-                    self.ref_index.remove(lba, &sig_old);
-                    self.table.set_role(id, Role::Independent);
-                    self.drop_delta(id);
-                    self.stats.ssd_direct_writes += 1;
+                    match self.array.ssd_mut().write(at, s) {
+                        Ok(t) => {
+                            self.ssd_install(s, content.clone());
+                            let gen = self.next_gen();
+                            self.slot_dir.insert(
+                                lba,
+                                SlotRecord {
+                                    slot: s,
+                                    generation: gen,
+                                },
+                            );
+                            resp = self.harden_slot(lba, &content, t);
+                            self.ref_index.remove(lba, &sig_old);
+                            self.table.set_role(id, Role::Independent);
+                            self.drop_delta(id);
+                            // The old self-delta in the log describes the
+                            // *previous* slot content; recovery must never
+                            // apply it to the new one.
+                            if let Some(loc) = self.table.get_mut(id).log_loc.take() {
+                                self.log.mark_stale(loc);
+                            }
+                            self.stats.ssd_direct_writes += 1;
+                        }
+                        Err(_) => {
+                            // Flash refused the rewrite: release the slot
+                            // and let the delta path absorb the write.
+                            self.stats.degraded_writes += 1;
+                            self.ref_index.remove(lba, &sig_old);
+                            self.ssd_discard(s);
+                            self.array.ssd_mut().trim(s);
+                            self.free_slots.push(s);
+                            self.slot_dir.remove(&lba);
+                            self.table.set_role(id, Role::Independent);
+                            self.table.get_mut(id).ssd_slot = None;
+                            self.drop_delta(id);
+                            if let Some(loc) = self.table.get_mut(id).log_loc.take() {
+                                self.log.mark_stale(loc);
+                            }
+                            resp = self.write_as_independent(id, &content, at, ctx).max(resp);
+                        }
+                    }
                 }
             }
             Role::Associate => {
@@ -330,9 +558,33 @@ impl Icash {
             Role::Independent => {
                 if let Some(s) = slot {
                     // Already SSD-resident from an earlier direct write.
-                    resp = self.array.ssd_mut().write(at, s).expect("ssd write");
-                    self.ssd_install(s, content.clone());
-                    self.stats.ssd_direct_writes += 1;
+                    match self.array.ssd_mut().write(at, s) {
+                        Ok(t) => {
+                            self.ssd_install(s, content.clone());
+                            let gen = self.next_gen();
+                            self.slot_dir.insert(
+                                lba,
+                                SlotRecord {
+                                    slot: s,
+                                    generation: gen,
+                                },
+                            );
+                            resp = self.harden_slot(lba, &content, t);
+                            if let Some(loc) = self.table.get_mut(id).log_loc.take() {
+                                self.log.mark_stale(loc);
+                            }
+                            self.stats.ssd_direct_writes += 1;
+                        }
+                        Err(_) => {
+                            self.stats.degraded_writes += 1;
+                            self.ssd_discard(s);
+                            self.array.ssd_mut().trim(s);
+                            self.free_slots.push(s);
+                            self.slot_dir.remove(&lba);
+                            self.table.get_mut(id).ssd_slot = None;
+                            resp = self.write_as_independent(id, &content, at, ctx).max(resp);
+                        }
+                    }
                 } else if !self.try_bind(id, &content, &sig, at, ctx) {
                     resp = self.write_as_independent(id, &content, at, ctx).max(resp);
                 } else {
@@ -386,6 +638,7 @@ impl Icash {
         ctx: &mut IoCtx<'_>,
     ) -> Ns {
         let lba = self.table.get(id).lba;
+        let had_slot = self.table.get(id).ssd_slot.is_some();
         let slot = match self.table.get(id).ssd_slot.or_else(|| self.alloc_slot()) {
             Some(s) => s,
             None => {
@@ -393,10 +646,36 @@ impl Icash {
                 return self.write_as_independent(id, &content, at, ctx).max(at);
             }
         };
-        let t = self.array.ssd_mut().write(at, slot).expect("ssd write");
+        let t = match self.array.ssd_mut().write(at, slot) {
+            Ok(t) => t,
+            Err(_) => {
+                // Flash refused the program (worn out / no reclaimable
+                // space): degrade to a log-resident independent.
+                self.stats.degraded_writes += 1;
+                if had_slot {
+                    self.ssd_discard(slot);
+                    self.array.ssd_mut().trim(slot);
+                    self.slot_dir.remove(&lba);
+                    self.table.get_mut(id).ssd_slot = None;
+                }
+                self.free_slots.push(slot);
+                let content = content.clone();
+                return self.write_as_independent(id, &content, at, ctx).max(at);
+            }
+        };
         self.ssd_install(slot, content.clone());
-        self.slot_dir.insert(lba, slot);
+        let gen = self.next_gen();
+        self.slot_dir.insert(
+            lba,
+            SlotRecord {
+                slot,
+                generation: gen,
+            },
+        );
         self.drop_delta(id);
+        if let Some(loc) = self.table.get_mut(id).log_loc.take() {
+            self.log.mark_stale(loc);
+        }
         self.table.set_role(id, Role::Independent);
         {
             let vb = self.table.get_mut(id);
@@ -404,6 +683,7 @@ impl Icash {
             vb.ssd_slot = Some(slot);
             vb.dirty_data = false;
         }
+        let t = self.harden_slot(lba, content, t);
         self.stats.ssd_direct_writes += 1;
         t
     }
@@ -494,27 +774,30 @@ impl Icash {
     // Read path
     // ------------------------------------------------------------------
 
-    fn read_block(&mut self, lba: Lba, at: Ns, ctx: &mut IoCtx<'_>) -> (Ns, BlockBuf) {
+    fn read_block(&mut self, lba: Lba, at: Ns, ctx: &mut IoCtx<'_>) -> BlockRead {
         self.stats.reads += 1;
         let id = self.materialize_vb(lba, at, ctx);
         let sig = self.table.get(id).sig;
         self.heatmap.record(&sig);
 
-        let (mut t, content) = self.content_of(id, at, ctx);
-        t += ctx.cpu.charge(CpuOp::Memcpy);
-        self.cache_data(id, content.clone(), at, ctx);
+        let (mut t, res) = self.content_of(id, at, ctx);
+        if let Ok(content) = &res {
+            t += ctx.cpu.charge(CpuOp::Memcpy);
+            self.cache_data(id, content.clone(), at, ctx);
+        }
         self.table.touch(id);
         self.after_io(at, ctx);
-        (t, content)
+        (t, res)
     }
 
     /// Resolves the current content of a tracked block, charging the device
     /// and CPU operations the resolution requires. Returns the completion
-    /// instant and the content.
-    pub(crate) fn content_of(&mut self, id: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> (Ns, BlockBuf) {
+    /// instant and the content — or the error class reported to the host
+    /// when retry and repair could not produce the correct bytes.
+    pub(crate) fn content_of(&mut self, id: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> BlockRead {
         if let Some(data) = self.table.get(id).data.clone() {
             self.stats.ram_hits += 1;
-            return (at, data);
+            return (at, Ok(data));
         }
         let (role, reference, slot, log_loc, has_delta, lba) = {
             let vb = self.table.get(id);
@@ -529,140 +812,191 @@ impl Icash {
         };
         match role {
             Role::Reference => {
-                let s = slot.expect("reference without slot");
-                let mut t = self
-                    .array
-                    .ssd_mut()
-                    .read(at, s)
-                    .expect("reference slot mapped");
-                let base = self.ssd_store[&s].clone();
+                let s = match slot {
+                    Some(s) => s,
+                    None => return self.metadata_error("reference without slot", at),
+                };
+                let (mut t, base) = match self.read_slot(lba, s, at, ctx) {
+                    (t, Ok(base)) => (t, base),
+                    (t, Err(e)) => return (t, Err(e)),
+                };
                 // A written reference needs its own delta applied.
                 if has_delta || log_loc.is_some() {
                     if !has_delta {
-                        t = self.fetch_log_block(id, t, ctx);
+                        t = match self.fetch_log_block(id, t, ctx) {
+                            (t, Ok(())) => t,
+                            (t, Err(e)) => return (t, Err(e)),
+                        };
                     }
-                    let delta = self
-                        .table
-                        .get(id)
-                        .delta
-                        .as_ref()
-                        .expect("delta")
-                        .delta
-                        .clone();
                     t += ctx.cpu.charge(CpuOp::DeltaDecode);
-                    let out = self.codec.decode(base.as_slice(), &delta).expect("decode");
-                    self.stats.delta_hits += 1;
-                    (t, BlockBuf::from_vec(out))
+                    self.decode_resident(id, &base, t)
                 } else {
                     self.stats.delta_hits += 1;
-                    (t, base)
+                    (t, Ok(base))
                 }
             }
             Role::Associate => {
                 let mut t = at;
                 if !has_delta {
-                    t = self.fetch_log_block(id, t, ctx);
+                    t = match self.fetch_log_block(id, t, ctx) {
+                        (t, Ok(())) => t,
+                        (t, Err(e)) => return (t, Err(e)),
+                    };
                 }
-                let ref_lba = reference.expect("associate without reference");
-                let (t2, base) = self.reference_content(ref_lba, t, ctx);
-                let delta = self
-                    .table
-                    .get(id)
-                    .delta
-                    .as_ref()
-                    .expect("delta")
-                    .delta
-                    .clone();
+                let ref_lba = match reference {
+                    Some(r) => r,
+                    None => return self.metadata_error("associate without reference", t),
+                };
+                let (t2, base) = match self.reference_content(ref_lba, t, ctx) {
+                    (t2, Ok(base)) => (t2, base),
+                    (t2, Err(e)) => return (t2, Err(e)),
+                };
                 let t3 = t2 + ctx.cpu.charge(CpuOp::DeltaDecode);
-                let out = self.codec.decode(base.as_slice(), &delta).expect("decode");
-                self.stats.delta_hits += 1;
-                (t3, BlockBuf::from_vec(out))
+                self.decode_resident(id, &base, t3)
             }
             Role::Independent => {
                 if let Some(s) = slot {
-                    let t = self.array.ssd_mut().read(at, s).expect("slot mapped");
-                    self.stats.delta_hits += 1;
-                    (t, self.ssd_store[&s].clone())
+                    let (t, res) = self.read_slot(lba, s, at, ctx);
+                    if res.is_ok() {
+                        self.stats.delta_hits += 1;
+                    }
+                    (t, res)
                 } else if has_delta || log_loc.is_some() {
                     // Log-resident independent: decode against zero.
                     let mut t = at;
                     if !has_delta {
-                        t = self.fetch_log_block(id, t, ctx);
+                        t = match self.fetch_log_block(id, t, ctx) {
+                            (t, Ok(())) => t,
+                            (t, Err(e)) => return (t, Err(e)),
+                        };
                     }
-                    let delta = self
-                        .table
-                        .get(id)
-                        .delta
-                        .as_ref()
-                        .expect("delta")
-                        .delta
-                        .clone();
                     t += ctx.cpu.charge(CpuOp::DeltaDecode);
-                    let out = self.codec.decode(&ZERO_REF, &delta).expect("decode");
-                    self.stats.delta_hits += 1;
-                    (t, BlockBuf::from_vec(out))
+                    let zero = BlockBuf::zeroed();
+                    self.decode_resident(id, &zero, t)
                 } else {
-                    // Fall through to the mechanical home area.
+                    // Fall through to the mechanical home area. A latent
+                    // sector error here is unrecoverable: the home copy is
+                    // the only copy, so the failure is reported rather than
+                    // papered over.
                     let pos = self.home_pos(lba);
-                    let t = self.array.hdd_mut().read(at, pos, 1);
+                    let t = match self.hdd_read_retry(at, pos, 1) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            self.stats.unrecoverable_reads += 1;
+                            return (at, Err(IoErrorKind::HddMedia));
+                        }
+                    };
                     self.stats.home_reads += 1;
                     let content = self
                         .home_overlay
                         .get(&lba)
                         .cloned()
                         .unwrap_or_else(|| ctx.backing.initial_content(lba));
-                    (t, content)
+                    (t, Ok(content))
                 }
             }
         }
     }
 
+    /// Decodes `id`'s resident delta against `base`, reporting a contained
+    /// metadata error (instead of panicking) if the delta is missing or
+    /// undecodable — both are invariant violations, so debug builds assert.
+    fn decode_resident(&mut self, id: VbId, base: &BlockBuf, t: Ns) -> BlockRead {
+        let delta = match self.table.get(id).delta.as_ref() {
+            Some(d) => d.delta.clone(),
+            None => return self.metadata_error("resident delta missing after fetch", t),
+        };
+        match self.codec.decode(base.as_slice(), &delta) {
+            Ok(out) => {
+                self.stats.delta_hits += 1;
+                (t, Ok(BlockBuf::from_vec(out)))
+            }
+            Err(_) => self.metadata_error("resident delta undecodable", t),
+        }
+    }
+
+    /// A contained metadata-invariant failure: asserts in debug builds,
+    /// reports a [`IoErrorKind::Metadata`] block error in release builds.
+    fn metadata_error(&mut self, what: &str, t: Ns) -> BlockRead {
+        debug_assert!(false, "metadata invariant violated: {what}");
+        let _ = what;
+        self.stats.unrecoverable_reads += 1;
+        (t, Err(IoErrorKind::Metadata))
+    }
+
     /// The content of a reference block's immutable SSD copy, served from
-    /// its cached data when resident (free) or from flash otherwise.
+    /// its cached data when resident (free) or from flash otherwise (with
+    /// retry and repair-from-home on an uncorrectable page).
     pub(crate) fn reference_content(
         &mut self,
         ref_lba: Lba,
         at: Ns,
-        _ctx: &mut IoCtx<'_>,
-    ) -> (Ns, BlockBuf) {
-        let rid = self.table.lookup(ref_lba).expect("reference must exist");
-        let slot = self
-            .table
-            .get(rid)
-            .ssd_slot
-            .expect("reference without slot");
+        ctx: &mut IoCtx<'_>,
+    ) -> BlockRead {
+        let rid = match self.table.lookup(ref_lba) {
+            Some(r) => r,
+            None => return self.metadata_error("reference must exist", at),
+        };
+        let slot = match self.table.get(rid).ssd_slot {
+            Some(s) => s,
+            None => return self.metadata_error("reference without slot", at),
+        };
         let base = self.ssd_store[&slot].clone();
         self.table.touch(rid);
         // A clean cached copy of an unwritten reference equals the SSD copy.
         let vb = self.table.get(rid);
         if vb.data.is_some() && vb.delta.is_none() && vb.log_loc.is_none() {
-            (at, base)
+            (at, Ok(base))
         } else {
-            let t = self
-                .array
-                .ssd_mut()
-                .read(at, slot)
-                .expect("reference slot mapped");
-            (t, base)
+            self.read_slot(ref_lba, slot, at, ctx)
         }
     }
 
     /// Fetches the packed log block holding `id`'s delta from the HDD and
     /// unpacks *every* delta in it into RAM (the paper's one-HDD-op-many-IOs
-    /// effect). Returns the fetch completion instant.
-    pub(crate) fn fetch_log_block(&mut self, id: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+    /// effect). Returns the fetch completion instant; on a latent sector
+    /// error the readahead narrows to just the mandatory block before the
+    /// failure is reported.
+    pub(crate) fn fetch_log_block(
+        &mut self,
+        id: VbId,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> (Ns, Result<(), IoErrorKind>) {
         /// Packed blocks read per fetch: one seek already paid, so reading
         /// a short run amortises it over neighbouring deltas (which were
         /// packed in address order and will be wanted next).
         const READAHEAD: u32 = 16;
-        let loc = self.table.get(id).log_loc.expect("delta must be logged");
+        let loc = match self.table.get(id).log_loc {
+            Some(l) => l,
+            None => {
+                let (t, res) = self.metadata_error("delta must be logged", at);
+                return (t, res.map(|_| ()));
+            }
+        };
         let lba = self.table.get(id).lba;
-        let span = (READAHEAD as u64).min(self.log.len_blocks() - loc as u64) as u32;
+        let mut span = (READAHEAD as u64).min(self.log.len_blocks() - loc as u64) as u32;
+        span = span.max(1);
         let log_pos = self.cfg.log_start() + loc as u64;
-        let t = self.array.hdd_mut().read(at, log_pos, span.max(1));
+        let t = match self.array.hdd_mut().read(at, log_pos, span) {
+            Ok(t) => t,
+            Err(_) => {
+                // Some block of the readahead span is unreadable; retry
+                // with just the block the host actually needs.
+                self.stats.fault_retries += 1;
+                span = 1;
+                match self.array.hdd_mut().read(at, log_pos, 1) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        self.stats.unrecoverable_reads += 1;
+                        return (at, Err(IoErrorKind::HddMedia));
+                    }
+                }
+            }
+        };
         self.stats.log_fetches += 1;
 
-        let entries: Vec<(u32, Lba, icash_delta::codec::Delta)> = (loc..loc + span.max(1))
+        let entries: Vec<(u32, Lba, icash_delta::codec::Delta)> = (loc..loc + span)
             .flat_map(|l| {
                 self.log
                     .fetch(l)
@@ -720,20 +1054,30 @@ impl Icash {
         // it, reinstall from its current location (the payload is
         // unchanged by cleaning).
         if self.table.get(id).delta.is_none() {
-            let loc2 = self.table.get(id).log_loc.expect("delta must be logged");
+            let loc2 = match self.table.get(id).log_loc {
+                Some(l) => l,
+                None => {
+                    let (t, res) = self.metadata_error("delta must be logged", t);
+                    return (t, res.map(|_| ()));
+                }
+            };
             let delta = self
                 .log
                 .fetch(loc2)
                 .entries
                 .iter()
                 .find(|e| e.lba == lba)
-                .expect("log must hold the pointed-at delta")
-                .delta
-                .clone();
-            self.install_clean_delta(id, delta, at, ctx);
+                .map(|e| e.delta.clone());
+            match delta {
+                Some(delta) => self.install_clean_delta(id, delta, at, ctx),
+                None => {
+                    let (t, res) = self.metadata_error("log must hold the pointed-at delta", t);
+                    return (t, res.map(|_| ()));
+                }
+            }
         }
-        assert!(self.table.get(id).delta.is_some());
-        t
+        debug_assert!(self.table.get(id).delta.is_some());
+        (t, Ok(()))
     }
 
     // ------------------------------------------------------------------
@@ -963,11 +1307,8 @@ impl Icash {
                     if delta.len() <= self.cfg.delta_threshold {
                         let rid = self.table.lookup(cand).expect("indexed");
                         self.table.get_mut(rid).dependants += 1;
-                        entries.push(crate::delta_log::LogEntry {
-                            lba,
-                            reference: cand,
-                            delta,
-                        });
+                        let gen = self.next_gen();
+                        entries.push(crate::delta_log::LogEntry::new(lba, cand, gen, delta));
                         pending.push((lba, cand));
                         bound = true;
                         break;
@@ -986,7 +1327,14 @@ impl Icash {
                 if let Some(slot) = self.alloc_slot() {
                     self.array.ssd_mut().prefill(slot).expect("factory image");
                     self.ssd_install(slot, content);
-                    self.slot_dir.insert(lba, slot);
+                    let gen = self.next_gen();
+                    self.slot_dir.insert(
+                        lba,
+                        SlotRecord {
+                            slot,
+                            generation: gen,
+                        },
+                    );
                     let mut vb = VirtualBlock::independent(lba, sig);
                     vb.role = Role::Reference;
                     vb.ssd_slot = Some(slot);
@@ -1031,14 +1379,27 @@ impl StorageSystem for Icash {
             Op::Read => {
                 let mut done = req.at;
                 let mut data = Vec::new();
+                let mut errors = Vec::new();
                 for lba in req.lbas() {
-                    let (t, content) = self.read_block(lba, req.at, ctx);
+                    let (t, res) = self.read_block(lba, req.at, ctx);
                     done = done.max(t);
-                    if ctx.collect_data {
-                        data.push(content);
+                    match res {
+                        Ok(content) => {
+                            if ctx.collect_data {
+                                data.push(content);
+                            }
+                        }
+                        Err(kind) => {
+                            errors.push(BlockError { lba, kind });
+                            if ctx.collect_data {
+                                // Placeholder keeps data indexes aligned
+                                // with the request's LBAs.
+                                data.push(BlockBuf::zeroed());
+                            }
+                        }
                     }
                 }
-                Completion::with_data(done, data)
+                Completion::with_data(done, data).with_errors(errors)
             }
         }
     }

@@ -26,6 +26,13 @@ impl Icash {
             self.ios_since_scan = 0;
             self.scan(at, ctx);
         }
+        if self.fault_plan.scrub_interval > 0 {
+            self.ios_since_scrub += 1;
+            if self.ios_since_scrub >= self.fault_plan.scrub_interval {
+                self.ios_since_scrub = 0;
+                self.scrub(at, ctx);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -45,6 +52,7 @@ impl Icash {
         let mut entries = Vec::with_capacity(ids.len());
         for raw in ids {
             let id = VbId::from_raw(raw);
+            let gen = self.next_gen();
             let vb = self.table.get(id);
             debug_assert!(vb.dirty_delta);
             let delta = vb
@@ -54,19 +62,20 @@ impl Icash {
                 .delta
                 .clone();
             let reference = vb.reference.unwrap_or(vb.lba);
-            entries.push(LogEntry {
-                lba: vb.lba,
-                reference,
-                delta,
-            });
+            entries.push(LogEntry::new(vb.lba, reference, gen, delta));
             flushed.push(id);
         }
         let report = self.log.append(entries);
-        let t = self.array.hdd_mut().write(
-            now,
-            self.cfg.log_start() + report.first_block,
-            report.blocks_written,
-        );
+        // A transient write fault clears on retry; should every retry fail,
+        // the packed blocks are still buffered and the drive remaps on the
+        // next sequential append, so the flush proceeds either way.
+        let t = self
+            .hdd_write_retry(
+                now,
+                self.cfg.log_start() + report.first_block,
+                report.blocks_written,
+            )
+            .unwrap_or(now);
         for (id, &loc) in flushed.iter().zip(report.entry_locs.iter()) {
             let vb = self.table.get_mut(*id);
             vb.dirty_delta = false;
@@ -107,7 +116,7 @@ impl Icash {
         }
         let (new_locs, blocks) = self.log.clean(|lba, loc| expected.get(&lba) == Some(&loc));
         if blocks > 0 {
-            self.array.hdd_mut().write(
+            let _ = self.hdd_write_retry(
                 now,
                 self.cfg.log_start(),
                 blocks.min(u32::MAX as u64) as u32,
@@ -156,7 +165,10 @@ impl Icash {
             (vb.lba, content)
         };
         let pos = self.home_pos(lba);
-        let t = self.array.hdd_mut().write(now, pos, 1);
+        // Transient faults clear on retry; a persistently failing sector is
+        // remapped by the drive on rewrite, so the overlay records the
+        // intended content either way (never silently stale data).
+        let t = self.hdd_write_retry(now, pos, 1).unwrap_or(now);
         self.home_overlay.insert(lba, content);
         t
     }
@@ -259,8 +271,14 @@ impl Icash {
                     .data
                     .clone()
                     .expect("promotion needs data");
-                self.array.ssd_mut().write(now, s).expect("ssd write");
-                self.ssd_install(s, content);
+                if self.array.ssd_mut().write(now, s).is_err() {
+                    // Flash refused the program: skip this promotion.
+                    self.free_slots.push(s);
+                    self.stats.degraded_writes += 1;
+                    return None;
+                }
+                self.ssd_install(s, content.clone());
+                self.harden_slot(lba, &content, now);
                 s
             }
         };
@@ -276,7 +294,13 @@ impl Icash {
             vb.ssd_slot = Some(slot);
             vb.dirty_data = false;
         }
-        self.slot_dir.insert(lba, slot);
+        let gen = self.next_gen();
+        self.slot_dir
+            .entry(lba)
+            .or_insert(crate::controller::SlotRecord {
+                slot,
+                generation: gen,
+            });
         self.ref_index.insert(lba, &sig);
         self.stats.ref_installs += 1;
         Some(slot)
@@ -301,7 +325,7 @@ impl Icash {
         };
         let content = self.ssd_discard(slot).expect("slot content");
         let pos = self.home_pos(lba);
-        self.array.hdd_mut().write(now, pos, 1);
+        let _ = self.hdd_write_retry(now, pos, 1);
         self.home_overlay.insert(lba, content);
         self.array.ssd_mut().trim(slot);
         self.free_slots.push(slot);
@@ -343,7 +367,7 @@ impl Icash {
         for (lba, slot) in spill {
             let content = self.ssd_discard(slot).expect("slot content");
             let pos = self.home_pos(lba);
-            self.array.hdd_mut().write(now, pos, 1);
+            let _ = self.hdd_write_retry(now, pos, 1);
             self.home_overlay.insert(lba, content);
             self.array.ssd_mut().trim(slot);
             self.free_slots.push(slot);

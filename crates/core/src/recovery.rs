@@ -6,9 +6,12 @@
 //! [`Icash::crash_and_recover`] models a power failure: everything volatile
 //! (the RAM cache, unflushed deltas, dirty independent data) is lost, while
 //! the persistent structures survive — the SSD's pinned blocks, the HDD
-//! home area, the delta log, and the slot directory metadata. Recovery then
-//! replays the log in append order (latest entry per LBA wins) to rebuild
-//! the virtual-block table.
+//! home area, the delta log, and the slot directory metadata. Recovery
+//! first drops the unverifiable tail of the log (a crash can tear the
+//! in-flight append mid-frame; the CRC framing detects it), then replays
+//! surviving entries with the *highest generation* per LBA winning — plain
+//! append order is not enough once SSD slots are rewritten in place, because
+//! a stale self-delta must never resurrect old data over newer slot content.
 
 use crate::controller::{Icash, REF_INDEX_CACHE_SLOTS};
 use crate::index_cache::RefIndexCache;
@@ -19,7 +22,12 @@ use crate::virtual_block::{Role, VirtualBlock};
 use icash_delta::heatmap::Heatmap;
 use icash_delta::signature::BlockSignature;
 use icash_storage::block::Lba;
+use icash_storage::fault::fault_roll;
 use std::collections::{HashMap, HashSet};
+
+/// Salt for the deterministic choice of where a torn write lands inside
+/// the crash-interrupted append span.
+const TORN_SALT: u64 = 0xC4A5;
 
 impl Icash {
     /// Simulates a power failure followed by log recovery.
@@ -28,16 +36,22 @@ impl Icash {
     /// returns a recovered controller over the same persistent devices.
     /// Data relationships that had reached the HDD log or the SSD are fully
     /// restored; writes that were still buffered in RAM are lost, exactly
-    /// as the paper's flush-interval reliability tradeoff implies.
+    /// as the paper's flush-interval reliability tradeoff implies. With
+    /// [`crate::Icash::with_fault_plan`] arming torn writes, the most recent
+    /// log append is additionally torn at a seeded point and recovery must
+    /// truncate at the damage instead of replaying garbage.
     pub fn crash_and_recover(self) -> Icash {
         let Icash {
             cfg,
             array,
             codec,
             filter,
-            log,
+            mut log,
             ssd_store,
             slot_dir,
+            slot_sums,
+            next_generation,
+            fault_plan,
             next_slot,
             free_slots,
             home_overlay,
@@ -45,35 +59,74 @@ impl Icash {
             ..
         } = self;
 
+        let mut stats = IcashStats::default();
+
+        // Phase 0: crash damage. A torn write lands somewhere in the span
+        // of the append that was in flight; the seeded draw keeps every
+        // campaign cell replayable.
+        if fault_plan.torn_writes {
+            let (first, count) = log.last_append_span();
+            if count > 0 {
+                let pick = fault_roll(fault_plan.seed, TORN_SALT, first as u64, count as u64);
+                log.tear_from(first + (pick % count as u64) as u32);
+            }
+        }
+        // Truncate at the first frame that fails verification — torn above,
+        // or corrupted any other way. Everything after it is untrustworthy
+        // (the log is strictly append-ordered).
+        if let Some(bad) = log.first_invalid_frame() {
+            stats.torn_frames_dropped += log.len_blocks() - bad as u64;
+            log.truncate_from(bad);
+        }
+
         let mut table = BlockTable::new();
 
         // Phase 1: the slot directory names every SSD-pinned block. They
         // come back as independents; log replay upgrades references.
-        for (&lba, &slot) in &slot_dir {
+        // (Sorted so table ids and LRU order never depend on hash order.)
+        let mut pinned: Vec<(Lba, u64)> = slot_dir.iter().map(|(&l, r)| (l, r.slot)).collect();
+        pinned.sort_by_key(|&(l, _)| l.raw());
+        for (lba, slot) in pinned {
             let sig = BlockSignature::of(ssd_store[&slot].as_slice());
             let mut vb = VirtualBlock::independent(lba, sig);
             vb.ssd_slot = Some(slot);
             table.insert(vb);
         }
 
-        // Phase 2: replay the log in append order; the latest entry per
-        // LBA wins (it supersedes earlier deltas for the same block).
-        let mut latest: HashMap<Lba, (u32, Lba)> = HashMap::new();
+        // Phase 2: scan the surviving log; the highest-generation entry per
+        // LBA wins (append order breaks ties, though stamps are unique).
+        let mut latest: HashMap<Lba, (u32, Lba, u64)> = HashMap::new();
         for loc in 0..log.len_blocks() as u32 {
             for entry in &log.fetch(loc).entries {
-                latest.insert(entry.lba, (loc, entry.reference));
+                let slot_entry =
+                    latest
+                        .entry(entry.lba)
+                        .or_insert((loc, entry.reference, entry.generation));
+                if entry.generation >= slot_entry.2 {
+                    *slot_entry = (loc, entry.reference, entry.generation);
+                }
             }
         }
 
-        // Phase 3: rebuild roles. References named by surviving deltas must
-        // exist in the slot directory (they were pinned before any delta
-        // against them could flush).
+        // Phase 3: rebuild roles, refusing stale entries. An entry is stale
+        // when the slot directory pinned *newer* content for its block, or
+        // (for associates) when its reference's slot was (re)installed
+        // *after* the delta was encoded — decoding against reused slot
+        // content would splice unrelated data.
+        let mut items: Vec<(Lba, (u32, Lba, u64))> = latest.into_iter().collect();
+        items.sort_by_key(|&(l, _)| l.raw());
         let mut dependants: HashMap<Lba, u32> = HashMap::new();
-        for (&lba, &(loc, reference)) in &latest {
+        for (lba, (loc, reference, generation)) in items {
+            let pinned_gen = slot_dir.get(&lba).map(|r| r.generation);
             if reference == lba {
                 match table.lookup(lba) {
-                    // A written reference block's own delta (SSD-pinned).
+                    // A written reference block's own delta (SSD-pinned):
+                    // apply only if it post-dates the pinned content.
                     Some(id) => {
+                        if pinned_gen.is_some_and(|g| g >= generation) {
+                            stats.stale_frames_dropped += 1;
+                            continue;
+                        }
                         table.set_role(id, Role::Reference);
                         table.get_mut(id).log_loc = Some(loc);
                     }
@@ -86,25 +139,33 @@ impl Icash {
                 }
                 continue;
             }
-            *dependants.entry(reference).or_insert(0) += 1;
-            match table.lookup(lba) {
-                Some(id) => {
-                    // The block was later direct-written to the SSD; the
-                    // SSD copy supersedes the logged delta.
-                    let _ = id;
-                }
-                None => {
-                    let mut vb = VirtualBlock::independent(lba, BlockSignature::default());
-                    vb.role = Role::Associate;
-                    vb.reference = Some(reference);
-                    vb.log_loc = Some(loc);
-                    table.insert(vb);
-                }
+            if pinned_gen.is_some_and(|g| g >= generation) || table.lookup(lba).is_some() {
+                // A direct SSD write of the block supersedes the delta.
+                stats.stale_frames_dropped += 1;
+                continue;
             }
+            let ref_valid = table.lookup(reference).is_some()
+                && slot_dir
+                    .get(&reference)
+                    .is_some_and(|r| r.generation < generation);
+            if !ref_valid {
+                // The reference slot was reused or lost: degrade to the
+                // home copy rather than decode against foreign content.
+                stats.stale_frames_dropped += 1;
+                continue;
+            }
+            *dependants.entry(reference).or_insert(0) += 1;
+            let mut vb = VirtualBlock::independent(lba, BlockSignature::default());
+            vb.role = Role::Associate;
+            vb.reference = Some(reference);
+            vb.log_loc = Some(loc);
+            table.insert(vb);
         }
 
         let mut ref_index = crate::ref_index::RefIndex::new();
-        for (&ref_lba, &count) in &dependants {
+        let mut refs: Vec<(Lba, u32)> = dependants.into_iter().collect();
+        refs.sort_by_key(|&(l, _)| l.raw());
+        for (ref_lba, count) in refs {
             if let Some(id) = table.lookup(ref_lba) {
                 let sig = table.get(id).sig;
                 table.set_role(id, Role::Reference);
@@ -125,7 +186,8 @@ impl Icash {
             dirty_bytes: 0,
             ios_since_scan: 0,
             ios_since_flush: 0,
-            stats: IcashStats::default(),
+            ios_since_scrub: 0,
+            stats,
             cfg,
             array,
             codec,
@@ -133,6 +195,9 @@ impl Icash {
             log,
             ssd_store,
             slot_dir,
+            slot_sums,
+            next_generation,
+            fault_plan,
             next_slot,
             free_slots,
             home_overlay,

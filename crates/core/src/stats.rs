@@ -47,6 +47,28 @@ pub struct IcashStats {
     pub log_cleans: u64,
     /// Current virtual blocks by role: (references, associates, independents).
     pub role_counts: (u64, u64, u64),
+    /// Device operations retried after a media error.
+    pub fault_retries: u64,
+    /// SSD slots rebuilt from their HDD home copy after an uncorrectable
+    /// read (by the read path or the scrubber).
+    pub slot_repairs: u64,
+    /// Reads reported failed to the host: retry and repair both exhausted.
+    pub unrecoverable_reads: u64,
+    /// Writes that fell back to a degraded path (e.g. an SSD slot write
+    /// failed and the block was stored as a log-resident independent).
+    pub degraded_writes: u64,
+    /// Background scrub passes over the SSD slot directory.
+    pub scrubs: u64,
+    /// Slot repairs performed by the scrubber specifically.
+    pub scrub_repairs: u64,
+    /// Bad slots the scrubber could not repair (left for the read path).
+    pub scrub_failures: u64,
+    /// Log frames dropped at recovery because a torn write (or a corrupt
+    /// frame) made them unverifiable.
+    pub torn_frames_dropped: u64,
+    /// Log entries ignored at recovery because the slot directory holds a
+    /// newer generation for the block (stale data must not resurrect).
+    pub stale_frames_dropped: u64,
 }
 
 impl IcashStats {

@@ -141,11 +141,12 @@ proptest! {
                 for i in 0..*changed {
                     target[i % 4096] = (i % 251) as u8 + 1;
                 }
-                LogEntry {
-                    lba: Lba::new(*lba),
-                    reference: Lba::new(lba + 10_000),
-                    delta: codec.encode(&reference, &target),
-                }
+                LogEntry::new(
+                    Lba::new(*lba),
+                    Lba::new(lba + 10_000),
+                    *lba + 1,
+                    codec.encode(&reference, &target),
+                )
             })
             .collect();
         let lbas: Vec<Lba> = entries.iter().map(|e| e.lba).collect();

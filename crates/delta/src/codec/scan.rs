@@ -20,8 +20,8 @@ pub(crate) fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
     let n = a.len().min(b.len());
     let mut i = 0;
     while i + 8 <= n {
-        let wa = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
-        let wb = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let wa = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte window"));
+        let wb = u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte window"));
         let x = wa ^ wb;
         if x != 0 {
             return i + (x.trailing_zeros() / 8) as usize;
@@ -59,8 +59,8 @@ pub(crate) fn match_from(a: &[u8], b: &[u8], from: usize) -> usize {
     let n = a.len();
     let mut i = from;
     while i + 8 <= n {
-        let wa = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
-        let wb = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let wa = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte window"));
+        let wb = u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte window"));
         let x = wa ^ wb;
         let zeros = x.wrapping_sub(LOW_ONES) & !x & HIGH_BITS;
         if zeros != 0 {

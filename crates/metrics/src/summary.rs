@@ -146,6 +146,15 @@ impl RunSummary {
             None => "null".to_string(),
             Some(l) => format!("{l:?}"),
         };
+        let faults = format!(
+            "{{\"hdd_read_errors\":{},\"hdd_write_errors\":{},\"ssd_read_errors\":{},\
+             \"wearout_errors\":{},\"sectors_remapped\":{}}}",
+            r.faults.hdd_read_errors,
+            r.faults.hdd_write_errors,
+            r.faults.ssd_read_errors,
+            r.faults.wearout_errors,
+            r.faults.sectors_remapped
+        );
         format!(
             "{{\"system\":{:?},\"workload\":{:?},\"ops\":{},\"transactions\":{},\
              \"elapsed_ns\":{},\"steady_ops\":{},\"steady_elapsed_ns\":{},\
@@ -153,7 +162,7 @@ impl RunSummary {
              \"cpu_utilization\":{:?},\"storage_cpu_utilization\":{:?},\
              \"ssd_writes\":{},\"energy_wh\":{:?},\
              \"report\":{{\"name\":{:?},\"ssd\":{},\"hdd\":{},\"gc\":{},\
-             \"ssd_life_used\":{},\"device_energy_uj\":{:?}}}}}",
+             \"ssd_life_used\":{},\"device_energy_uj\":{:?},\"faults\":{}}}}}",
             self.system,
             self.workload,
             self.ops,
@@ -173,6 +182,7 @@ impl RunSummary {
             gc,
             life,
             r.device_energy.as_uj(),
+            faults,
         )
     }
 
@@ -249,6 +259,9 @@ mod tests {
         let mut d = summary();
         d.read_latency.record(Ns::from_us(99));
         assert_ne!(a.to_json(), d.to_json());
+        let mut e = summary();
+        e.report.faults.hdd_read_errors += 1;
+        assert_ne!(a.to_json(), e.to_json(), "fault counters are visible");
 
         let arr = RunSummary::slice_to_json(&[a.clone(), b]);
         assert!(arr.starts_with('[') && arr.ends_with(']'));

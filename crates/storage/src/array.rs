@@ -19,14 +19,15 @@
 //!     Hdd::new(HddConfig::seagate_sata(1 << 10)),
 //! );
 //! let t = array.ssd_mut().write(Ns::ZERO, 3)?;
-//! array.hdd_mut().write(t, 77, 1);
+//! array.hdd_mut().write(t, 77, 1)?;
 //! let report = array.report("demo", Ns::from_secs(1));
 //! assert_eq!(report.ssd.unwrap().writes, 1);
 //! assert_eq!(report.hdd.unwrap().writes, 1);
-//! # Ok::<(), icash_storage::ssd::SsdError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use crate::energy::MicroJoules;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::hdd::Hdd;
 use crate::ssd::ftl::GcStats;
 use crate::ssd::Ssd;
@@ -154,6 +155,37 @@ impl DeviceArray {
         &mut self.hdds[idx]
     }
 
+    /// Installs `plan` on every device in the array. A disabled plan (see
+    /// [`FaultPlan::is_enabled`]) installs nothing, keeping fault-free runs
+    /// bit-identical to builds that never heard of faults. Each device gets
+    /// its own salt so a shared plan does not fail devices in lockstep.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        if !plan.is_enabled() {
+            return;
+        }
+        if let Some(ssd) = self.ssd.as_mut() {
+            ssd.install_faults(FaultInjector::new(plan.clone(), 1));
+        }
+        for (i, hdd) in self.hdds.iter_mut().enumerate() {
+            hdd.install_faults(FaultInjector::new(plan.clone(), 16 + i as u64));
+        }
+    }
+
+    /// Fault counters merged over every device (zeros when no injector is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut merged = FaultStats::default();
+        if let Some(f) = self.ssd.as_ref().and_then(|s| s.fault_stats()) {
+            merged.merge(f);
+        }
+        for d in &self.hdds {
+            if let Some(f) = d.fault_stats() {
+                merged.merge(f);
+            }
+        }
+        merged
+    }
+
     /// Host-level SSD operation stats, if the array has an SSD.
     pub fn ssd_stats(&self) -> Option<DeviceStats> {
         self.ssd.as_ref().map(|s| s.stats().clone())
@@ -208,6 +240,7 @@ impl DeviceArray {
             gc: self.gc_stats(),
             ssd_life_used: self.ssd_life_used(),
             device_energy: self.device_energy(elapsed),
+            faults: self.fault_stats(),
         }
     }
 }
@@ -242,7 +275,7 @@ mod tests {
     fn striped_report_merges_every_disk() {
         let mut a = DeviceArray::striped(vec![small_hdd(), small_hdd(), small_hdd()]);
         for i in 0..3 {
-            a.hdd_at_mut(i).write(Ns::ZERO, i as u64, 1);
+            a.hdd_at_mut(i).write(Ns::ZERO, i as u64, 1).unwrap();
         }
         let r = a.report("raid", Ns::from_secs(1));
         assert!(r.ssd.is_none() && r.gc.is_none() && r.ssd_life_used.is_none());
@@ -270,5 +303,30 @@ mod tests {
     fn missing_ssd_access_panics() {
         let mut a = DeviceArray::hdd_only(small_hdd());
         a.ssd_mut();
+    }
+
+    #[test]
+    fn disabled_plan_installs_nothing() {
+        let mut a = DeviceArray::coupled(small_ssd(), small_hdd());
+        a.install_fault_plan(&FaultPlan::none());
+        assert!(a.ssd().fault_stats().is_none());
+        assert!(a.hdd().fault_stats().is_none());
+        assert_eq!(a.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn armed_plan_reaches_every_device_and_report() {
+        use crate::fault::FaultTrigger;
+        let plan = FaultPlan::seeded(3)
+            .trigger(FaultTrigger::HddRead { op: 0 })
+            .trigger(FaultTrigger::SsdRead { op: 0 });
+        let mut a = DeviceArray::coupled(small_ssd(), small_hdd());
+        a.install_fault_plan(&plan);
+        a.ssd_mut().write(Ns::ZERO, 0).unwrap();
+        assert!(a.ssd_mut().read(Ns::from_ms(1), 0).is_err());
+        assert!(a.hdd_mut().read(Ns::ZERO, 1, 1).is_err());
+        let r = a.report("faulty", Ns::from_secs(1));
+        assert_eq!(r.faults.ssd_read_errors, 1);
+        assert_eq!(r.faults.hdd_read_errors, 1);
     }
 }

@@ -1,0 +1,532 @@
+//! Deterministic fault injection for the device models.
+//!
+//! The paper's reliability story (§3.3) assumes devices fail: HDDs grow
+//! latent sector errors, SSD pages become uncorrectable (increasingly so as
+//! the flash wears out), and a power cut can tear a multi-sector write in
+//! half. This module provides a seeded, replayable source of exactly those
+//! faults so the controller's retry/remap/recovery machinery can be
+//! exercised under test the same way every time.
+//!
+//! Everything is derived from a [`FaultPlan`] — a pure description of rates
+//! and trigger points — through a splitmix64-style hash of
+//! `(seed, device salt, op counter, block address)`. No global randomness,
+//! no wall clock: the same plan over the same request stream injects the
+//! same faults, so campaigns are bit-replayable.
+//!
+//! A plan where [`FaultPlan::is_enabled`] is `false` must be *provably
+//! zero-cost*: devices skip the injector entirely and behave bit-identically
+//! to a build without the fault layer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), used to frame delta-log
+/// entries and checksum SSD slot contents.
+///
+/// # Examples
+///
+/// ```
+/// use icash_storage::fault::crc32;
+///
+/// // The classic check value for "123456789".
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// assert_ne!(crc32(b"abc"), crc32(b"abd"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// A deterministic trigger: fail exactly the `op`-th operation of a kind on
+/// a device (counted from zero), regardless of probability rates. Used by
+/// tests that need a fault at a precise, named point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTrigger {
+    /// Fail the `op`-th HDD read on the device.
+    HddRead {
+        /// Zero-based read-operation index to fail.
+        op: u64,
+    },
+    /// Fail the `op`-th HDD write on the device (transient: a retry of the
+    /// same logical write is a *later* operation and succeeds).
+    HddWrite {
+        /// Zero-based write-operation index to fail.
+        op: u64,
+    },
+    /// Fail the `op`-th SSD read on the device.
+    SsdRead {
+        /// Zero-based read-operation index to fail.
+        op: u64,
+    },
+}
+
+/// A seeded description of the faults a run should experience.
+///
+/// Rates are per-operation probabilities in `0.0..=1.0`; triggers name
+/// exact operations. The default plan ([`FaultPlan::none`]) injects
+/// nothing and is guaranteed zero-cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic draw (same seed → same faults).
+    pub seed: u64,
+    /// Probability a 4 KB HDD block read hits a latent sector error.
+    /// The sector stays bad until the block is rewritten (the drive remaps
+    /// on write, as real drives do).
+    pub hdd_read_error_rate: f64,
+    /// Probability an HDD block write fails transiently (a retry, being a
+    /// later operation, re-rolls and will almost surely succeed).
+    pub hdd_write_error_rate: f64,
+    /// Probability an SSD page read is uncorrectable. The page stays bad
+    /// until reprogrammed or trimmed.
+    pub ssd_read_error_rate: f64,
+    /// Wear fraction (`life_used`) beyond which the extra wear-out read
+    /// error rate applies.
+    pub wearout_threshold: f64,
+    /// Additional SSD read error probability once the device has worn past
+    /// [`FaultPlan::wearout_threshold`].
+    pub wearout_read_error_rate: f64,
+    /// Whether a crash tears the tail of the last log append (a partial
+    /// multi-block write, detectable only via entry checksums).
+    pub torn_writes: bool,
+    /// Host I/Os between background scrub passes (0 = scrub disabled).
+    pub scrub_interval: u64,
+    /// Exact-operation triggers, applied on top of the rates.
+    pub triggers: Vec<FaultTrigger>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing; guaranteed zero-cost when installed.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            hdd_read_error_rate: 0.0,
+            hdd_write_error_rate: 0.0,
+            ssd_read_error_rate: 0.0,
+            wearout_threshold: 1.0,
+            wearout_read_error_rate: 0.0,
+            torn_writes: false,
+            scrub_interval: 0,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// A plan seeded with `seed` and no faults yet; chain the setters.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sets the HDD latent-sector read error rate.
+    pub fn hdd_read_errors(mut self, rate: f64) -> Self {
+        self.hdd_read_error_rate = rate;
+        self
+    }
+
+    /// Sets the transient HDD write error rate.
+    pub fn hdd_write_errors(mut self, rate: f64) -> Self {
+        self.hdd_write_error_rate = rate;
+        self
+    }
+
+    /// Sets the SSD uncorrectable read error rate.
+    pub fn ssd_read_errors(mut self, rate: f64) -> Self {
+        self.ssd_read_error_rate = rate;
+        self
+    }
+
+    /// Sets the wear-out model: once `life_used >= threshold`, reads fail
+    /// with an extra probability of `rate`.
+    pub fn wearout(mut self, threshold: f64, rate: f64) -> Self {
+        self.wearout_threshold = threshold;
+        self.wearout_read_error_rate = rate;
+        self
+    }
+
+    /// Enables torn (partial) log writes at crash time.
+    pub fn torn_writes(mut self) -> Self {
+        self.torn_writes = true;
+        self
+    }
+
+    /// Enables the background scrub pass every `interval` host I/Os.
+    pub fn scrub_every(mut self, interval: u64) -> Self {
+        self.scrub_interval = interval;
+        self
+    }
+
+    /// Adds an exact-operation trigger.
+    pub fn trigger(mut self, t: FaultTrigger) -> Self {
+        self.triggers.push(t);
+        self
+    }
+
+    /// Whether this plan can inject anything at all. Disabled plans are
+    /// skipped entirely by the devices (zero-cost guarantee).
+    pub fn is_enabled(&self) -> bool {
+        self.hdd_read_error_rate > 0.0
+            || self.hdd_write_error_rate > 0.0
+            || self.ssd_read_error_rate > 0.0
+            || self.wearout_read_error_rate > 0.0
+            || self.torn_writes
+            || self.scrub_interval > 0
+            || !self.triggers.is_empty()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Counters of injected faults and the remaps that cleared them, merged
+/// into [`SystemReport`](crate::system::SystemReport).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// HDD block reads that hit a latent sector error.
+    pub hdd_read_errors: u64,
+    /// HDD block writes that failed transiently.
+    pub hdd_write_errors: u64,
+    /// SSD page reads that were uncorrectable (including wear-out hits).
+    pub ssd_read_errors: u64,
+    /// Portion of `ssd_read_errors` attributable to the wear-out term.
+    pub wearout_errors: u64,
+    /// Bad sectors/pages cleared by a successful rewrite (drive remap).
+    pub sectors_remapped: u64,
+}
+
+impl FaultStats {
+    /// Sums `other` into `self` (merging per-device counters).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.hdd_read_errors += other.hdd_read_errors;
+        self.hdd_write_errors += other.hdd_write_errors;
+        self.ssd_read_errors += other.ssd_read_errors;
+        self.wearout_errors += other.wearout_errors;
+        self.sectors_remapped += other.sectors_remapped;
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash step.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic 64-bit draw for `(seed, salt, op, addr)`. Public so the
+/// recovery path can derive its torn-write tear point from the same stream.
+pub fn fault_roll(seed: u64, salt: u64, op: u64, addr: u64) -> u64 {
+    mix(seed ^ mix(salt ^ mix(op ^ mix(addr))))
+}
+
+/// Maps a 64-bit draw onto the unit interval.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Per-device fault state: the plan, this device's salt, operation
+/// counters, and the set of currently-bad block addresses.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    salt: u64,
+    read_ops: u64,
+    write_ops: u64,
+    bad: HashSet<u64>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector for one device; `salt` distinguishes devices
+    /// sharing a plan so they do not fail in lockstep.
+    pub fn new(plan: FaultPlan, salt: u64) -> Self {
+        FaultInjector {
+            plan,
+            salt,
+            read_ops: 0,
+            write_ops: 0,
+            bad: HashSet::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Fault counters accumulated so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn triggered(&self, kind: u8, op: u64) -> bool {
+        self.plan.triggers.iter().any(|t| match (kind, t) {
+            (0, FaultTrigger::HddRead { op: o }) => *o == op,
+            (1, FaultTrigger::HddWrite { op: o }) => *o == op,
+            (2, FaultTrigger::SsdRead { op: o }) => *o == op,
+            _ => false,
+        })
+    }
+
+    /// Checks an HDD read of `blocks` blocks at `lba`. Returns the first
+    /// failing block address, if any. A failing sector joins the bad set
+    /// and keeps failing until rewritten.
+    pub fn hdd_read(&mut self, lba: u64, blocks: u32) -> Option<u64> {
+        let op = self.read_ops;
+        self.read_ops += 1;
+        if self.triggered(0, op) {
+            self.bad.insert(lba);
+            self.stats.hdd_read_errors += 1;
+            return Some(lba);
+        }
+        for i in 0..blocks as u64 {
+            let addr = lba + i;
+            if self.bad.contains(&addr) {
+                self.stats.hdd_read_errors += 1;
+                return Some(addr);
+            }
+            if self.plan.hdd_read_error_rate > 0.0 {
+                let roll = unit(fault_roll(self.plan.seed, self.salt, op, addr));
+                if roll < self.plan.hdd_read_error_rate {
+                    self.bad.insert(addr);
+                    self.stats.hdd_read_errors += 1;
+                    return Some(addr);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks an HDD write of `blocks` blocks at `lba`. Returns the
+    /// failing block address for a transient write fault; on success the
+    /// written sectors are remapped (cleared from the bad set).
+    pub fn hdd_write(&mut self, lba: u64, blocks: u32) -> Option<u64> {
+        let op = self.write_ops;
+        self.write_ops += 1;
+        if self.triggered(1, op) {
+            self.stats.hdd_write_errors += 1;
+            return Some(lba);
+        }
+        if self.plan.hdd_write_error_rate > 0.0 {
+            // Write faults are whole-operation and transient: the op
+            // counter has advanced, so a retry re-rolls.
+            let roll = unit(fault_roll(self.plan.seed, self.salt ^ 0x57, op, lba));
+            if roll < self.plan.hdd_write_error_rate {
+                self.stats.hdd_write_errors += 1;
+                return Some(lba);
+            }
+        }
+        for i in 0..blocks as u64 {
+            if self.bad.remove(&(lba + i)) {
+                self.stats.sectors_remapped += 1;
+            }
+        }
+        None
+    }
+
+    /// Checks an SSD page read of `lpn` at wear level `life_used`.
+    /// Returns `true` if the read is uncorrectable; the page stays bad
+    /// until reprogrammed or trimmed.
+    pub fn ssd_read(&mut self, lpn: u64, life_used: f64) -> bool {
+        let op = self.read_ops;
+        self.read_ops += 1;
+        if self.triggered(2, op) {
+            self.bad.insert(lpn);
+            self.stats.ssd_read_errors += 1;
+            return true;
+        }
+        if self.bad.contains(&lpn) {
+            self.stats.ssd_read_errors += 1;
+            return true;
+        }
+        let wearing = life_used >= self.plan.wearout_threshold;
+        let rate = self.plan.ssd_read_error_rate
+            + if wearing {
+                self.plan.wearout_read_error_rate
+            } else {
+                0.0
+            };
+        if rate > 0.0 {
+            let roll = unit(fault_roll(self.plan.seed, self.salt, op, lpn));
+            if roll < rate {
+                self.bad.insert(lpn);
+                self.stats.ssd_read_errors += 1;
+                if wearing && roll >= self.plan.ssd_read_error_rate {
+                    self.stats.wearout_errors += 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Notes a successful SSD program/trim of `lpn`, clearing any latent
+    /// bad state (new charge, fresh ECC).
+    pub fn ssd_write(&mut self, lpn: u64) {
+        self.write_ops += 1;
+        if self.bad.remove(&lpn) {
+            self.stats.sectors_remapped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn rolls_are_deterministic() {
+        assert_eq!(fault_roll(1, 2, 3, 4), fault_roll(1, 2, 3, 4));
+        assert_ne!(fault_roll(1, 2, 3, 4), fault_roll(2, 2, 3, 4));
+        assert_ne!(fault_roll(1, 2, 3, 4), fault_roll(1, 2, 4, 4));
+    }
+
+    #[test]
+    fn disabled_plan_is_disabled() {
+        assert!(!FaultPlan::none().is_enabled());
+        assert!(!FaultPlan::seeded(42).is_enabled());
+        assert!(FaultPlan::seeded(42).hdd_read_errors(0.01).is_enabled());
+        assert!(FaultPlan::seeded(42).torn_writes().is_enabled());
+        assert!(FaultPlan::seeded(42)
+            .trigger(FaultTrigger::HddRead { op: 0 })
+            .is_enabled());
+    }
+
+    #[test]
+    fn triggers_fire_exactly_once() {
+        let plan = FaultPlan::seeded(7).trigger(FaultTrigger::HddRead { op: 1 });
+        let mut inj = FaultInjector::new(plan, 0);
+        assert!(inj.hdd_read(10, 1).is_none());
+        assert_eq!(inj.hdd_read(20, 1), Some(20), "second read fails");
+        // The sector the trigger hit stays bad until rewritten.
+        assert_eq!(inj.hdd_read(20, 1), Some(20));
+        assert!(inj.hdd_write(20, 1).is_none());
+        assert!(inj.hdd_read(20, 1).is_none(), "rewrite remapped it");
+        assert_eq!(inj.stats().sectors_remapped, 1);
+    }
+
+    #[test]
+    fn latent_errors_persist_until_rewrite() {
+        // A rate of 1.0 fails every fresh read.
+        let plan = FaultPlan::seeded(3).hdd_read_errors(1.0);
+        let mut inj = FaultInjector::new(plan, 0);
+        assert_eq!(inj.hdd_read(5, 1), Some(5));
+        assert_eq!(inj.stats().hdd_read_errors, 1);
+        assert!(inj.hdd_write(5, 1).is_none());
+        assert_eq!(inj.stats().sectors_remapped, 1);
+        // Rate 1.0 re-marks it immediately, but the remap did clear it.
+        assert_eq!(inj.hdd_read(5, 1), Some(5));
+    }
+
+    #[test]
+    fn write_faults_are_transient() {
+        let plan = FaultPlan::seeded(9).hdd_write_errors(0.5);
+        let mut inj = FaultInjector::new(plan, 4);
+        // Across many ops roughly half fail; crucially a failed op's retry
+        // is a new op with a fresh roll, so eventually every write lands.
+        let mut failures = 0;
+        for i in 0..200u64 {
+            if inj.hdd_write(i, 1).is_some() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 50 && failures < 150, "got {failures}");
+        assert_eq!(inj.stats().hdd_write_errors, failures);
+    }
+
+    #[test]
+    fn ssd_wearout_raises_error_rate() {
+        let plan = FaultPlan::seeded(11).wearout(0.5, 1.0);
+        let mut fresh = FaultInjector::new(plan.clone(), 0);
+        assert!(!fresh.ssd_read(1, 0.0), "below threshold: no wear term");
+        let mut worn = FaultInjector::new(plan, 0);
+        assert!(worn.ssd_read(1, 0.9), "past threshold: wear term fires");
+        assert_eq!(worn.stats().wearout_errors, 1);
+        // A reprogram heals the page; rate still 1.0 so next read refails.
+        worn.ssd_write(1);
+        assert_eq!(worn.stats().sectors_remapped, 1);
+    }
+
+    #[test]
+    fn same_plan_same_salt_is_replayable() {
+        let plan = FaultPlan::seeded(77).hdd_read_errors(0.1);
+        let mut a = FaultInjector::new(plan.clone(), 16);
+        let mut b = FaultInjector::new(plan, 16);
+        for i in 0..500u64 {
+            assert_eq!(a.hdd_read(i % 64, 1), b.hdd_read(i % 64, 1));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+}

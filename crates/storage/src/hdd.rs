@@ -10,9 +10,46 @@
 
 use crate::block::BLOCK_SIZE;
 use crate::energy::{EnergyMeter, MicroJoules};
+use crate::fault::{FaultInjector, FaultStats};
 use crate::stats::DeviceStats;
 use crate::time::Ns;
+use core::fmt;
 use serde::{Deserialize, Serialize};
+
+/// A media-level disk failure.
+///
+/// Mirrors the failure modes of real mechanical drives: a *latent sector
+/// error* surfaces on read (the sector's data is gone until something
+/// rewrites it, at which point the drive remaps it), and a *write fault* is
+/// a transient failure of one write operation (a retry normally succeeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HddError {
+    /// A read hit an unreadable (latent-error) sector at `lba`.
+    LatentSector {
+        /// First unreadable block of the access.
+        lba: u64,
+    },
+    /// A write failed transiently at `lba`; retrying is reasonable.
+    WriteFault {
+        /// First block of the failed write.
+        lba: u64,
+    },
+}
+
+impl fmt::Display for HddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HddError::LatentSector { lba } => {
+                write!(f, "latent sector error reading block {lba}")
+            }
+            HddError::WriteFault { lba } => {
+                write!(f, "transient write fault at block {lba}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HddError {}
 
 /// Configuration of a simulated hard disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -73,9 +110,10 @@ impl HddConfig {
 /// use icash_storage::time::Ns;
 ///
 /// let mut disk = Hdd::new(HddConfig::seagate_sata(1 << 20));
-/// let random = disk.read(Ns::ZERO, 500_000, 1);
-/// let sequential = disk.read(random, 500_001, 1) - random;
+/// let random = disk.read(Ns::ZERO, 500_000, 1)?;
+/// let sequential = disk.read(random, 500_001, 1)? - random;
 /// assert!(sequential < Ns::from_us(100)); // continuation: transfer only
+/// # Ok::<(), icash_storage::hdd::HddError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Hdd {
@@ -85,6 +123,8 @@ pub struct Hdd {
     head: u64,
     stats: DeviceStats,
     energy: EnergyMeter,
+    /// Fault injection, absent by default (the common, zero-cost case).
+    faults: Option<Box<FaultInjector>>,
 }
 
 impl Hdd {
@@ -103,7 +143,19 @@ impl Hdd {
             head: 0,
             stats: DeviceStats::new(),
             energy,
+            faults: None,
         }
+    }
+
+    /// Installs a fault injector; subsequent reads/writes may fail
+    /// according to its plan.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(Box::new(injector));
+    }
+
+    /// Fault counters, when an injector is installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// The disk configuration.
@@ -127,29 +179,42 @@ impl Hdd {
     }
 
     /// Reads `blocks` consecutive blocks starting at `lba`, arriving at `at`.
-    /// Returns the completion instant.
+    /// Returns the completion instant, or the latent sector error the access
+    /// hit. A failed read still burned the mechanical time (the drive ground
+    /// through its internal retries) and still counts in the device stats.
     ///
     /// # Panics
     ///
     /// Panics if the access runs past the end of the disk.
-    pub fn read(&mut self, at: Ns, lba: u64, blocks: u32) -> Ns {
+    pub fn read(&mut self, at: Ns, lba: u64, blocks: u32) -> Result<Ns, HddError> {
         let (queued, service, done) = self.access(at, lba, blocks);
         self.stats
             .record_read(blocks as usize * BLOCK_SIZE, queued, service);
-        done
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(bad) = f.hdd_read(lba, blocks) {
+                return Err(HddError::LatentSector { lba: bad });
+            }
+        }
+        Ok(done)
     }
 
     /// Writes `blocks` consecutive blocks starting at `lba`, arriving at
-    /// `at`. Returns the completion instant.
+    /// `at`. Returns the completion instant, or a transient write fault.
+    /// A successful write remaps (clears) any latent errors it covers.
     ///
     /// # Panics
     ///
     /// Panics if the access runs past the end of the disk.
-    pub fn write(&mut self, at: Ns, lba: u64, blocks: u32) -> Ns {
+    pub fn write(&mut self, at: Ns, lba: u64, blocks: u32) -> Result<Ns, HddError> {
         let (queued, service, done) = self.access(at, lba, blocks);
         self.stats
             .record_write(blocks as usize * BLOCK_SIZE, queued, service);
-        done
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(bad) = f.hdd_write(lba, blocks) {
+                return Err(HddError::WriteFault { lba: bad });
+            }
+        }
+        Ok(done)
     }
 
     /// Positioning + transfer cost shared by reads and writes.
@@ -206,6 +271,7 @@ impl Hdd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultTrigger};
 
     fn disk() -> Hdd {
         Hdd::new(HddConfig::seagate_sata(10_000_000))
@@ -214,7 +280,7 @@ mod tests {
     #[test]
     fn random_access_pays_mechanical_cost() {
         let mut d = disk();
-        let done = d.read(Ns::ZERO, 5_000_000, 1);
+        let done = d.read(Ns::ZERO, 5_000_000, 1).unwrap();
         // Must include a multi-millisecond seek for a half-stroke move.
         assert!(done > Ns::from_ms(5), "got {done}");
     }
@@ -222,8 +288,8 @@ mod tests {
     #[test]
     fn sequential_run_is_transfer_bound() {
         let mut d = disk();
-        let first = d.write(Ns::ZERO, 1_000_000, 1);
-        let second = d.write(first, 1_000_001, 1);
+        let first = d.write(Ns::ZERO, 1_000_000, 1).unwrap();
+        let second = d.write(first, 1_000_001, 1).unwrap();
         let continuation = second - first;
         assert_eq!(continuation, d.config().block_transfer());
     }
@@ -231,9 +297,9 @@ mod tests {
     #[test]
     fn queueing_delays_later_arrivals() {
         let mut d = disk();
-        let first_done = d.read(Ns::ZERO, 2_000_000, 1);
+        let first_done = d.read(Ns::ZERO, 2_000_000, 1).unwrap();
         // Arrives while the first op is still in service.
-        let second_done = d.read(Ns::from_us(1), 2_000_001, 1);
+        let second_done = d.read(Ns::from_us(1), 2_000_001, 1).unwrap();
         assert!(second_done > first_done);
         assert!(d.stats().queued > Ns::ZERO);
     }
@@ -241,19 +307,19 @@ mod tests {
     #[test]
     fn multiblock_transfer_scales() {
         let mut d = disk();
-        let one = d.read(Ns::ZERO, 0, 1);
+        let one = d.read(Ns::ZERO, 0, 1).unwrap();
         let mut d2 = disk();
-        let eight = d2.read(Ns::ZERO, 0, 8);
+        let eight = d2.read(Ns::ZERO, 0, 8).unwrap();
         assert_eq!(eight - one, d.config().block_transfer() * 7);
     }
 
     #[test]
     fn same_track_skips_seek() {
         let mut d = disk();
-        let _ = d.read(Ns::ZERO, 100, 1);
+        let _ = d.read(Ns::ZERO, 100, 1).unwrap();
         // Different sector on the same track: rotational delay only.
         let before = d.busy_until();
-        let done = d.read(before, 50, 1);
+        let done = d.read(before, 50, 1).unwrap();
         let service = done - before;
         assert!(service < d.config().revolution() + d.config().block_transfer() * 2);
     }
@@ -268,14 +334,65 @@ mod tests {
     #[test]
     fn stats_and_energy_accumulate() {
         let mut d = disk();
-        let t1 = d.read(Ns::ZERO, 0, 1);
-        let _ = d.write(t1, 500, 2);
+        let t1 = d.read(Ns::ZERO, 0, 1).unwrap();
+        let _ = d.write(t1, 500, 2).unwrap();
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().write_bytes, 2 * BLOCK_SIZE as u64);
         let e = d.energy(Ns::from_secs(1));
         // At least the idle draw for one second: 8 J.
         assert!(e.as_joules() >= 8.0);
+    }
+
+    #[test]
+    fn triggered_read_fails_then_rewrite_remaps() {
+        let mut d = disk();
+        d.install_faults(FaultInjector::new(
+            FaultPlan::seeded(5).trigger(FaultTrigger::HddRead { op: 0 }),
+            0,
+        ));
+        let err = d.read(Ns::ZERO, 42, 1).unwrap_err();
+        assert_eq!(err, HddError::LatentSector { lba: 42 });
+        // The sector stays bad until rewritten...
+        assert!(d.read(Ns::ZERO, 42, 1).is_err());
+        // ...and a write remaps it.
+        let t = d.write(Ns::from_ms(1), 42, 1).unwrap();
+        assert!(d.read(t, 42, 1).is_ok());
+        assert_eq!(d.fault_stats().unwrap().sectors_remapped, 1);
+        assert_eq!(d.fault_stats().unwrap().hdd_read_errors, 2);
+    }
+
+    #[test]
+    fn failed_reads_still_burn_mechanical_time() {
+        let mut d = disk();
+        d.install_faults(FaultInjector::new(
+            FaultPlan::seeded(5).trigger(FaultTrigger::HddRead { op: 0 }),
+            0,
+        ));
+        let _ = d.read(Ns::ZERO, 5_000_000, 1);
+        assert_eq!(d.stats().reads, 1, "failed op still counted");
+        assert!(d.busy_until() > Ns::from_ms(5), "seek time still charged");
+    }
+
+    #[test]
+    fn write_fault_is_transient() {
+        let mut d = disk();
+        d.install_faults(FaultInjector::new(
+            FaultPlan::seeded(5).trigger(FaultTrigger::HddWrite { op: 0 }),
+            0,
+        ));
+        let err = d.write(Ns::ZERO, 7, 1).unwrap_err();
+        assert_eq!(err, HddError::WriteFault { lba: 7 });
+        // The retry is a later operation and succeeds.
+        assert!(d.write(Ns::from_ms(1), 7, 1).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = HddError::LatentSector { lba: 9 };
+        assert!(e.to_string().contains("latent"));
+        let w = HddError::WriteFault { lba: 3 };
+        assert!(w.to_string().contains("write fault"));
     }
 
     #[test]

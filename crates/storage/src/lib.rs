@@ -33,7 +33,7 @@
 //!
 //! // A random HDD read costs milliseconds...
 //! let mut hdd = Hdd::new(HddConfig::seagate_sata(1 << 22));
-//! let hdd_done = hdd.read(Ns::ZERO, 2_000_000, 1);
+//! let hdd_done = hdd.read(Ns::ZERO, 2_000_000, 1)?;
 //! assert!(hdd_done > Ns::from_ms(2));
 //!
 //! // ...while an SSD read costs tens of microseconds.
@@ -41,7 +41,7 @@
 //! let w = ssd.write(Ns::ZERO, 42)?;
 //! let ssd_done = ssd.read(w, 42)?;
 //! assert!(ssd_done - w < Ns::from_us(100));
-//! # Ok::<(), icash_storage::ssd::SsdError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -51,6 +51,7 @@ pub mod array;
 pub mod block;
 pub mod cpu;
 pub mod energy;
+pub mod fault;
 pub mod hdd;
 pub mod lru;
 pub mod request;
@@ -61,6 +62,7 @@ pub mod time;
 
 pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
-pub use request::{Completion, Op, Request};
+pub use fault::{FaultPlan, FaultStats, FaultTrigger};
+pub use request::{BlockError, Completion, IoErrorKind, Op, Request};
 pub use system::{ContentSource, IoCtx, StorageSystem, SystemReport, ZeroSource};
 pub use time::{Ns, SimClock};

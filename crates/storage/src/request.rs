@@ -104,6 +104,46 @@ impl Request {
     }
 }
 
+/// The class of failure a block-level error reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoErrorKind {
+    /// HDD media failure (latent sector error the retries couldn't clear).
+    HddMedia,
+    /// SSD media failure (uncorrectable page the fallbacks couldn't repair).
+    SsdMedia,
+    /// SSD allocation failure (full or worn out) on a required write.
+    SsdSpace,
+    /// Controller metadata inconsistency detected and contained.
+    Metadata,
+}
+
+/// One block of a request that could not be served correctly.
+///
+/// The end-to-end integrity contract: a storage system must never return
+/// wrong data silently. When data is genuinely lost (media failure after
+/// retry and repair both failed), the system reports the block here instead
+/// — the campaign harness treats "mismatch without a reported error" as
+/// corruption and fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockError {
+    /// The block that failed.
+    pub lba: Lba,
+    /// What failed.
+    pub kind: IoErrorKind,
+}
+
+impl core::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let kind = match self.kind {
+            IoErrorKind::HddMedia => "HDD media error",
+            IoErrorKind::SsdMedia => "SSD media error",
+            IoErrorKind::SsdSpace => "SSD out of space",
+            IoErrorKind::Metadata => "metadata inconsistency",
+        };
+        write!(f, "{kind} at block {}", self.lba)
+    }
+}
+
 /// The completion report of a processed request.
 #[derive(Debug, Clone)]
 pub struct Completion {
@@ -112,8 +152,12 @@ pub struct Completion {
     /// Content returned for reads, one buffer per block in LBA order.
     ///
     /// Empty when the system was configured not to materialise data
-    /// (timing-only runs) or for writes.
+    /// (timing-only runs) or for writes. Blocks listed in `errors` hold a
+    /// placeholder buffer so indexes stay aligned with the request.
     pub data: Vec<BlockBuf>,
+    /// Blocks the system could not serve correctly, reported instead of
+    /// returning wrong data. Empty on every fault-free run.
+    pub errors: Vec<BlockError>,
 }
 
 impl Completion {
@@ -122,12 +166,28 @@ impl Completion {
         Completion {
             finished,
             data: Vec::new(),
+            errors: Vec::new(),
         }
     }
 
     /// A completion at `finished` returning `data`.
     pub fn with_data(finished: Ns, data: Vec<BlockBuf>) -> Self {
-        Completion { finished, data }
+        Completion {
+            finished,
+            data,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Attaches block-level error reports.
+    pub fn with_errors(mut self, errors: Vec<BlockError>) -> Self {
+        self.errors = errors;
+        self
+    }
+
+    /// Whether `lba` was reported as failed.
+    pub fn failed(&self, lba: Lba) -> bool {
+        self.errors.iter().any(|e| e.lba == lba)
     }
 
     /// Service latency relative to the request arrival.
@@ -170,5 +230,17 @@ mod tests {
         let r = Request::read(Lba::new(0), Ns::from_us(10));
         let c = Completion::at(Ns::from_us(35));
         assert_eq!(c.latency(&r), Ns::from_us(25));
+    }
+
+    #[test]
+    fn errors_are_attached_and_queryable() {
+        let c = Completion::at(Ns::from_us(5)).with_errors(vec![BlockError {
+            lba: Lba::new(9),
+            kind: IoErrorKind::HddMedia,
+        }]);
+        assert!(c.failed(Lba::new(9)));
+        assert!(!c.failed(Lba::new(10)));
+        assert!(c.errors[0].to_string().contains("HDD media"));
+        assert!(Completion::at(Ns::ZERO).errors.is_empty());
     }
 }

@@ -16,6 +16,7 @@ pub mod wear;
 
 use crate::block::BLOCK_SIZE;
 use crate::energy::{ssd_op_energy, EnergyMeter, MicroJoules};
+use crate::fault::{FaultInjector, FaultStats};
 use crate::stats::DeviceStats;
 use crate::time::Ns;
 use flash::{FlashConfig, FlashOp};
@@ -34,6 +35,12 @@ pub enum SsdError {
         /// The unmapped logical page.
         lpn: u64,
     },
+    /// A read's bit errors exceeded ECC correction capability. The page
+    /// stays unreadable until reprogrammed or trimmed.
+    Uncorrectable {
+        /// The uncorrectable logical page.
+        lpn: u64,
+    },
 }
 
 impl core::fmt::Display for SsdError {
@@ -42,6 +49,9 @@ impl core::fmt::Display for SsdError {
             SsdError::Full => write!(f, "no reclaimable flash space"),
             SsdError::WornOut => write!(f, "flash endurance exhausted"),
             SsdError::Unmapped { lpn } => write!(f, "read of unmapped logical page {lpn}"),
+            SsdError::Uncorrectable { lpn } => {
+                write!(f, "uncorrectable bit errors reading logical page {lpn}")
+            }
         }
     }
 }
@@ -89,6 +99,8 @@ pub struct Ssd {
     channel_busy: Vec<Ns>,
     stats: DeviceStats,
     energy: EnergyMeter,
+    /// Fault injection, absent by default (the common, zero-cost case).
+    faults: Option<Box<FaultInjector>>,
 }
 
 impl Ssd {
@@ -101,7 +113,19 @@ impl Ssd {
             channel_busy: vec![Ns::ZERO; channels],
             stats: DeviceStats::new(),
             energy,
+            faults: None,
         }
+    }
+
+    /// Installs a fault injector; subsequent reads may report
+    /// [`SsdError::Uncorrectable`] according to its plan.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(Box::new(injector));
+    }
+
+    /// Fault counters, when an injector is installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// Logical capacity in pages.
@@ -139,13 +163,21 @@ impl Ssd {
     ///
     /// # Errors
     ///
-    /// Returns [`SsdError::Unmapped`] if the page holds no data.
+    /// Returns [`SsdError::Unmapped`] if the page holds no data, or
+    /// [`SsdError::Uncorrectable`] if fault injection failed the read (the
+    /// flash time was still spent grinding through ECC retries).
     pub fn read(&mut self, at: Ns, lpn: u64) -> Result<Ns, SsdError> {
         let ppn = self.ftl.map_read(lpn).ok_or(SsdError::Unmapped { lpn })?;
         let op = FlashOp::Read { ppn };
         let (queued, service, done) = self.charge(at, &[op]);
         self.stats.record_read(BLOCK_SIZE, queued, service);
         self.energy.charge_op(ssd_op_energy::read_4k());
+        if let Some(f) = self.faults.as_mut() {
+            let life = self.ftl.wear().life_used();
+            if f.ssd_read(lpn, life) {
+                return Err(SsdError::Uncorrectable { lpn });
+            }
+        }
         Ok(done)
     }
 
@@ -175,6 +207,10 @@ impl Ssd {
         let ops = self.ftl.write(lpn)?;
         let (queued, service, done) = self.charge(at, &ops);
         self.stats.record_write(BLOCK_SIZE, queued, service);
+        if let Some(f) = self.faults.as_mut() {
+            // A fresh program clears any latent uncorrectable state.
+            f.ssd_write(lpn);
+        }
         for op in &ops {
             match op {
                 FlashOp::Read { .. } => self.energy.charge_op(ssd_op_energy::read_4k()),
@@ -204,6 +240,10 @@ impl Ssd {
     /// Drops the mapping for `lpn` (cache eviction); frees the page for GC.
     pub fn trim(&mut self, lpn: u64) {
         self.ftl.trim(lpn);
+        if let Some(f) = self.faults.as_mut() {
+            // The old physical page (and its bad bits) is gone.
+            f.ssd_write(lpn);
+        }
     }
 
     /// Marks `lpn` as holding factory-loaded image data: readable, but not
@@ -382,5 +422,29 @@ mod tests {
             "read of unmapped logical page 7"
         );
         assert_eq!(SsdError::Full.to_string(), "no reclaimable flash space");
+        assert!(SsdError::Uncorrectable { lpn: 3 }
+            .to_string()
+            .contains("uncorrectable"));
+    }
+
+    #[test]
+    fn uncorrectable_read_heals_on_reprogram() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTrigger};
+        let mut s = small_ssd();
+        s.install_faults(FaultInjector::new(
+            FaultPlan::seeded(1).trigger(FaultTrigger::SsdRead { op: 0 }),
+            0,
+        ));
+        s.write(Ns::ZERO, 4).unwrap();
+        assert_eq!(
+            s.read(Ns::from_ms(1), 4),
+            Err(SsdError::Uncorrectable { lpn: 4 })
+        );
+        // Stays bad until reprogrammed...
+        assert!(s.read(Ns::from_ms(2), 4).is_err());
+        s.write(Ns::from_ms(3), 4).unwrap();
+        assert!(s.read(Ns::from_ms(4), 4).is_ok());
+        assert_eq!(s.fault_stats().unwrap().ssd_read_errors, 2);
+        assert_eq!(s.fault_stats().unwrap().sectors_remapped, 1);
     }
 }

@@ -8,6 +8,7 @@
 use crate::block::{BlockBuf, Lba};
 use crate::cpu::CpuModel;
 use crate::energy::MicroJoules;
+use crate::fault::FaultStats;
 use crate::request::{Completion, Request};
 use crate::ssd::ftl::GcStats;
 use crate::stats::DeviceStats;
@@ -84,6 +85,9 @@ pub struct SystemReport {
     /// Energy drawn by the storage devices over the run (CPU energy is added
     /// by the driver, which owns the CPU model).
     pub device_energy: MicroJoules,
+    /// Injected-fault counters merged over every device (all zero when the
+    /// run carried no fault plan).
+    pub faults: FaultStats,
 }
 
 /// A complete disk I/O architecture under test.

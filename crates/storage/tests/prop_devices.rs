@@ -38,8 +38,8 @@ proptest! {
         let mut t = Ns::ZERO;
         for op in &ops {
             let done = match op {
-                DevOp::Read { lba, blocks } => disk.read(t, *lba, *blocks as u32),
-                DevOp::Write { lba, blocks } => disk.write(t, *lba, *blocks as u32),
+                DevOp::Read { lba, blocks } => disk.read(t, *lba, *blocks as u32).unwrap(),
+                DevOp::Write { lba, blocks } => disk.write(t, *lba, *blocks as u32).unwrap(),
             };
             let blocks = match op {
                 DevOp::Read { blocks, .. } | DevOp::Write { blocks, .. } => *blocks as u64,
@@ -58,8 +58,8 @@ proptest! {
             let mut t = Ns::ZERO;
             for op in ops {
                 t = match op {
-                    DevOp::Read { lba, blocks } => disk.read(t, *lba, *blocks as u32),
-                    DevOp::Write { lba, blocks } => disk.write(t, *lba, *blocks as u32),
+                    DevOp::Read { lba, blocks } => disk.read(t, *lba, *blocks as u32).unwrap(),
+                    DevOp::Write { lba, blocks } => disk.write(t, *lba, *blocks as u32).unwrap(),
                 };
             }
             t

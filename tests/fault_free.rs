@@ -1,0 +1,84 @@
+//! Differential guard: arming a *disabled* fault plan must be a perfect
+//! no-op. Every architecture's full JSON run report — timings, energy,
+//! device counters, controller stats — must be bit-identical with and
+//! without `FaultPlan::none()` installed, so the fault subsystem provably
+//! costs nothing (and changes nothing) when switched off.
+
+use icash::baselines::{DedupCache, LruCache, PureSsd, Raid0};
+use icash::core::{Icash, IcashConfig};
+use icash::storage::fault::FaultPlan;
+use icash::storage::system::StorageSystem;
+use icash::workloads::content::ContentModel;
+use icash::workloads::driver::{run_benchmark, DriverConfig};
+use icash::workloads::MixedWorkload;
+
+const DATA: u64 = 16 << 20;
+const SSD: u64 = 2 << 20;
+const RAM: u64 = 512 << 10;
+const OPS: u64 = 1_500;
+const SEED: u64 = 0x1CA5_4001;
+
+fn run_one(mut system: Box<dyn StorageSystem>) -> String {
+    let mut spec = icash::workloads::sysbench::spec();
+    spec.data_bytes = DATA;
+    spec.ssd_bytes = SSD;
+    spec.ram_bytes = RAM;
+    let mut workload = MixedWorkload::new(spec, SEED);
+    let mut model = ContentModel::new(SEED, icash::workloads::sysbench::spec().profile);
+    let cfg = DriverConfig {
+        clients: 8,
+        ops: OPS,
+        warmup_ops: OPS / 10,
+        verify: false,
+        guest_cache: false,
+        cpu: None,
+    };
+    run_benchmark(system.as_mut(), &mut workload, &mut model, &cfg).to_json()
+}
+
+fn icash_cfg() -> IcashConfig {
+    IcashConfig::builder(SSD, RAM, DATA).build()
+}
+
+#[test]
+fn disabled_fault_plan_is_bit_identical_for_every_system() {
+    let cases: Vec<(&str, Box<dyn StorageSystem>, Box<dyn StorageSystem>)> = vec![
+        (
+            "FusionIO",
+            Box::new(PureSsd::new(DATA)),
+            Box::new(PureSsd::new(DATA).with_fault_plan(&FaultPlan::none())),
+        ),
+        (
+            "RAID0",
+            Box::new(Raid0::new(DATA, 4)),
+            Box::new(Raid0::new(DATA, 4).with_fault_plan(&FaultPlan::none())),
+        ),
+        (
+            "Dedup",
+            Box::new(DedupCache::new(SSD, DATA)),
+            Box::new(DedupCache::new(SSD, DATA).with_fault_plan(&FaultPlan::none())),
+        ),
+        (
+            "LRU",
+            Box::new(LruCache::new(SSD, DATA)),
+            Box::new(LruCache::new(SSD, DATA).with_fault_plan(&FaultPlan::none())),
+        ),
+        (
+            "I-CASH",
+            Box::new(Icash::new(icash_cfg())),
+            Box::new(Icash::new(icash_cfg()).with_fault_plan(FaultPlan::none())),
+        ),
+    ];
+    for (name, plain, armed) in cases {
+        let baseline = run_one(plain);
+        let with_plan = run_one(armed);
+        assert_eq!(
+            baseline, with_plan,
+            "{name}: FaultPlan::none() changed the run report"
+        );
+        assert!(
+            baseline.contains("\"faults\""),
+            "{name}: report must expose fault counters"
+        );
+    }
+}
