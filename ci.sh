@@ -10,6 +10,11 @@
 #                   seeded media faults + I-CASH crash/torn-write recovery,
 #                   asserting zero silent corruption (fixed seeds; exits
 #                   nonzero on any violation)
+#   ./ci.sh trace   observability gate: trace-oracle equalities (event
+#                   totals vs report/summary counters for all six systems),
+#                   zero-perturbation and thread-count determinism of the
+#                   JSONL artifact, the pinned golden trace, and the
+#                   histogram property suite
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,6 +29,21 @@ run_benches() {
 if [[ "${1:-}" == "faults" ]]; then
   echo "==> fault-injection campaign (run_faults)"
   cargo run -q --release -p icash-bench --bin run_faults
+  exit 0
+fi
+
+if [[ "${1:-}" == "trace" ]]; then
+  echo "==> trace oracle: event totals vs report/summary counters"
+  cargo test -q -p icash --test trace_oracle
+  echo "==> trace zero-perturbation: attached tracer changes nothing"
+  cargo test -q -p icash --test trace_free
+  echo "==> trace determinism: JSONL byte-identical across worker counts"
+  cargo test -q -p icash-bench --test trace_determinism
+  echo "==> golden trace: pinned 64-op I-CASH event stream"
+  cargo test -q -p icash-metrics --test golden_trace
+  echo "==> histogram properties: merge laws + percentile ordering"
+  cargo test -q -p icash-metrics --test prop_histogram
+  echo "TRACE OK"
   exit 0
 fi
 

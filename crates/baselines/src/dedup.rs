@@ -194,6 +194,7 @@ impl StorageSystem for DedupCache {
     }
 
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        self.array.trace_request(req);
         let mut done = req.at;
         let mut data = Vec::new();
         let mut errors = Vec::new();
@@ -206,6 +207,7 @@ impl StorageSystem for DedupCache {
             let t = self
                 .home
                 .write_span(self.array.hdd_mut(), req.lba, &req.payload, req.at);
+            self.array.trace_request_end(t);
             return Completion::with_data(t, data);
         }
         for (i, lba) in req.lbas().enumerate() {
@@ -326,6 +328,7 @@ impl StorageSystem for DedupCache {
                 }
             }
         }
+        self.array.trace_request_end(done);
         Completion::with_data(done, data).with_errors(errors)
     }
 
@@ -346,6 +349,10 @@ impl StorageSystem for DedupCache {
             }
         }
         t
+    }
+
+    fn set_tracer(&mut self, tracer: icash_storage::trace::Tracer) {
+        self.array.install_tracer(tracer);
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {

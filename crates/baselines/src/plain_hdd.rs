@@ -1,0 +1,171 @@
+//! A single plain SATA disk with no cache in front of it.
+//!
+//! Not one of the paper's headline baselines (its evaluation starts at
+//! RAID0), but the natural floor for ablations and the simplest possible
+//! [`StorageSystem`]: every request is exactly one mechanical access. The
+//! trace-oracle suite uses it as the degenerate case where the event
+//! stream must match the device counters with nothing in between.
+
+use crate::home::HomeDisk;
+use icash_storage::array::DeviceArray;
+use icash_storage::block::BlockBuf;
+use icash_storage::fault::FaultPlan;
+use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
+use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
+use icash_storage::time::Ns;
+use icash_storage::trace::Tracer;
+
+/// One unadorned mechanical disk holding the whole data set.
+///
+/// # Examples
+///
+/// ```
+/// use icash_baselines::PlainHdd;
+/// use icash_storage::cpu::CpuModel;
+/// use icash_storage::{BlockBuf, IoCtx, Lba, Ns, Request, StorageSystem, ZeroSource};
+///
+/// let mut sys = PlainHdd::new(8 << 20);
+/// let mut cpu = CpuModel::xeon();
+/// let backing = ZeroSource;
+/// let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+/// let w = Request::write(Lba::new(1), Ns::ZERO, BlockBuf::filled(3));
+/// let done = sys.submit(&w, &mut ctx).finished;
+/// let r = Request::read(Lba::new(1), done);
+/// assert_eq!(sys.submit(&r, &mut ctx).data[0], BlockBuf::filled(3));
+/// ```
+#[derive(Debug)]
+pub struct PlainHdd {
+    array: DeviceArray,
+    home: HomeDisk,
+}
+
+impl PlainHdd {
+    /// Creates a disk big enough for `data_bytes` of application data.
+    pub fn new(data_bytes: u64) -> Self {
+        let blocks = data_bytes.div_ceil(4096).max(1);
+        PlainHdd {
+            array: DeviceArray::hdd_only(HomeDisk::build_disk(blocks)),
+            home: HomeDisk::new(blocks),
+        }
+    }
+
+    /// Disables content retention (timing-only runs with flat memory).
+    pub fn timing_only(mut self) -> Self {
+        self.home = self.home.timing_only();
+        self
+    }
+
+    /// Arms deterministic fault injection on the disk. A disabled plan
+    /// installs nothing, keeping fault-free runs bit-identical.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.array.install_fault_plan(plan);
+        self
+    }
+}
+
+impl StorageSystem for PlainHdd {
+    fn name(&self) -> &str {
+        "HDD"
+    }
+
+    fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        self.array.trace_request(req);
+        let mut done = req.at;
+        let mut data = Vec::new();
+        let mut errors = Vec::new();
+        for (i, lba) in req.lbas().enumerate() {
+            match req.op {
+                Op::Write => {
+                    let t =
+                        self.home
+                            .write(self.array.hdd_mut(), lba, req.payload[i].clone(), req.at);
+                    done = done.max(t);
+                }
+                Op::Read => match self.home.read(self.array.hdd_mut(), lba, req.at, ctx) {
+                    (t, Ok(content)) => {
+                        done = done.max(t);
+                        if ctx.collect_data {
+                            data.push(content);
+                        }
+                    }
+                    (_, Err(_)) => {
+                        errors.push(BlockError {
+                            lba,
+                            kind: IoErrorKind::HddMedia,
+                        });
+                        if ctx.collect_data {
+                            data.push(BlockBuf::zeroed());
+                        }
+                    }
+                },
+            }
+        }
+        self.array.trace_request_end(done);
+        Completion::with_data(done, data).with_errors(errors)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.array.install_tracer(tracer);
+    }
+
+    fn report(&self, elapsed: Ns) -> SystemReport {
+        self.array.report(self.name(), elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_storage::block::Lba;
+    use icash_storage::cpu::CpuModel;
+    use icash_storage::system::ZeroSource;
+    use icash_storage::trace::{TraceKind, Tracer};
+
+    #[test]
+    fn every_request_is_one_mechanical_access() {
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        let mut sys = PlainHdd::new(8 << 20).timing_only();
+        let mut t = Ns::ZERO;
+        for i in 0..20u64 {
+            let w = Request::write(Lba::new(i * 97), t, BlockBuf::zeroed());
+            t = sys.submit(&w, &mut ctx).finished;
+        }
+        let rep = sys.report(t);
+        assert_eq!(rep.hdd.unwrap().writes, 20);
+        assert!(rep.ssd.is_none());
+    }
+
+    #[test]
+    fn traced_requests_pair_start_and_end() {
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        let mut sys = PlainHdd::new(8 << 20).timing_only();
+        let (tracer, sink) = Tracer::counting();
+        sys.set_tracer(tracer);
+        let mut t = Ns::ZERO;
+        for i in 0..10u64 {
+            let r = Request::read(Lba::new(i * 31), t);
+            t = sys.submit(&r, &mut ctx).finished;
+        }
+        let stats = sink.lock().expect("sink");
+        assert_eq!(stats.requests, 10);
+        assert_eq!(stats.read_requests, 10);
+        assert_eq!(stats.hdd_reads, sys.report(t).hdd.unwrap().reads);
+        drop(stats);
+        // And a ring sink sees the raw start/end alternation.
+        let (tracer, ring) = Tracer::ring(8);
+        sys.set_tracer(tracer);
+        let r = Request::read(Lba::new(5), t);
+        sys.submit(&r, &mut ctx);
+        let ring = ring.lock().expect("ring");
+        let kinds: Vec<_> = ring.events().iter().map(|e| &e.kind).collect();
+        assert!(matches!(
+            kinds.first(),
+            Some(TraceKind::RequestStart { .. })
+        ));
+        assert!(matches!(kinds.last(), Some(TraceKind::RequestEnd)));
+    }
+}

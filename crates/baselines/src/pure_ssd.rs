@@ -12,6 +12,7 @@ use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
+use icash_storage::trace::Tracer;
 use std::collections::HashMap;
 
 /// A storage system holding the whole data set on flash.
@@ -94,6 +95,7 @@ impl StorageSystem for PureSsd {
     }
 
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        self.array.trace_request(req);
         let mut done = req.at;
         let mut data = Vec::new();
         let mut errors = Vec::new();
@@ -163,7 +165,12 @@ impl StorageSystem for PureSsd {
                 }
             }
         }
+        self.array.trace_request_end(done);
         Completion::with_data(done, data).with_errors(errors)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.array.install_tracer(tracer);
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {

@@ -13,6 +13,7 @@ use icash_storage::hdd::{Hdd, HddConfig};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
+use icash_storage::trace::Tracer;
 use std::collections::HashMap;
 
 /// Stripe chunk in 4 KB blocks (64 KB chunks, the Linux MD default).
@@ -103,6 +104,7 @@ impl StorageSystem for Raid0 {
     }
 
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        self.array.trace_request(req);
         let mut done = req.at;
         let mut data = Vec::new();
         let mut errors = Vec::new();
@@ -156,7 +158,12 @@ impl StorageSystem for Raid0 {
                 }
             }
         }
+        self.array.trace_request_end(done);
         Completion::with_data(done, data).with_errors(errors)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.array.install_tracer(tracer);
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {

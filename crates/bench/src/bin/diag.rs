@@ -14,7 +14,10 @@ use icash_workloads::workload::Workload;
 use icash_workloads::{hadoop, loadsim, rubis, specsfs, sysbench, tpcc};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "sysbench".into());
+    let which = icash_bench::harness::positional_args()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "sysbench".into());
     let base = match which.as_str() {
         "tpcc5" => vm::tpcc_five_vms(0).spec().clone(),
         "rubis5" => vm::rubis_five_vms(0).spec().clone(),

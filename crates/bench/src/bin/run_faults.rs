@@ -14,7 +14,12 @@
 //! the whole point of the robustness work is that injected faults degrade
 //! service, not crash the stack.
 
+//! With `--trace <path>` (or `ICASH_TRACE`), every cell additionally
+//! records its structured event stream; the cells are concatenated into
+//! one multi-cell JSONL artifact readable by `trace_profile`.
+
 use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
+use icash_bench::harness::{attach_jsonl, trace_path_from_args};
 use icash_core::{Icash, IcashConfig};
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::cpu::CpuModel;
@@ -158,10 +163,11 @@ fn run_plain_cell(name: &str, sys: &mut dyn StorageSystem, seed: u64) -> CellRes
 /// One crash cell: a write history torn at a seeded crash point; after
 /// recovery every block must read back as *some* version of its own
 /// history (never a splice), and post-recovery writes behave normally.
-fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64) -> CellResult {
+fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64, traced: bool) -> (CellResult, String) {
     let name = "I-CASH(crash)";
     let plan = plan_for(seed, rate).torn_writes();
     let mut sys = build_icash(plan);
+    let sink = traced.then(|| attach_jsonl(&mut sys));
     let backing = ZeroSource;
     let mut cpu = CpuModel::xeon();
     let mut ctx = IoCtx::verifying(&backing, &mut cpu);
@@ -206,11 +212,18 @@ fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64) -> CellResult {
         t = c.finished;
         check_read(name, lba, &c, std::slice::from_ref(&content), &mut out);
     }
-    out
+    drop(sys);
+    let text = sink
+        .map(|s| s.lock().expect("trace sink").take_text())
+        .unwrap_or_default();
+    (out, text)
 }
 
 fn main() {
     let names = ["FusionIO", "RAID0", "Dedup", "LRU", "I-CASH"];
+    let trace_path = trace_path_from_args();
+    let traced = trace_path.is_some();
+    let mut trace_doc = String::new();
     let mut cells = 0u64;
     let mut reads = 0u64;
     let mut reported = 0u64;
@@ -222,8 +235,16 @@ fn main() {
             for &seed in &SEEDS {
                 let plan = plan_for(seed, rate);
                 let mut sys = build_system(kind, &plan);
+                let sink = traced.then(|| attach_jsonl(sys.as_mut()));
                 let r = run_plain_cell(name, sys.as_mut(), seed);
                 injected.merge(&sys.report(Ns::from_ms(1)).faults);
+                drop(sys);
+                if let Some(sink) = sink {
+                    trace_doc.push_str(&format!(
+                        "{{\"cell\":{{\"workload\":\"faults r{rate} s{seed:#x}\",\"system\":\"{name}\"}}}}\n"
+                    ));
+                    trace_doc.push_str(&sink.lock().expect("trace sink").take_text());
+                }
                 cells += 1;
                 reads += r.reads;
                 reported += r.reported_errors;
@@ -234,12 +255,24 @@ fn main() {
     for &rate in &RATES {
         for &frac in &CRASH_AT {
             for &seed in &SEEDS {
-                let r = run_crash_cell(seed, rate, frac);
+                let (r, text) = run_crash_cell(seed, rate, frac, traced);
+                if traced {
+                    trace_doc.push_str(&format!(
+                        "{{\"cell\":{{\"workload\":\"crash r{rate} f{frac} s{seed:#x}\",\"system\":\"I-CASH\"}}}}\n"
+                    ));
+                    trace_doc.push_str(&text);
+                }
                 cells += 1;
                 reads += r.reads;
                 reported += r.reported_errors;
                 violations.extend(r.violations);
             }
+        }
+    }
+    if let Some(path) = trace_path {
+        match std::fs::write(&path, &trace_doc) {
+            Ok(()) => eprintln!("trace written to {}", path.display()),
+            Err(err) => eprintln!("failed to write trace {}: {err}", path.display()),
         }
     }
 

@@ -15,18 +15,31 @@
 //! `ICASH_THREADS` environment variable (default: available parallelism).
 //! A determinism regression test (`tests/determinism.rs`) holds that
 //! parallel and sequential replays serialize identically.
+//!
+//! ## Tracing
+//!
+//! Every binary built on [`run_plan`] / [`run_five_systems`] accepts
+//! `--trace <path>` (or the `ICASH_TRACE` environment variable): each cell
+//! then records its structured event stream into a [`JsonlSink`] and the
+//! cells are concatenated — each under a `{"cell":...}` header line — into
+//! one JSONL artifact readable by the `trace_profile` binary. Without the
+//! flag no tracer is attached anywhere, so the run (and its emitted JSON)
+//! is byte-identical to a build without this feature.
 
 use icash_core::{Icash, IcashConfig};
 use icash_metrics::summary::RunSummary;
+use icash_metrics::trace::JsonlSink;
 use icash_storage::system::StorageSystem;
+use icash_storage::trace::{TraceSink, Tracer};
 use icash_workloads::content::ContentModel;
 use icash_workloads::driver::{run_benchmark, DriverConfig};
 use icash_workloads::spec::WorkloadSpec;
 use icash_workloads::trace::{Trace, TracePlayer};
 use icash_workloads::vm::MultiVm;
 use icash_workloads::workload::Workload;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The five architectures of the paper's comparison.
@@ -272,9 +285,21 @@ fn prepare(plan: &PlannedWorkload) -> PreparedWorkload {
 }
 
 /// Runs one prepared cell: build the system, replay the trace, time it.
-fn run_cell(kind: SystemKind, prep: &PreparedWorkload) -> RunSummary {
+/// When `traced` is false no sink is attached at all — the simulated run
+/// is exactly the untraced one, which is what keeps `--trace`-less output
+/// byte-identical.
+fn run_cell_inner(
+    kind: SystemKind,
+    prep: &PreparedWorkload,
+    traced: bool,
+) -> (RunSummary, Option<String>) {
     let wall_start = Instant::now();
     let mut system = kind.build(&prep.spec);
+    let sink = if traced {
+        Some(attach_jsonl(system.as_mut()))
+    } else {
+        None
+    };
     let mut player = TracePlayer::new(prep.spec.clone(), prep.trace.clone())
         .with_universe(prep.universe.clone());
     let mut model = ContentModel::new(prep.cfg.seed, prep.spec.profile.clone());
@@ -288,7 +313,85 @@ fn run_cell(kind: SystemKind, prep: &PreparedWorkload) -> RunSummary {
     };
     let mut summary = run_benchmark(system.as_mut(), &mut player, &mut model, &driver);
     summary.wall_ns = wall_start.elapsed().as_nanos() as u64;
-    summary
+    drop(system);
+    let text = sink.map(|s| s.lock().expect("trace sink").take_text());
+    (summary, text)
+}
+
+// ----------------------------------------------------------------------
+// Trace capture
+// ----------------------------------------------------------------------
+
+/// Installs a fresh [`JsonlSink`]-backed tracer on `system` and returns a
+/// handle to the sink so the caller can collect the document after the run.
+pub fn attach_jsonl(system: &mut dyn StorageSystem) -> Arc<Mutex<JsonlSink>> {
+    let sink = Arc::new(Mutex::new(JsonlSink::new()));
+    system.set_tracer(Tracer::to_sink(
+        sink.clone() as Arc<Mutex<dyn TraceSink + Send>>
+    ));
+    sink
+}
+
+/// The `--trace <path>` / `--trace=<path>` command-line flag, falling back
+/// to the `ICASH_TRACE` environment variable. `None` means tracing stays
+/// off and the run is bit-for-bit the untraced one.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            return iter.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var("ICASH_TRACE").ok().map(PathBuf::from)
+}
+
+/// Command-line arguments with the `--trace` flag (and its value) removed,
+/// so binaries can keep their positional arguments (output paths, workload
+/// names) oblivious to tracing.
+pub fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let _ = args.next(); // the path value
+            continue;
+        }
+        if arg.starts_with("--trace=") {
+            continue;
+        }
+        out.push(arg);
+    }
+    out
+}
+
+/// Renders traced results as one multi-cell JSONL document: each cell is a
+/// `{"cell":{...}}` header line followed by that cell's events.
+fn trace_document(results: &TracedResults) -> String {
+    let mut doc = String::new();
+    for (spec, cells) in results {
+        for (summary, text) in cells {
+            doc.push_str(&format!(
+                "{{\"cell\":{{\"workload\":\"{}\",\"system\":\"{}\"}}}}\n",
+                spec.name, summary.system
+            ));
+            if let Some(text) = text {
+                doc.push_str(text);
+            }
+        }
+    }
+    doc
+}
+
+fn write_trace_artifact(path: &Path, results: &TracedResults) {
+    let doc = trace_document(results);
+    match std::fs::write(path, &doc) {
+        Ok(()) => eprintln!("trace written to {}", path.display()),
+        Err(err) => eprintln!("failed to write trace {}: {err}", path.display()),
+    }
 }
 
 /// Runs every planned workload against all five systems, with all
@@ -297,21 +400,59 @@ fn run_cell(kind: SystemKind, prep: &PreparedWorkload) -> RunSummary {
 /// plan in order, the scaled spec and the five summaries in
 /// [`SystemKind::ALL`] order.
 pub fn run_plan(plans: &[PlannedWorkload]) -> Vec<(WorkloadSpec, Vec<RunSummary>)> {
+    match trace_path_from_args() {
+        None => strip_traces(run_plan_inner(plans, false)),
+        Some(path) => {
+            let results = run_plan_inner(plans, true);
+            write_trace_artifact(&path, &results);
+            strip_traces(results)
+        }
+    }
+}
+
+/// [`run_plan`] with tracing forced on: every cell additionally returns
+/// its JSONL event document. The determinism and oracle suites diff these
+/// across thread counts and against the summaries.
+pub fn run_plan_traced(
+    plans: &[PlannedWorkload],
+) -> Vec<(WorkloadSpec, Vec<(RunSummary, String)>)> {
+    run_plan_inner(plans, true)
+        .into_iter()
+        .map(|(spec, cells)| {
+            let cells = cells
+                .into_iter()
+                .map(|(summary, text)| (summary, text.expect("traced run")))
+                .collect();
+            (spec, cells)
+        })
+        .collect()
+}
+
+type TracedResults = Vec<(WorkloadSpec, Vec<(RunSummary, Option<String>)>)>;
+
+fn strip_traces(results: TracedResults) -> Vec<(WorkloadSpec, Vec<RunSummary>)> {
+    results
+        .into_iter()
+        .map(|(spec, cells)| (spec, cells.into_iter().map(|(s, _)| s).collect()))
+        .collect()
+}
+
+fn run_plan_inner(plans: &[PlannedWorkload], traced: bool) -> TracedResults {
     let prepared: Vec<PreparedWorkload> = plans.iter().map(prepare).collect();
     let jobs: Vec<_> = prepared
         .iter()
         .flat_map(|prep| SystemKind::ALL.iter().map(move |&kind| (kind, prep)))
-        .map(|(kind, prep)| move || run_cell(kind, prep))
+        .map(|(kind, prep)| move || run_cell_inner(kind, prep, traced))
         .collect();
     let mut results = run_jobs(jobs).into_iter();
     prepared
         .into_iter()
         .map(|prep| {
-            let summaries: Vec<RunSummary> = SystemKind::ALL
+            let cells: Vec<(RunSummary, Option<String>)> = SystemKind::ALL
                 .iter()
                 .map(|_| results.next().expect("cell ran"))
                 .collect();
-            (prep.spec, summaries)
+            (prep.spec, cells)
         })
         .collect()
 }
@@ -326,6 +467,40 @@ pub fn run_five_systems(
     cfg: &ExperimentConfig,
     make_workload: impl Fn(u64) -> Box<dyn Workload>,
 ) -> Vec<RunSummary> {
+    match trace_path_from_args() {
+        None => run_five_systems_inner(spec, cfg, make_workload, false)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect(),
+        Some(path) => {
+            let cells = run_five_systems_inner(spec, cfg, make_workload, true);
+            let results: TracedResults = vec![(spec.clone(), cells)];
+            write_trace_artifact(&path, &results);
+            let (_, cells) = results.into_iter().next().expect("one workload");
+            cells.into_iter().map(|(s, _)| s).collect()
+        }
+    }
+}
+
+/// [`run_five_systems`] with tracing forced on: each summary comes with
+/// the cell's JSONL event document.
+pub fn run_five_systems_traced(
+    spec: &WorkloadSpec,
+    cfg: &ExperimentConfig,
+    make_workload: impl Fn(u64) -> Box<dyn Workload>,
+) -> Vec<(RunSummary, String)> {
+    run_five_systems_inner(spec, cfg, make_workload, true)
+        .into_iter()
+        .map(|(summary, text)| (summary, text.expect("traced run")))
+        .collect()
+}
+
+fn run_five_systems_inner(
+    spec: &WorkloadSpec,
+    cfg: &ExperimentConfig,
+    make_workload: impl Fn(u64) -> Box<dyn Workload>,
+    traced: bool,
+) -> Vec<(RunSummary, Option<String>)> {
     let mut source = make_workload(cfg.seed);
     let universe = source.address_universe();
     let trace = Trace::record(source.as_mut(), cfg.ops);
@@ -339,7 +514,7 @@ pub fn run_five_systems(
         .iter()
         .map(|&kind| {
             let prep = &prep;
-            move || run_cell(kind, prep)
+            move || run_cell_inner(kind, prep, traced)
         })
         .collect();
     run_jobs(jobs)

@@ -37,6 +37,7 @@ use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::Ssd;
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
+use icash_storage::trace::{TraceEvent, TraceKind, Tracer};
 use std::collections::{HashMap, HashSet};
 
 /// The pseudo-reference for log-resident independent blocks: their log
@@ -303,10 +304,20 @@ impl Icash {
         match self.array.hdd_mut().read(at, pos, blocks) {
             Ok(t) => Ok(t),
             Err(_) => {
-                self.stats.fault_retries += 1;
+                self.note_retry(at, pos, false);
                 self.array.hdd_mut().read(at, pos, blocks)
             }
         }
+    }
+
+    /// Counts one controller-level retry of a faulted device op and mirrors
+    /// it into the trace (the oracle diffs the two).
+    pub(crate) fn note_retry(&mut self, at: Ns, addr: u64, write: bool) {
+        self.stats.fault_retries += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::FaultRetry { lba: addr, write },
+        });
     }
 
     /// HDD write with bounded retries. Write faults are transient (the
@@ -323,7 +334,7 @@ impl Icash {
             if last.is_ok() {
                 return last;
             }
-            self.stats.fault_retries += 1;
+            self.note_retry(at, pos, true);
             last = self.array.hdd_mut().write(at, pos, blocks);
         }
         last
@@ -376,6 +387,10 @@ impl Icash {
             Err(_) => return (t, Err(IoErrorKind::SsdMedia)),
         };
         self.stats.slot_repairs += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at: t,
+            kind: TraceKind::SlotRepair { slot, ok: true },
+        });
         (t, Ok(content))
     }
 
@@ -391,7 +406,7 @@ impl Icash {
         match self.array.ssd_mut().read(at, slot) {
             Ok(t) => (t, Ok(self.ssd_store[&slot].clone())),
             Err(_) => {
-                self.stats.fault_retries += 1;
+                self.note_retry(at, slot, false);
                 let (t, res) = self.repair_slot(lba, slot, at, ctx);
                 if res.is_err() {
                     self.stats.unrecoverable_reads += 1;
@@ -409,22 +424,34 @@ impl Icash {
         self.stats.scrubs += 1;
         let mut slots: Vec<(Lba, u64)> = self.slot_dir.iter().map(|(&l, r)| (l, r.slot)).collect();
         slots.sort_by_key(|&(l, _)| l.raw());
+        let scanned = slots.len() as u32;
+        let (mut repaired, mut failed) = (0u32, 0u32);
         let mut t = now;
         for (lba, slot) in slots {
             match self.array.ssd_mut().read(t, slot) {
                 Ok(t2) => t = t2,
                 Err(_) => {
-                    self.stats.fault_retries += 1;
+                    self.note_retry(t, slot, false);
                     let (t2, res) = self.repair_slot(lba, slot, t, ctx);
                     t = t2;
                     if res.is_ok() {
                         self.stats.scrub_repairs += 1;
+                        repaired += 1;
                     } else {
                         self.stats.scrub_failures += 1;
+                        failed += 1;
                     }
                 }
             }
         }
+        self.array.tracer().emit(|| TraceEvent {
+            at: t,
+            kind: TraceKind::Scrub {
+                scanned,
+                repaired,
+                failed,
+            },
+        });
         t
     }
 
@@ -434,23 +461,62 @@ impl Icash {
     /// keeps whole runs of it (Raw).
     pub(crate) fn encode_against_slot(
         &mut self,
+        at: Ns,
+        lba: Lba,
         slot: u64,
         target: &BlockBuf,
     ) -> icash_delta::codec::Delta {
         let base = self.ssd_store[&slot].clone();
         let codec = &self.codec;
-        codec.encode_shared(
-            base.as_slice(),
-            target.as_bytes(),
-            self.ref_cache.slot_entry(slot),
-        )
+        let entry = self.ref_cache.slot_entry(slot);
+        let hit = entry.is_some();
+        let delta = codec.encode_shared(base.as_slice(), target.as_bytes(), entry);
+        let bytes = delta.len() as u32;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::RefCache { slot, hit },
+        });
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::DeltaEncode {
+                lba: lba.raw(),
+                reference: slot,
+                bytes,
+            },
+        });
+        delta
     }
 
     /// Encodes `target` against the all-zero pseudo-reference, reusing the
-    /// permanent zero-reference chunk index.
-    pub(crate) fn encode_against_zero(&mut self, target: &BlockBuf) -> icash_delta::codec::Delta {
+    /// permanent zero-reference chunk index. Traced with
+    /// [`u64::MAX`] as the pseudo-slot of the zero reference.
+    pub(crate) fn encode_against_zero(
+        &mut self,
+        at: Ns,
+        lba: Lba,
+        target: &BlockBuf,
+    ) -> icash_delta::codec::Delta {
         let codec = &self.codec;
-        codec.encode_shared(&ZERO_REF, target.as_bytes(), self.ref_cache.zero_entry())
+        let entry = self.ref_cache.zero_entry();
+        let hit = entry.is_some();
+        let delta = codec.encode_shared(&ZERO_REF, target.as_bytes(), entry);
+        let bytes = delta.len() as u32;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::RefCache {
+                slot: u64::MAX,
+                hit,
+            },
+        });
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::DeltaEncode {
+                lba: lba.raw(),
+                reference: u64::MAX,
+                bytes,
+            },
+        });
+        delta
     }
 
     // ------------------------------------------------------------------
@@ -479,7 +545,7 @@ impl Icash {
                 // The SSD copy is immutable while referenced: store the
                 // reference's own changes as a delta against it.
                 let s = slot.expect("reference without slot");
-                let delta = self.encode_against_slot(s, &content);
+                let delta = self.encode_against_slot(at, lba, s, &content);
                 ctx.cpu.charge(CpuOp::DeltaEncode);
                 if delta.len() <= self.cfg.delta_threshold || dependants > 0 {
                     self.store_delta(id, delta, at, ctx);
@@ -543,7 +609,7 @@ impl Icash {
                         .ssd_slot
                         .expect("reference without slot")
                 };
-                let delta = self.encode_against_slot(rslot, &content);
+                let delta = self.encode_against_slot(at, lba, rslot, &content);
                 ctx.cpu.charge(CpuOp::DeltaEncode);
                 if delta.len() <= self.cfg.delta_threshold {
                     self.store_delta(id, delta, at, ctx);
@@ -620,7 +686,8 @@ impl Icash {
             vb.reference = None;
             vb.dirty_data = false;
         }
-        let delta = self.encode_against_zero(content);
+        let lba = self.table.get(id).lba;
+        let delta = self.encode_against_zero(at, lba, content);
         ctx.cpu.charge(CpuOp::DeltaEncode);
         self.store_delta(id, delta, at, ctx);
         self.stats.independent_writes += 1;
@@ -704,6 +771,7 @@ impl Icash {
         // verifies true similarity, so false candidates only cost an
         // encode attempt.
         let candidates = self.ref_index.candidates(sig, 3, 3);
+        let probed = candidates.len() as u32;
         for cand in candidates {
             if cand == lba {
                 continue;
@@ -716,14 +784,28 @@ impl Icash {
                 Some(s) => s,
                 None => continue,
             };
-            let delta = self.encode_against_slot(rslot, content);
+            let delta = self.encode_against_slot(at, lba, rslot, content);
             ctx.cpu.charge(CpuOp::DeltaEncode);
             if delta.len() <= self.cfg.delta_threshold {
                 self.bind(id, cand, delta, at, ctx);
+                self.note_probe(at, lba, probed, true);
                 return true;
             }
         }
+        self.note_probe(at, lba, probed, false);
         false
+    }
+
+    /// Mirrors one similarity probe into the trace.
+    fn note_probe(&self, at: Ns, lba: Lba, candidates: u32, bound: bool) {
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::SigProbe {
+                lba: lba.raw(),
+                candidates,
+                bound,
+            },
+        });
     }
 
     /// Binds `id` as an associate of `reference` with `delta`.
@@ -796,7 +878,12 @@ impl Icash {
     /// when retry and repair could not produce the correct bytes.
     pub(crate) fn content_of(&mut self, id: VbId, at: Ns, ctx: &mut IoCtx<'_>) -> BlockRead {
         if let Some(data) = self.table.get(id).data.clone() {
+            let lba = self.table.get(id).lba;
             self.stats.ram_hits += 1;
+            self.array.tracer().emit(|| TraceEvent {
+                at,
+                kind: TraceKind::RamHit { lba: lba.raw() },
+            });
             return (at, Ok(data));
         }
         let (role, reference, slot, log_loc, has_delta, lba) = {
@@ -831,7 +918,7 @@ impl Icash {
                     t += ctx.cpu.charge(CpuOp::DeltaDecode);
                     self.decode_resident(id, &base, t)
                 } else {
-                    self.stats.delta_hits += 1;
+                    self.note_delta_hit(t, lba);
                     (t, Ok(base))
                 }
             }
@@ -858,7 +945,7 @@ impl Icash {
                 if let Some(s) = slot {
                     let (t, res) = self.read_slot(lba, s, at, ctx);
                     if res.is_ok() {
-                        self.stats.delta_hits += 1;
+                        self.note_delta_hit(t, lba);
                     }
                     (t, res)
                 } else if has_delta || log_loc.is_some() {
@@ -908,11 +995,22 @@ impl Icash {
         };
         match self.codec.decode(base.as_slice(), &delta) {
             Ok(out) => {
-                self.stats.delta_hits += 1;
+                let lba = self.table.get(id).lba;
+                self.note_delta_hit(t, lba);
                 (t, Ok(BlockBuf::from_vec(out)))
             }
             Err(_) => self.metadata_error("resident delta undecodable", t),
         }
+    }
+
+    /// Counts one SSD-fast-path read (the paper's "delta hit") and mirrors
+    /// it into the trace as a [`TraceKind::DeltaDecode`] event.
+    fn note_delta_hit(&mut self, at: Ns, lba: Lba) {
+        self.stats.delta_hits += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::DeltaDecode { lba: lba.raw() },
+        });
     }
 
     /// A contained metadata-invariant failure: asserts in debug builds,
@@ -983,7 +1081,7 @@ impl Icash {
             Err(_) => {
                 // Some block of the readahead span is unreadable; retry
                 // with just the block the host actually needs.
-                self.stats.fault_retries += 1;
+                self.note_retry(at, log_pos, false);
                 span = 1;
                 match self.array.hdd_mut().read(at, log_pos, 1) {
                     Ok(t) => t,
@@ -1252,7 +1350,7 @@ impl Icash {
                 // associates: track the new content as the reference's own
                 // delta.
                 let slot = self.table.get(id).ssd_slot.expect("reference without slot");
-                let delta = self.encode_against_slot(slot, buf);
+                let delta = self.encode_against_slot(req.at, lba, slot, buf);
                 ctx.cpu.charge(CpuOp::DeltaEncode);
                 self.store_delta(id, delta, req.at, ctx);
                 self.stats.delta_writes += 1;
@@ -1303,7 +1401,7 @@ impl Icash {
                         Some(s) => s,
                         None => continue,
                     };
-                    let delta = self.encode_against_slot(slot, &content);
+                    let delta = self.encode_against_slot(Ns::ZERO, lba, slot, &content);
                     if delta.len() <= self.cfg.delta_threshold {
                         let rid = self.table.lookup(cand).expect("indexed");
                         self.table.get_mut(rid).dependants += 1;
@@ -1345,12 +1443,21 @@ impl Icash {
             }
         }
         if !entries.is_empty() {
+            let n_entries = entries.len() as u32;
             let report = self.log.append(entries);
             for ((lba, reference), loc) in pending.into_iter().zip(report.entry_locs) {
                 self.evicted
                     .insert(lba, EvictedState::InLog { reference, loc });
             }
             self.stats.log_blocks_written += report.blocks_written as u64;
+            let blocks = report.blocks_written;
+            self.array.tracer().emit(|| TraceEvent {
+                at: Ns::ZERO,
+                kind: TraceKind::LogFlush {
+                    entries: n_entries,
+                    blocks,
+                },
+            });
         }
     }
 }
@@ -1365,15 +1472,19 @@ impl StorageSystem for Icash {
     }
 
     fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        self.array.trace_request(req);
         match req.op {
             Op::Write => {
                 if req.blocks >= STREAM_WRITE_BLOCKS {
-                    return Completion::at(self.stream_write_span(req, ctx));
+                    let done = self.stream_write_span(req, ctx);
+                    self.array.trace_request_end(done);
+                    return Completion::at(done);
                 }
                 let mut done = req.at;
                 for (lba, buf) in req.lbas().zip(req.payload.iter()) {
                     done = done.max(self.write_block(lba, buf.clone(), req.at, ctx));
                 }
+                self.array.trace_request_end(done);
                 Completion::at(done)
             }
             Op::Read => {
@@ -1399,6 +1510,7 @@ impl StorageSystem for Icash {
                         }
                     }
                 }
+                self.array.trace_request_end(done);
                 Completion::with_data(done, data).with_errors(errors)
             }
         }
@@ -1406,6 +1518,10 @@ impl StorageSystem for Icash {
 
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
         self.shutdown_flush(now, ctx)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.array.install_tracer(tracer);
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {

@@ -10,6 +10,7 @@ use icash_storage::block::{Lba, BLOCK_SIZE};
 use icash_storage::cpu::CpuOp;
 use icash_storage::system::IoCtx;
 use icash_storage::time::Ns;
+use icash_storage::trace::{TraceEvent, TraceKind};
 
 impl Icash {
     /// Per-I/O bookkeeping: counts toward the flush interval and the scan
@@ -48,6 +49,7 @@ impl Icash {
         }
         let mut ids: Vec<usize> = self.dirty.drain().collect();
         ids.sort_unstable(); // determinism
+        let n_entries = ids.len() as u32;
         let mut flushed: Vec<VbId> = Vec::with_capacity(ids.len());
         let mut entries = Vec::with_capacity(ids.len());
         for raw in ids {
@@ -88,6 +90,14 @@ impl Icash {
         self.dirty_bytes = 0;
         self.stats.flushes += 1;
         self.stats.log_blocks_written += report.blocks_written as u64;
+        let blocks = report.blocks_written;
+        self.array.tracer().emit(|| TraceEvent {
+            at: t,
+            kind: TraceKind::LogFlush {
+                entries: n_entries,
+                blocks,
+            },
+        });
         if self.log.is_nearly_full() {
             self.clean_log(t);
         }
@@ -136,6 +146,10 @@ impl Icash {
             }
         }
         self.stats.log_cleans += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at: now,
+            kind: TraceKind::LogClean,
+        });
     }
 
     /// Clean-shutdown flush: dirty deltas go to the log, dirty independent

@@ -23,6 +23,8 @@ use icash_delta::heatmap::Heatmap;
 use icash_delta::signature::BlockSignature;
 use icash_storage::block::Lba;
 use icash_storage::fault::fault_roll;
+use icash_storage::time::Ns;
+use icash_storage::trace::{TraceEvent, TraceKind};
 use std::collections::{HashMap, HashSet};
 
 /// Salt for the deterministic choice of where a torn write lands inside
@@ -75,8 +77,13 @@ impl Icash {
         // or corrupted any other way. Everything after it is untrustworthy
         // (the log is strictly append-ordered).
         if let Some(bad) = log.first_invalid_frame() {
-            stats.torn_frames_dropped += log.len_blocks() - bad as u64;
+            let frames = log.len_blocks() - bad as u64;
+            stats.torn_frames_dropped += frames;
             log.truncate_from(bad);
+            array.tracer().emit(|| TraceEvent {
+                at: Ns::ZERO,
+                kind: TraceKind::RecoveryTruncate { frames },
+            });
         }
 
         let mut table = BlockTable::new();
@@ -115,6 +122,7 @@ impl Icash {
         // content would splice unrelated data.
         let mut items: Vec<(Lba, (u32, Lba, u64))> = latest.into_iter().collect();
         items.sort_by_key(|&(l, _)| l.raw());
+        let replay_entries = items.len() as u64;
         let mut dependants: HashMap<Lba, u32> = HashMap::new();
         for (lba, (loc, reference, generation)) in items {
             let pinned_gen = slot_dir.get(&lba).map(|r| r.generation);
@@ -161,6 +169,15 @@ impl Icash {
             vb.log_loc = Some(loc);
             table.insert(vb);
         }
+
+        let stale = stats.stale_frames_dropped;
+        array.tracer().emit(|| TraceEvent {
+            at: Ns::ZERO,
+            kind: TraceKind::RecoveryReplay {
+                entries: replay_entries,
+                stale,
+            },
+        });
 
         let mut ref_index = crate::ref_index::RefIndex::new();
         let mut refs: Vec<(Lba, u32)> = dependants.into_iter().collect();

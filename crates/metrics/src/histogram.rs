@@ -70,7 +70,9 @@ impl LatencyHistogram {
         Ns::from_ns(base + (base / SUB_BUCKETS as u64) * frac as u64)
     }
 
-    /// Records one sample.
+    /// Records one sample. Samples beyond the ~137 s top edge saturate
+    /// into the last bucket (min/max/mean stay exact — they are tracked
+    /// outside the buckets).
     pub fn record(&mut self, latency: Ns) {
         self.counts[Self::bucket_of(latency)] += 1;
         self.total += 1;
@@ -102,9 +104,13 @@ impl LatencyHistogram {
         }
     }
 
-    /// Largest recorded sample.
+    /// Largest recorded sample ([`Ns::ZERO`] when empty).
     pub fn max(&self) -> Ns {
-        self.max
+        if self.total == 0 {
+            Ns::ZERO
+        } else {
+            self.max
+        }
     }
 
     /// Approximate `p`-quantile (`0.0 ..= 1.0`), resolved to bucket edges.
@@ -120,7 +126,9 @@ impl LatencyHistogram {
         if p >= 1.0 {
             return self.max;
         }
-        let target = ((self.total as f64) * p).ceil().max(1.0) as u64;
+        // f64 rounding can push the rank past the population for p close
+        // to 1; clamping keeps the scan from falling off the end.
+        let target = (((self.total as f64) * p).ceil().max(1.0) as u64).min(self.total);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -235,5 +243,64 @@ mod tests {
     fn bad_quantile_panics() {
         let h = LatencyHistogram::new();
         let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn empty_histogram_max_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.max(), Ns::ZERO);
+        assert_eq!(h.percentile(1.0), Ns::ZERO);
+        assert_eq!(h.percentile(0.0), Ns::ZERO);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_the_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Ns::from_us(123));
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Ns::from_us(123), "p = {p}");
+        }
+        assert_eq!(h.min(), Ns::from_us(123));
+        assert_eq!(h.max(), Ns::from_us(123));
+        assert_eq!(h.mean(), Ns::from_us(123));
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_losing_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(Ns::MAX);
+        h.record(Ns::from_ns(u64::MAX - 1));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Ns::MAX);
+        assert_eq!(h.min(), Ns::from_ns(u64::MAX - 1));
+        // Both land in the saturated last bucket; percentiles stay inside
+        // the observed range rather than at the bucket's (tiny) floor.
+        for p in [0.1, 0.5, 0.9] {
+            let v = h.percentile(p);
+            assert!(v >= h.min() && v <= h.max(), "p{p} = {v:?}");
+        }
+        assert_eq!(h.mean(), Ns::from_ns(u64::MAX - 1));
+    }
+
+    #[test]
+    fn zero_latency_sample_is_representable() {
+        let mut h = LatencyHistogram::new();
+        h.record(Ns::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Ns::ZERO);
+        assert_eq!(h.max(), Ns::ZERO);
+        assert_eq!(h.percentile(0.5), Ns::ZERO);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(Ns::from_us(5));
+        let before = a.to_json();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.to_json(), before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.to_json(), before);
     }
 }

@@ -7,6 +7,9 @@
 //!   SSD write counts (Table 6), and energy (Table 5).
 //! * [`report`] — paper-style ASCII figure/table rendering used by the
 //!   bench binaries.
+//! * [`trace`] — JSONL trace collection ([`trace::JsonlSink`]) and the
+//!   per-phase virtual-time breakdown ([`trace::TraceProfile`]) over the
+//!   structured event stream of [`icash_storage::trace`].
 //!
 //! ```
 //! use icash_metrics::histogram::LatencyHistogram;
@@ -24,6 +27,8 @@
 pub mod histogram;
 pub mod report;
 pub mod summary;
+pub mod trace;
 
 pub use histogram::LatencyHistogram;
 pub use summary::RunSummary;
+pub use trace::{JsonlSink, TraceProfile};

@@ -1,0 +1,395 @@
+//! Trace collection and reporting on top of [`icash_storage::trace`].
+//!
+//! The storage crate owns the event vocabulary and the emission machinery
+//! (devices and controllers must stay free of metrics dependencies); this
+//! module adds the measurement-side pieces:
+//!
+//! * [`JsonlSink`] — a [`TraceSink`] that renders every event to canonical
+//!   JSONL as it arrives, producing the `--trace out.jsonl` artifact.
+//! * [`parse_jsonl`] — the inverse: a JSONL document back into events.
+//! * [`TraceProfile`] — a per-phase virtual-time breakdown of one event
+//!   stream, rendered by the `trace_profile` binary.
+//!
+//! ```
+//! use icash_metrics::trace::{JsonlSink, TraceProfile, parse_jsonl};
+//! use icash_storage::time::Ns;
+//! use icash_storage::trace::{TraceEvent, TraceKind, TraceSink};
+//!
+//! let mut sink = JsonlSink::new();
+//! sink.record(TraceEvent { at: Ns::from_us(3), kind: TraceKind::RamHit { lba: 9 } });
+//! let events = parse_jsonl(sink.text()).expect("round-trip");
+//! assert_eq!(events.len(), 1);
+//! let profile = TraceProfile::from_events(&events);
+//! assert_eq!(profile.ram_hits, 1);
+//! ```
+
+use icash_storage::time::Ns;
+pub use icash_storage::trace::{
+    FaultKind, RingSink, TraceEvent, TraceKind, TraceSink, TraceStats, Tracer,
+};
+
+/// A [`TraceSink`] that renders events to canonical JSONL text as they
+/// arrive (one [`TraceEvent::to_json`] line per event).
+///
+/// The text is deterministic: two bit-identical simulated runs produce
+/// byte-identical documents, which is exactly what the determinism suite
+/// diffs across `ICASH_THREADS` settings.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    text: String,
+    events: u64,
+}
+
+impl JsonlSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// The JSONL document so far (one line per event, each `\n`-terminated).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Takes the document out, leaving the sink empty.
+    pub fn take_text(&mut self) -> String {
+        self.events = 0;
+        std::mem::take(&mut self.text)
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.text.push_str(&event.to_json());
+        self.text.push('\n');
+        self.events += 1;
+    }
+}
+
+/// Parses a JSONL trace document back into events. Blank lines are
+/// skipped; any other unparseable line is an error naming its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::from_json(line) {
+            Some(e) => events.push(e),
+            None => return Err(format!("line {}: unparseable trace event: {line}", i + 1)),
+        }
+    }
+    Ok(events)
+}
+
+/// A per-phase virtual-time breakdown of one trace: how many events each
+/// phase of the stack produced and how much virtual device time they
+/// accounted for. Request time comes from `RequestStart`/`RequestEnd`
+/// spans; device time from each op's `queued + service` charge.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TraceProfile {
+    /// Host requests (`RequestStart` events).
+    pub requests: u64,
+    /// Summed request spans (end minus start).
+    pub request_time: Ns,
+    /// SSD page reads and their summed queued+service time.
+    pub ssd_reads: u64,
+    /// Virtual time in SSD reads.
+    pub ssd_read_time: Ns,
+    /// SSD page programs and their summed queued+service time.
+    pub ssd_programs: u64,
+    /// Virtual time in SSD programs.
+    pub ssd_program_time: Ns,
+    /// Flash blocks erased (summed from program-triggered GC).
+    pub ssd_erases: u64,
+    /// HDD reads and their summed queued+service time.
+    pub hdd_reads: u64,
+    /// Virtual time in HDD reads.
+    pub hdd_read_time: Ns,
+    /// HDD writes and their summed queued+service time.
+    pub hdd_writes: u64,
+    /// Virtual time in HDD writes.
+    pub hdd_write_time: Ns,
+    /// Faults the injector fired.
+    pub faults: u64,
+    /// Reads served from controller RAM.
+    pub ram_hits: u64,
+    /// Signature probes (and how many bound).
+    pub sig_probes: u64,
+    /// Probes that bound the block to a reference.
+    pub sig_binds: u64,
+    /// Delta encodes and their total encoded bytes.
+    pub delta_encodes: u64,
+    /// Total encoded delta bytes.
+    pub delta_bytes: u64,
+    /// SSD fast-path reads (reference + delta).
+    pub delta_decodes: u64,
+    /// Reference-index cache hits.
+    pub ref_cache_hits: u64,
+    /// Reference-index cache misses.
+    pub ref_cache_misses: u64,
+    /// Log flushes and the blocks they appended.
+    pub log_flushes: u64,
+    /// Log blocks appended by flushes.
+    pub log_blocks: u64,
+    /// Log compactions.
+    pub log_cleans: u64,
+    /// Scrub passes.
+    pub scrubs: u64,
+    /// Slot repairs.
+    pub slot_repairs: u64,
+    /// Controller-level retries of faulted device ops.
+    pub fault_retries: u64,
+    /// Recovery events (truncate + replay).
+    pub recovery_events: u64,
+    open_span: Option<Ns>,
+}
+
+impl TraceProfile {
+    /// Builds a profile from an event stream (in emission order — span
+    /// accounting pairs each `RequestEnd` with the latest `RequestStart`).
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Self {
+        let mut p = TraceProfile::default();
+        for e in events {
+            p.observe(e);
+        }
+        p
+    }
+
+    fn observe(&mut self, e: &TraceEvent) {
+        match e.kind {
+            TraceKind::RequestStart { .. } => {
+                self.requests += 1;
+                self.open_span = Some(e.at);
+            }
+            TraceKind::RequestEnd => {
+                if let Some(start) = self.open_span.take() {
+                    self.request_time += e.at.saturating_sub(start);
+                }
+            }
+            TraceKind::SsdRead {
+                queued, service, ..
+            } => {
+                self.ssd_reads += 1;
+                self.ssd_read_time += queued + service;
+            }
+            TraceKind::SsdProgram {
+                queued,
+                service,
+                erases,
+                ..
+            } => {
+                self.ssd_programs += 1;
+                self.ssd_program_time += queued + service;
+                self.ssd_erases += erases as u64;
+            }
+            TraceKind::SsdTrim { .. } => {}
+            TraceKind::HddRead {
+                queued, service, ..
+            } => {
+                self.hdd_reads += 1;
+                self.hdd_read_time += queued + service;
+            }
+            TraceKind::HddWrite {
+                queued, service, ..
+            } => {
+                self.hdd_writes += 1;
+                self.hdd_write_time += queued + service;
+            }
+            TraceKind::FaultInjected { .. } => self.faults += 1,
+            TraceKind::RamHit { .. } => self.ram_hits += 1,
+            TraceKind::SigProbe { bound, .. } => {
+                self.sig_probes += 1;
+                if bound {
+                    self.sig_binds += 1;
+                }
+            }
+            TraceKind::DeltaEncode { bytes, .. } => {
+                self.delta_encodes += 1;
+                self.delta_bytes += bytes as u64;
+            }
+            TraceKind::DeltaDecode { .. } => self.delta_decodes += 1,
+            TraceKind::RefCache { hit, .. } => {
+                if hit {
+                    self.ref_cache_hits += 1;
+                } else {
+                    self.ref_cache_misses += 1;
+                }
+            }
+            TraceKind::LogFlush { blocks, .. } => {
+                self.log_flushes += 1;
+                self.log_blocks += blocks as u64;
+            }
+            TraceKind::LogClean => self.log_cleans += 1,
+            TraceKind::Scrub { .. } => self.scrubs += 1,
+            TraceKind::SlotRepair { .. } => self.slot_repairs += 1,
+            TraceKind::FaultRetry { .. } => self.fault_retries += 1,
+            TraceKind::RecoveryTruncate { .. } | TraceKind::RecoveryReplay { .. } => {
+                self.recovery_events += 1;
+            }
+        }
+    }
+
+    /// Renders the breakdown as an ASCII table: one row per phase with its
+    /// event count, virtual time, and share of summed request time.
+    pub fn render(&self) -> String {
+        let total = self.request_time;
+        let pct = |t: Ns| {
+            if total == Ns::ZERO {
+                0.0
+            } else {
+                100.0 * t.as_secs_f64() / total.as_secs_f64()
+            }
+        };
+        let mut out = String::from(
+            "| Phase | Events | Virtual time | % of request time |\n|---|---:|---:|---:|\n",
+        );
+        let ms = |t: Ns| t.as_secs_f64() * 1e3;
+        out.push_str(&format!(
+            "| Request spans | {} | {:.3} ms | 100.0 |\n",
+            self.requests,
+            ms(total)
+        ));
+        let mut row = |phase: &str, events: u64, t: Ns| {
+            out.push_str(&format!(
+                "| {phase} | {events} | {:.3} ms | {:.1} |\n",
+                ms(t),
+                pct(t)
+            ));
+        };
+        row("SSD reads", self.ssd_reads, self.ssd_read_time);
+        row("SSD programs", self.ssd_programs, self.ssd_program_time);
+        row("HDD reads", self.hdd_reads, self.hdd_read_time);
+        row("HDD writes", self.hdd_writes, self.hdd_write_time);
+        let counts: [(&str, u64); 13] = [
+            ("SSD erases", self.ssd_erases),
+            ("RAM hits", self.ram_hits),
+            ("Signature probes", self.sig_probes),
+            ("  bound", self.sig_binds),
+            ("Delta encodes", self.delta_encodes),
+            ("Delta decodes", self.delta_decodes),
+            ("Ref-cache hits", self.ref_cache_hits),
+            ("Ref-cache misses", self.ref_cache_misses),
+            ("Log flushes", self.log_flushes),
+            ("Log cleans", self.log_cleans),
+            ("Injected faults", self.faults),
+            ("Retries/repairs", self.fault_retries + self.slot_repairs),
+            ("Scrub passes", self.scrubs),
+        ];
+        for (phase, events) in counts {
+            if events > 0 {
+                out.push_str(&format!("| {phase} | {events} | - | - |\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(at: Ns, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at, kind }
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips() {
+        let mut sink = JsonlSink::new();
+        assert!(sink.is_empty());
+        let events = vec![
+            e(
+                Ns::from_us(1),
+                TraceKind::RequestStart {
+                    op: icash_storage::request::Op::Read,
+                    lba: 42,
+                    blocks: 1,
+                },
+            ),
+            e(
+                Ns::from_us(2),
+                TraceKind::SsdRead {
+                    lpn: 7,
+                    queued: Ns::ZERO,
+                    service: Ns::from_us(25),
+                    ok: true,
+                },
+            ),
+            e(Ns::from_us(30), TraceKind::RequestEnd),
+        ];
+        for ev in &events {
+            sink.record(ev.clone());
+        }
+        assert_eq!(sink.len(), 3);
+        let parsed = parse_jsonl(sink.text()).expect("parses");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = parse_jsonl("{\"at\":1,\"kind\":\"nonsense\"}\n").expect_err("must fail");
+        assert!(err.contains("line 1"), "got: {err}");
+    }
+
+    #[test]
+    fn profile_accounts_spans_and_device_time() {
+        let events = vec![
+            e(
+                Ns::ZERO,
+                TraceKind::RequestStart {
+                    op: icash_storage::request::Op::Write,
+                    lba: 1,
+                    blocks: 1,
+                },
+            ),
+            e(
+                Ns::from_us(5),
+                TraceKind::HddWrite {
+                    disk: 0,
+                    lba: 1,
+                    blocks: 1,
+                    queued: Ns::from_us(2),
+                    service: Ns::from_us(8),
+                    ok: true,
+                },
+            ),
+            e(Ns::from_us(10), TraceKind::RequestEnd),
+            e(Ns::from_us(10), TraceKind::RamHit { lba: 1 }),
+        ];
+        let p = TraceProfile::from_events(&events);
+        assert_eq!(p.requests, 1);
+        assert_eq!(p.request_time, Ns::from_us(10));
+        assert_eq!(p.hdd_writes, 1);
+        assert_eq!(p.hdd_write_time, Ns::from_us(10));
+        assert_eq!(p.ram_hits, 1);
+        let table = p.render();
+        assert!(table.contains("Request spans"), "table: {table}");
+        assert!(table.contains("HDD writes"), "table: {table}");
+        assert!(table.contains("RAM hits"), "table: {table}");
+    }
+
+    #[test]
+    fn unterminated_span_is_ignored() {
+        let events = vec![e(
+            Ns::from_us(4),
+            TraceKind::RequestStart {
+                op: icash_storage::request::Op::Read,
+                lba: 0,
+                blocks: 1,
+            },
+        )];
+        let p = TraceProfile::from_events(&events);
+        assert_eq!(p.requests, 1);
+        assert_eq!(p.request_time, Ns::ZERO);
+    }
+}

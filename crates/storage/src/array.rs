@@ -29,11 +29,13 @@
 use crate::energy::MicroJoules;
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::hdd::Hdd;
+use crate::request::Request;
 use crate::ssd::ftl::GcStats;
 use crate::ssd::Ssd;
 use crate::stats::DeviceStats;
 use crate::system::SystemReport;
 use crate::time::Ns;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
 
 /// The devices backing one storage architecture: at most one SSD, any
 /// number of HDDs, and an optional RAM-buffer budget (metadata only — RAM
@@ -43,6 +45,7 @@ pub struct DeviceArray {
     ssd: Option<Ssd>,
     hdds: Vec<Hdd>,
     ram_buffer_bytes: u64,
+    tracer: Tracer,
 }
 
 impl DeviceArray {
@@ -52,6 +55,7 @@ impl DeviceArray {
             ssd: Some(ssd),
             hdds: Vec::new(),
             ram_buffer_bytes: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -61,6 +65,7 @@ impl DeviceArray {
             ssd: None,
             hdds: vec![hdd],
             ram_buffer_bytes: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -71,6 +76,7 @@ impl DeviceArray {
             ssd: Some(ssd),
             hdds: vec![hdd],
             ram_buffer_bytes: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -85,6 +91,7 @@ impl DeviceArray {
             ssd: None,
             hdds,
             ram_buffer_bytes: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -169,6 +176,46 @@ impl DeviceArray {
         for (i, hdd) in self.hdds.iter_mut().enumerate() {
             hdd.install_faults(FaultInjector::new(plan.clone(), 16 + i as u64));
         }
+    }
+
+    /// Installs `tracer` on the array and every device it owns (and, via
+    /// the devices, any fault injectors already installed). Installing a
+    /// disabled tracer is the no-op default state.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        if let Some(ssd) = self.ssd.as_mut() {
+            ssd.set_tracer(tracer.clone());
+        }
+        for (i, hdd) in self.hdds.iter_mut().enumerate() {
+            hdd.set_tracer(tracer.clone(), i as u8);
+        }
+        self.tracer = tracer;
+    }
+
+    /// The tracer installed on this array (disabled by default). Systems
+    /// borrow it to emit their own controller-level events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Opens a request span: emits [`TraceKind::RequestStart`] stamped with
+    /// the request's arrival time, shape and address.
+    pub fn trace_request(&self, req: &Request) {
+        self.tracer.emit(|| TraceEvent {
+            at: req.at,
+            kind: TraceKind::RequestStart {
+                op: req.op,
+                lba: req.lba.raw(),
+                blocks: req.blocks,
+            },
+        });
+    }
+
+    /// Closes the current request span at completion time `finished`.
+    pub fn trace_request_end(&self, finished: Ns) {
+        self.tracer.emit(|| TraceEvent {
+            at: finished,
+            kind: TraceKind::RequestEnd,
+        });
     }
 
     /// Fault counters merged over every device (zeros when no injector is

@@ -17,6 +17,8 @@
 //! zero-cost*: devices skip the injector entirely and behave bit-identically
 //! to a build without the fault layer.
 
+use crate::time::Ns;
+use crate::trace::{FaultKind, TraceEvent, TraceKind, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -292,6 +294,7 @@ pub struct FaultInjector {
     write_ops: u64,
     bad: HashSet<u64>,
     stats: FaultStats,
+    tracer: Tracer,
 }
 
 impl FaultInjector {
@@ -305,12 +308,27 @@ impl FaultInjector {
             write_ops: 0,
             bad: HashSet::new(),
             stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Fault counters accumulated so far.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Installs the tracer that receives a
+    /// [`TraceKind::FaultInjected`] event for every counted fault.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Emits one fault event at the stat-increment site.
+    fn note(&self, at: Ns, kind: FaultKind, addr: u64) {
+        self.tracer.emit(|| TraceEvent {
+            at,
+            kind: TraceKind::FaultInjected { kind, addr },
+        });
     }
 
     fn triggered(&self, kind: u8, op: u64) -> bool {
@@ -325,18 +343,20 @@ impl FaultInjector {
     /// Checks an HDD read of `blocks` blocks at `lba`. Returns the first
     /// failing block address, if any. A failing sector joins the bad set
     /// and keeps failing until rewritten.
-    pub fn hdd_read(&mut self, lba: u64, blocks: u32) -> Option<u64> {
+    pub fn hdd_read(&mut self, at: Ns, lba: u64, blocks: u32) -> Option<u64> {
         let op = self.read_ops;
         self.read_ops += 1;
         if self.triggered(0, op) {
             self.bad.insert(lba);
             self.stats.hdd_read_errors += 1;
+            self.note(at, FaultKind::HddRead, lba);
             return Some(lba);
         }
         for i in 0..blocks as u64 {
             let addr = lba + i;
             if self.bad.contains(&addr) {
                 self.stats.hdd_read_errors += 1;
+                self.note(at, FaultKind::HddRead, addr);
                 return Some(addr);
             }
             if self.plan.hdd_read_error_rate > 0.0 {
@@ -344,6 +364,7 @@ impl FaultInjector {
                 if roll < self.plan.hdd_read_error_rate {
                     self.bad.insert(addr);
                     self.stats.hdd_read_errors += 1;
+                    self.note(at, FaultKind::HddRead, addr);
                     return Some(addr);
                 }
             }
@@ -354,11 +375,12 @@ impl FaultInjector {
     /// Checks an HDD write of `blocks` blocks at `lba`. Returns the
     /// failing block address for a transient write fault; on success the
     /// written sectors are remapped (cleared from the bad set).
-    pub fn hdd_write(&mut self, lba: u64, blocks: u32) -> Option<u64> {
+    pub fn hdd_write(&mut self, at: Ns, lba: u64, blocks: u32) -> Option<u64> {
         let op = self.write_ops;
         self.write_ops += 1;
         if self.triggered(1, op) {
             self.stats.hdd_write_errors += 1;
+            self.note(at, FaultKind::HddWrite, lba);
             return Some(lba);
         }
         if self.plan.hdd_write_error_rate > 0.0 {
@@ -367,12 +389,14 @@ impl FaultInjector {
             let roll = unit(fault_roll(self.plan.seed, self.salt ^ 0x57, op, lba));
             if roll < self.plan.hdd_write_error_rate {
                 self.stats.hdd_write_errors += 1;
+                self.note(at, FaultKind::HddWrite, lba);
                 return Some(lba);
             }
         }
         for i in 0..blocks as u64 {
             if self.bad.remove(&(lba + i)) {
                 self.stats.sectors_remapped += 1;
+                self.note(at, FaultKind::Remap, lba + i);
             }
         }
         None
@@ -381,16 +405,18 @@ impl FaultInjector {
     /// Checks an SSD page read of `lpn` at wear level `life_used`.
     /// Returns `true` if the read is uncorrectable; the page stays bad
     /// until reprogrammed or trimmed.
-    pub fn ssd_read(&mut self, lpn: u64, life_used: f64) -> bool {
+    pub fn ssd_read(&mut self, at: Ns, lpn: u64, life_used: f64) -> bool {
         let op = self.read_ops;
         self.read_ops += 1;
         if self.triggered(2, op) {
             self.bad.insert(lpn);
             self.stats.ssd_read_errors += 1;
+            self.note(at, FaultKind::SsdRead, lpn);
             return true;
         }
         if self.bad.contains(&lpn) {
             self.stats.ssd_read_errors += 1;
+            self.note(at, FaultKind::SsdRead, lpn);
             return true;
         }
         let wearing = life_used >= self.plan.wearout_threshold;
@@ -405,8 +431,10 @@ impl FaultInjector {
             if roll < rate {
                 self.bad.insert(lpn);
                 self.stats.ssd_read_errors += 1;
+                self.note(at, FaultKind::SsdRead, lpn);
                 if wearing && roll >= self.plan.ssd_read_error_rate {
                     self.stats.wearout_errors += 1;
+                    self.note(at, FaultKind::Wearout, lpn);
                 }
                 return true;
             }
@@ -416,10 +444,11 @@ impl FaultInjector {
 
     /// Notes a successful SSD program/trim of `lpn`, clearing any latent
     /// bad state (new charge, fresh ECC).
-    pub fn ssd_write(&mut self, lpn: u64) {
+    pub fn ssd_write(&mut self, at: Ns, lpn: u64) {
         self.write_ops += 1;
         if self.bad.remove(&lpn) {
             self.stats.sectors_remapped += 1;
+            self.note(at, FaultKind::Remap, lpn);
         }
     }
 }
@@ -468,12 +497,15 @@ mod tests {
     fn triggers_fire_exactly_once() {
         let plan = FaultPlan::seeded(7).trigger(FaultTrigger::HddRead { op: 1 });
         let mut inj = FaultInjector::new(plan, 0);
-        assert!(inj.hdd_read(10, 1).is_none());
-        assert_eq!(inj.hdd_read(20, 1), Some(20), "second read fails");
+        assert!(inj.hdd_read(Ns::ZERO, 10, 1).is_none());
+        assert_eq!(inj.hdd_read(Ns::ZERO, 20, 1), Some(20), "second read fails");
         // The sector the trigger hit stays bad until rewritten.
-        assert_eq!(inj.hdd_read(20, 1), Some(20));
-        assert!(inj.hdd_write(20, 1).is_none());
-        assert!(inj.hdd_read(20, 1).is_none(), "rewrite remapped it");
+        assert_eq!(inj.hdd_read(Ns::ZERO, 20, 1), Some(20));
+        assert!(inj.hdd_write(Ns::ZERO, 20, 1).is_none());
+        assert!(
+            inj.hdd_read(Ns::ZERO, 20, 1).is_none(),
+            "rewrite remapped it"
+        );
         assert_eq!(inj.stats().sectors_remapped, 1);
     }
 
@@ -482,12 +514,12 @@ mod tests {
         // A rate of 1.0 fails every fresh read.
         let plan = FaultPlan::seeded(3).hdd_read_errors(1.0);
         let mut inj = FaultInjector::new(plan, 0);
-        assert_eq!(inj.hdd_read(5, 1), Some(5));
+        assert_eq!(inj.hdd_read(Ns::ZERO, 5, 1), Some(5));
         assert_eq!(inj.stats().hdd_read_errors, 1);
-        assert!(inj.hdd_write(5, 1).is_none());
+        assert!(inj.hdd_write(Ns::ZERO, 5, 1).is_none());
         assert_eq!(inj.stats().sectors_remapped, 1);
         // Rate 1.0 re-marks it immediately, but the remap did clear it.
-        assert_eq!(inj.hdd_read(5, 1), Some(5));
+        assert_eq!(inj.hdd_read(Ns::ZERO, 5, 1), Some(5));
     }
 
     #[test]
@@ -498,7 +530,7 @@ mod tests {
         // is a new op with a fresh roll, so eventually every write lands.
         let mut failures = 0;
         for i in 0..200u64 {
-            if inj.hdd_write(i, 1).is_some() {
+            if inj.hdd_write(Ns::ZERO, i, 1).is_some() {
                 failures += 1;
             }
         }
@@ -510,12 +542,18 @@ mod tests {
     fn ssd_wearout_raises_error_rate() {
         let plan = FaultPlan::seeded(11).wearout(0.5, 1.0);
         let mut fresh = FaultInjector::new(plan.clone(), 0);
-        assert!(!fresh.ssd_read(1, 0.0), "below threshold: no wear term");
+        assert!(
+            !fresh.ssd_read(Ns::ZERO, 1, 0.0),
+            "below threshold: no wear term"
+        );
         let mut worn = FaultInjector::new(plan, 0);
-        assert!(worn.ssd_read(1, 0.9), "past threshold: wear term fires");
+        assert!(
+            worn.ssd_read(Ns::ZERO, 1, 0.9),
+            "past threshold: wear term fires"
+        );
         assert_eq!(worn.stats().wearout_errors, 1);
         // A reprogram heals the page; rate still 1.0 so next read refails.
-        worn.ssd_write(1);
+        worn.ssd_write(Ns::ZERO, 1);
         assert_eq!(worn.stats().sectors_remapped, 1);
     }
 
@@ -525,7 +563,10 @@ mod tests {
         let mut a = FaultInjector::new(plan.clone(), 16);
         let mut b = FaultInjector::new(plan, 16);
         for i in 0..500u64 {
-            assert_eq!(a.hdd_read(i % 64, 1), b.hdd_read(i % 64, 1));
+            assert_eq!(
+                a.hdd_read(Ns::ZERO, i % 64, 1),
+                b.hdd_read(Ns::ZERO, i % 64, 1)
+            );
         }
         assert_eq!(a.stats(), b.stats());
     }

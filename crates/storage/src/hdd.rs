@@ -13,6 +13,7 @@ use crate::energy::{EnergyMeter, MicroJoules};
 use crate::fault::{FaultInjector, FaultStats};
 use crate::stats::DeviceStats;
 use crate::time::Ns;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
 use core::fmt;
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +126,9 @@ pub struct Hdd {
     energy: EnergyMeter,
     /// Fault injection, absent by default (the common, zero-cost case).
     faults: Option<Box<FaultInjector>>,
+    tracer: Tracer,
+    /// Index of this spindle within its array, stamped into trace events.
+    trace_disk: u8,
 }
 
 impl Hdd {
@@ -144,13 +148,27 @@ impl Hdd {
             stats: DeviceStats::new(),
             energy,
             faults: None,
+            tracer: Tracer::disabled(),
+            trace_disk: 0,
         }
     }
 
     /// Installs a fault injector; subsequent reads/writes may fail
     /// according to its plan.
-    pub fn install_faults(&mut self, injector: FaultInjector) {
+    pub fn install_faults(&mut self, mut injector: FaultInjector) {
+        injector.set_tracer(self.tracer.clone());
         self.faults = Some(Box::new(injector));
+    }
+
+    /// Installs the tracer that receives per-access events, stamping this
+    /// disk's array index `disk` into each. Propagates into any installed
+    /// fault injector, whichever was installed first.
+    pub fn set_tracer(&mut self, tracer: Tracer, disk: u8) {
+        if let Some(f) = self.faults.as_mut() {
+            f.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+        self.trace_disk = disk;
     }
 
     /// Fault counters, when an injector is installed.
@@ -190,12 +208,26 @@ impl Hdd {
         let (queued, service, done) = self.access(at, lba, blocks);
         self.stats
             .record_read(blocks as usize * BLOCK_SIZE, queued, service);
+        let mut failed = None;
         if let Some(f) = self.faults.as_mut() {
-            if let Some(bad) = f.hdd_read(lba, blocks) {
-                return Err(HddError::LatentSector { lba: bad });
-            }
+            failed = f.hdd_read(at, lba, blocks);
         }
-        Ok(done)
+        let disk = self.trace_disk;
+        self.tracer.emit(|| TraceEvent {
+            at,
+            kind: TraceKind::HddRead {
+                disk,
+                lba,
+                blocks,
+                queued,
+                service,
+                ok: failed.is_none(),
+            },
+        });
+        match failed {
+            Some(bad) => Err(HddError::LatentSector { lba: bad }),
+            None => Ok(done),
+        }
     }
 
     /// Writes `blocks` consecutive blocks starting at `lba`, arriving at
@@ -209,12 +241,26 @@ impl Hdd {
         let (queued, service, done) = self.access(at, lba, blocks);
         self.stats
             .record_write(blocks as usize * BLOCK_SIZE, queued, service);
+        let mut failed = None;
         if let Some(f) = self.faults.as_mut() {
-            if let Some(bad) = f.hdd_write(lba, blocks) {
-                return Err(HddError::WriteFault { lba: bad });
-            }
+            failed = f.hdd_write(at, lba, blocks);
         }
-        Ok(done)
+        let disk = self.trace_disk;
+        self.tracer.emit(|| TraceEvent {
+            at,
+            kind: TraceKind::HddWrite {
+                disk,
+                lba,
+                blocks,
+                queued,
+                service,
+                ok: failed.is_none(),
+            },
+        });
+        match failed {
+            Some(bad) => Err(HddError::WriteFault { lba: bad }),
+            None => Ok(done),
+        }
     }
 
     /// Positioning + transfer cost shared by reads and writes.

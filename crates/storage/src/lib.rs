@@ -18,7 +18,10 @@
 //!   and the keyed [`lru::LruMap`]), shared by the controller, the
 //!   baselines and the workload driver.
 //! * [`system`] — the [`system::StorageSystem`] trait every architecture
-//!   (I-CASH and the four baselines) implements.
+//!   (I-CASH and the baselines) implements.
+//! * [`trace`] — the deterministic, virtual-time-stamped structured event
+//!   layer ([`trace::Tracer`] / [`trace::TraceSink`]); zero-cost when
+//!   disabled, an oracle for the aggregate counters when enabled.
 //!
 //! Nothing in this crate consults the wall clock or global randomness:
 //! given the same request stream, every model produces bit-identical
@@ -59,6 +62,7 @@ pub mod ssd;
 pub mod stats;
 pub mod system;
 pub mod time;
+pub mod trace;
 
 pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
@@ -66,3 +70,4 @@ pub use fault::{FaultPlan, FaultStats, FaultTrigger};
 pub use request::{BlockError, Completion, IoErrorKind, Op, Request};
 pub use system::{ContentSource, IoCtx, StorageSystem, SystemReport, ZeroSource};
 pub use time::{Ns, SimClock};
+pub use trace::{TraceEvent, TraceKind, TraceSink, TraceStats, Tracer};

@@ -19,6 +19,7 @@ use crate::energy::{ssd_op_energy, EnergyMeter, MicroJoules};
 use crate::fault::{FaultInjector, FaultStats};
 use crate::stats::DeviceStats;
 use crate::time::Ns;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
 use flash::{FlashConfig, FlashOp};
 use ftl::{Ftl, GcStats};
 use serde::{Deserialize, Serialize};
@@ -101,6 +102,8 @@ pub struct Ssd {
     energy: EnergyMeter,
     /// Fault injection, absent by default (the common, zero-cost case).
     faults: Option<Box<FaultInjector>>,
+    /// Event emission, disabled by default (one `Option` check per op).
+    tracer: Tracer,
 }
 
 impl Ssd {
@@ -114,13 +117,24 @@ impl Ssd {
             stats: DeviceStats::new(),
             energy,
             faults: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Installs a fault injector; subsequent reads may report
     /// [`SsdError::Uncorrectable`] according to its plan.
-    pub fn install_faults(&mut self, injector: FaultInjector) {
+    pub fn install_faults(&mut self, mut injector: FaultInjector) {
+        injector.set_tracer(self.tracer.clone());
         self.faults = Some(Box::new(injector));
+    }
+
+    /// Attaches (or detaches) the trace event handle, propagating it into
+    /// an already-installed fault injector.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        if let Some(f) = self.faults.as_mut() {
+            f.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// Fault counters, when an injector is installed.
@@ -172,11 +186,24 @@ impl Ssd {
         let (queued, service, done) = self.charge(at, &[op]);
         self.stats.record_read(BLOCK_SIZE, queued, service);
         self.energy.charge_op(ssd_op_energy::read_4k());
+        let mut ok = true;
         if let Some(f) = self.faults.as_mut() {
             let life = self.ftl.wear().life_used();
-            if f.ssd_read(lpn, life) {
-                return Err(SsdError::Uncorrectable { lpn });
+            if f.ssd_read(at, lpn, life) {
+                ok = false;
             }
+        }
+        self.tracer.emit(|| TraceEvent {
+            at,
+            kind: TraceKind::SsdRead {
+                lpn,
+                queued,
+                service,
+                ok,
+            },
+        });
+        if !ok {
+            return Err(SsdError::Uncorrectable { lpn });
         }
         Ok(done)
     }
@@ -209,8 +236,32 @@ impl Ssd {
         self.stats.record_write(BLOCK_SIZE, queued, service);
         if let Some(f) = self.faults.as_mut() {
             // A fresh program clears any latent uncorrectable state.
-            f.ssd_write(lpn);
+            f.ssd_write(at, lpn);
         }
+        self.tracer.emit(|| {
+            let mut gc_reads = 0u32;
+            let mut gc_programs = 0u32;
+            let mut erases = 0u32;
+            for op in &ops {
+                match op {
+                    FlashOp::Read { .. } => gc_reads += 1,
+                    FlashOp::Program { host: false, .. } => gc_programs += 1,
+                    FlashOp::Program { host: true, .. } => {}
+                    FlashOp::Erase { .. } => erases += 1,
+                }
+            }
+            TraceEvent {
+                at,
+                kind: TraceKind::SsdProgram {
+                    lpn,
+                    queued,
+                    service,
+                    gc_reads,
+                    gc_programs,
+                    erases,
+                },
+            }
+        });
         for op in &ops {
             match op {
                 FlashOp::Read { .. } => self.energy.charge_op(ssd_op_energy::read_4k()),
@@ -239,10 +290,17 @@ impl Ssd {
 
     /// Drops the mapping for `lpn` (cache eviction); frees the page for GC.
     pub fn trim(&mut self, lpn: u64) {
+        let mapped = self.ftl.map_read(lpn).is_some();
         self.ftl.trim(lpn);
         if let Some(f) = self.faults.as_mut() {
             // The old physical page (and its bad bits) is gone.
-            f.ssd_write(lpn);
+            f.ssd_write(Ns::ZERO, lpn);
+        }
+        if mapped {
+            self.tracer.emit(|| TraceEvent {
+                at: Ns::ZERO,
+                kind: TraceKind::SsdTrim { lpn },
+            });
         }
     }
 

@@ -125,6 +125,14 @@ pub trait StorageSystem: Send {
         let _ = (universe, ctx);
     }
 
+    /// Installs a [`Tracer`](crate::trace::Tracer) receiving the system's
+    /// structured event stream. Implementations forward it to their
+    /// [`DeviceArray`](crate::array::DeviceArray) (and keep a copy for
+    /// controller-level events). Default: tracing unsupported, dropped.
+    fn set_tracer(&mut self, tracer: crate::trace::Tracer) {
+        let _ = tracer;
+    }
+
     /// End-of-run statistics for the report tables.
     fn report(&self, elapsed: Ns) -> SystemReport;
 }

@@ -1,0 +1,75 @@
+//! Differential guard: attaching a tracer must never change a simulated
+//! outcome. Every architecture's full JSON run report — timings, energy,
+//! device counters, controller stats — must be bit-identical with a
+//! counting sink attached and with no tracer at all, so observability
+//! provably costs nothing *inside* the simulation. (The companion guard,
+//! `crates/bench/tests/trace_determinism.rs`, holds the emitted event
+//! stream itself stable across worker-thread counts.)
+
+use icash::baselines::{DedupCache, LruCache, PlainHdd, PureSsd, Raid0};
+use icash::core::{Icash, IcashConfig};
+use icash::storage::system::StorageSystem;
+use icash::storage::trace::Tracer;
+use icash::workloads::content::ContentModel;
+use icash::workloads::driver::{run_benchmark, DriverConfig};
+use icash::workloads::MixedWorkload;
+
+const DATA: u64 = 16 << 20;
+const SSD: u64 = 2 << 20;
+const RAM: u64 = 512 << 10;
+const OPS: u64 = 1_500;
+const SEED: u64 = 0x1CA5_4001;
+
+fn run_one(mut system: Box<dyn StorageSystem>, traced: bool) -> String {
+    let counts = traced.then(|| {
+        let (tracer, counts) = Tracer::counting();
+        system.set_tracer(tracer);
+        counts
+    });
+    let mut spec = icash::workloads::sysbench::spec();
+    spec.data_bytes = DATA;
+    spec.ssd_bytes = SSD;
+    spec.ram_bytes = RAM;
+    let mut workload = MixedWorkload::new(spec, SEED);
+    let mut model = ContentModel::new(SEED, icash::workloads::sysbench::spec().profile);
+    let cfg = DriverConfig {
+        clients: 8,
+        ops: OPS,
+        warmup_ops: OPS / 10,
+        verify: false,
+        guest_cache: false,
+        cpu: None,
+    };
+    let json = run_benchmark(system.as_mut(), &mut workload, &mut model, &cfg).to_json();
+    if let Some(counts) = counts {
+        assert!(
+            counts.lock().expect("counting sink").requests > 0,
+            "the traced run must actually emit events"
+        );
+    }
+    json
+}
+
+fn icash_cfg() -> IcashConfig {
+    IcashConfig::builder(SSD, RAM, DATA).build()
+}
+
+#[test]
+fn attached_tracer_is_bit_identical_for_every_system() {
+    let cases: Vec<(&str, fn() -> Box<dyn StorageSystem>)> = vec![
+        ("FusionIO", || Box::new(PureSsd::new(DATA))),
+        ("RAID0", || Box::new(Raid0::new(DATA, 4))),
+        ("Dedup", || Box::new(DedupCache::new(SSD, DATA))),
+        ("LRU", || Box::new(LruCache::new(SSD, DATA))),
+        ("HDD", || Box::new(PlainHdd::new(DATA))),
+        ("I-CASH", || Box::new(Icash::new(icash_cfg()))),
+    ];
+    for (name, build) in cases {
+        let untraced = run_one(build(), false);
+        let traced = run_one(build(), true);
+        assert_eq!(
+            untraced, traced,
+            "{name}: attaching a tracer changed the run report"
+        );
+    }
+}
