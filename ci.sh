@@ -15,6 +15,10 @@
 #                   zero-perturbation and thread-count determinism of the
 #                   JSONL artifact, the pinned golden trace, and the
 #                   histogram property suite
+#   ./ci.sh pipeline  staged-write-pipeline gate: depth-1 differential
+#                   byte-identity (run_faults stdout + run_all trace JSONL
+#                   vs golden fixtures), crash proptests with K tickets in
+#                   flight, and the pipeline bench vs BENCH_pipeline.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -44,6 +48,33 @@ if [[ "${1:-}" == "trace" ]]; then
   echo "==> histogram properties: merge laws + percentile ordering"
   cargo test -q -p icash-metrics --test prop_histogram
   echo "TRACE OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "pipeline" ]]; then
+  echo "==> pipeline unit + differential suite (depth-1 golden, group commit, barriers)"
+  cargo test -q -p icash --test pipeline
+  echo "==> crash proptests with K tickets in flight (fault_recovery)"
+  cargo test -q -p icash --test fault_recovery
+  echo "==> depth-1 byte-identity: run_faults stdout vs golden"
+  cargo build -q --release -p icash-bench
+  ./target/release/run_faults > target/run_faults_depth1.txt
+  diff target/run_faults_depth1.txt ci/golden/run_faults_depth1.txt
+  echo "==> depth-1 byte-identity: run_all trace JSONL vs pinned sha256"
+  ICASH_OPS=300 ICASH_THREADS=1 ./target/release/run_all target/run_all_depth1.md \
+    --trace target/run_all_trace_depth1.jsonl > /dev/null
+  {
+    sha256sum target/run_all_trace_depth1.jsonl | cut -d' ' -f1
+    wc -l < target/run_all_trace_depth1.jsonl
+  } > target/run_all_trace_depth1.sha256
+  diff target/run_all_trace_depth1.sha256 ci/golden/run_all_trace_depth1.sha256
+  echo "==> pipeline bench: depth 1 vs 16 write cycle vs BENCH_pipeline.json"
+  CRITERION_JSON="$PWD/target/bench_pipeline_current.json" \
+    cargo bench -q -p icash-bench --bench pipeline
+  cargo run -q --release -p icash-bench --bin bench_diff -- \
+    BENCH_pipeline.json \
+    target/bench_pipeline_current.json
+  echo "PIPELINE OK"
   exit 0
 fi
 

@@ -11,6 +11,7 @@ use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
 use icash_storage::fault::FaultPlan;
 use icash_storage::lru::LruMap;
+use icash_storage::pipeline::{FlushProgress, Ticket};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
@@ -53,6 +54,10 @@ pub struct LruCache {
     free_slots: Vec<u64>,
     hits: u64,
     misses: u64,
+    /// Write-acceptance/durability watermarks: every write lands on flash
+    /// or disk before submit returns, so the pair moves together, but
+    /// callers still get real barrier semantics.
+    tickets: FlushProgress,
 }
 
 impl LruCache {
@@ -68,6 +73,7 @@ impl LruCache {
             free_slots: (0..slots).rev().collect(),
             hits: 0,
             misses: 0,
+            tickets: FlushProgress::new(),
         }
     }
 
@@ -122,6 +128,7 @@ impl StorageSystem for LruCache {
         if req.op == Op::Write && req.blocks >= WRITE_BYPASS_BLOCKS {
             // Stream to disk sequentially; drop any stale cached copies.
             for lba in req.lbas() {
+                self.tickets.reserve();
                 if let Some(entry) = self.entries.remove(&lba) {
                     self.array.ssd_mut().trim(entry.slot);
                     self.free_slots.push(entry.slot);
@@ -131,11 +138,14 @@ impl StorageSystem for LruCache {
                 .home
                 .write_span(self.array.hdd_mut(), req.lba, &req.payload, req.at);
             self.array.trace_request_end(t);
+            let accepted = self.tickets.reserved();
+            self.tickets.complete_through(accepted);
             return Completion::with_data(t, data);
         }
         for (i, lba) in req.lbas().enumerate() {
             match req.op {
                 Op::Write => {
+                    self.tickets.reserve();
                     let t = match self.entries.get_mut(&lba) {
                         Some(entry) => {
                             entry.dirty = true;
@@ -271,7 +281,19 @@ impl StorageSystem for LruCache {
             }
         }
         self.array.trace_request_end(done);
+        // Accepted writes are on flash or disk (both stable) when submit
+        // returns, so accepted and durable watermarks advance together.
+        let accepted = self.tickets.reserved();
+        self.tickets.complete_through(accepted);
         Completion::with_data(done, data).with_errors(errors)
+    }
+
+    fn write_ticket(&self) -> Ticket {
+        self.tickets.reserved()
+    }
+
+    fn flushed_ticket(&self) -> Ticket {
+        self.tickets.completed()
     }
 
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {

@@ -10,6 +10,7 @@ use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
 use icash_storage::block::BlockBuf;
 use icash_storage::fault::FaultPlan;
+use icash_storage::pipeline::{FlushProgress, Ticket};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -37,6 +38,9 @@ use icash_storage::trace::Tracer;
 pub struct PlainHdd {
     array: DeviceArray,
     home: HomeDisk,
+    /// Write-acceptance/durability watermarks: write-through, so the pair
+    /// moves together, but callers still get real barrier semantics.
+    tickets: FlushProgress,
 }
 
 impl PlainHdd {
@@ -46,6 +50,7 @@ impl PlainHdd {
         PlainHdd {
             array: DeviceArray::hdd_only(HomeDisk::build_disk(blocks)),
             home: HomeDisk::new(blocks),
+            tickets: FlushProgress::new(),
         }
     }
 
@@ -76,6 +81,7 @@ impl StorageSystem for PlainHdd {
         for (i, lba) in req.lbas().enumerate() {
             match req.op {
                 Op::Write => {
+                    self.tickets.reserve();
                     let t =
                         self.home
                             .write(self.array.hdd_mut(), lba, req.payload[i].clone(), req.at);
@@ -101,7 +107,19 @@ impl StorageSystem for PlainHdd {
             }
         }
         self.array.trace_request_end(done);
+        // Write-through: the write is on the platter when submit returns,
+        // so accepted and durable watermarks advance together.
+        let accepted = self.tickets.reserved();
+        self.tickets.complete_through(accepted);
         Completion::with_data(done, data).with_errors(errors)
+    }
+
+    fn write_ticket(&self) -> Ticket {
+        self.tickets.reserved()
+    }
+
+    fn flushed_ticket(&self) -> Ticket {
+        self.tickets.completed()
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

@@ -1,0 +1,53 @@
+//! Staged-pipeline cost: the controller write cycle at group-commit
+//! depth 1 (the classic synchronous encode → pack → flush path — must not
+//! regress against the pre-pipeline controller) versus depth 16 (staging
+//! and group commit engaged). Virtual-time is free, so this measures the
+//! simulator's wall-clock throughput of the write path itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icash_core::{Icash, IcashConfig};
+use icash_storage::cpu::CpuModel;
+use icash_storage::request::Request;
+use icash_storage::system::{IoCtx, StorageSystem};
+use icash_storage::time::Ns;
+use icash_storage::Lba;
+use icash_workloads::content::{ContentModel, ContentProfile};
+use std::hint::black_box;
+
+fn build(depth: u64) -> Icash {
+    Icash::new(
+        IcashConfig::builder(8 << 20, 4 << 20, 64 << 20)
+            .scan_interval(500)
+            .scan_window(512)
+            .group_commit_depth(depth)
+            .build(),
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icash_pipeline");
+    group.sample_size(20);
+
+    for depth in [1u64, 16] {
+        group.bench_function(format!("write_cycle_depth{depth}"), |b| {
+            let mut sys = build(depth);
+            let mut cpu = CpuModel::xeon();
+            let mut model = ContentModel::new(1, ContentProfile::database());
+            let mut t = Ns::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                let lba = Lba::new(i % 4096);
+                let payload = model.write_payload(lba);
+                let w = Request::write(lba, t, payload);
+                let mut ctx = IoCtx::new(&model, &mut cpu);
+                t = black_box(sys.submit(&w, &mut ctx)).finished;
+                i += 1;
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -16,10 +16,7 @@ use icash_workloads::trace::{Trace, TracePlayer};
 use icash_workloads::workload::Workload;
 
 fn main() {
-    let ops = std::env::var("ICASH_OPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40_000u64);
+    let ops = icash_bench::cli::ops_from_env(40_000);
     let spec = sysbench::spec().scaled_to_ops(ops);
     let mut source = icash_workloads::MixedWorkload::new(spec.clone(), 1);
     let universe = source.address_universe();

@@ -17,6 +17,12 @@
 //! With `--trace <path>` (or `ICASH_TRACE`), every cell additionally
 //! records its structured event stream; the cells are concatenated into
 //! one multi-cell JSONL artifact readable by `trace_profile`.
+//!
+//! With `ICASH_GROUP_COMMIT=<depth>` the I-CASH cells run the staged
+//! write pipeline at that depth, and every I-CASH cell additionally
+//! exercises the ticket barrier API (`await_flush`/`sync`) under faults
+//! and across crash recovery. Default 1: byte-identical to the classic
+//! synchronous campaign.
 
 use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
 use icash_bench::harness::{attach_jsonl, trace_path_from_args};
@@ -66,23 +72,24 @@ fn plan_for(seed: u64, rate: f64) -> FaultPlan {
         .ssd_read_errors(rate)
 }
 
-fn build_system(kind: usize, plan: &FaultPlan) -> Box<dyn StorageSystem> {
+fn build_system(kind: usize, plan: &FaultPlan, depth: u64) -> Box<dyn StorageSystem> {
     match kind {
         0 => Box::new(PureSsd::new(DATA_BYTES).with_fault_plan(plan)),
         1 => Box::new(Raid0::new(DATA_BYTES, 4).with_fault_plan(plan)),
         2 => Box::new(DedupCache::new(SSD_BYTES, DATA_BYTES).with_fault_plan(plan)),
         3 => Box::new(LruCache::new(SSD_BYTES, DATA_BYTES).with_fault_plan(plan)),
-        _ => Box::new(build_icash(plan.clone())),
+        _ => Box::new(build_icash(plan.clone(), depth)),
     }
 }
 
-fn build_icash(plan: FaultPlan) -> Icash {
+fn build_icash(plan: FaultPlan, depth: u64) -> Icash {
     Icash::new(
         IcashConfig::builder(SSD_BYTES, RAM_BYTES, DATA_BYTES)
             .scan_interval(50)
             .scan_window(64)
             .flush_interval(20)
             .log_blocks(4096)
+            .group_commit_depth(depth)
             .build(),
     )
     .with_fault_plan(plan.scrub_every(97))
@@ -122,7 +129,7 @@ fn check_read(
 
 /// One non-crash cell: mixed traffic, every read checked against the
 /// latest version (strict oracle: reads must be current or errored).
-fn run_plain_cell(name: &str, sys: &mut dyn StorageSystem, seed: u64) -> CellResult {
+fn run_plain_cell(name: &str, sys: &mut dyn StorageSystem, seed: u64, depth: u64) -> CellResult {
     let backing = ZeroSource;
     let mut cpu = CpuModel::xeon();
     let mut ctx = IoCtx::verifying(&backing, &mut cpu);
@@ -148,6 +155,19 @@ fn run_plain_cell(name: &str, sys: &mut dyn StorageSystem, seed: u64) -> CellRes
             check_read(name, lba, &c, std::slice::from_ref(&want), &mut out);
         }
     }
+    // With the staged pipeline engaged, exercise the ticket barrier under
+    // injected faults before the verification sweep: the durability
+    // watermark must catch the acceptance watermark even when device ops
+    // are erroring. Gated on depth so the default campaign (depth 1) stays
+    // byte-identical to the pre-pipeline golden output.
+    if depth > 1 {
+        let accepted = sys.write_ticket();
+        t = sys.await_flush(accepted, t, &mut ctx);
+        assert!(
+            sys.flushed_ticket() >= accepted,
+            "{name}: barrier returned with tickets still in flight"
+        );
+    }
     t = sys.flush(t, &mut ctx);
     let mut touched: Vec<u64> = latest.keys().copied().collect();
     touched.sort_unstable();
@@ -163,10 +183,16 @@ fn run_plain_cell(name: &str, sys: &mut dyn StorageSystem, seed: u64) -> CellRes
 /// One crash cell: a write history torn at a seeded crash point; after
 /// recovery every block must read back as *some* version of its own
 /// history (never a splice), and post-recovery writes behave normally.
-fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64, traced: bool) -> (CellResult, String) {
+fn run_crash_cell(
+    seed: u64,
+    rate: f64,
+    crash_frac: f64,
+    traced: bool,
+    depth: u64,
+) -> (CellResult, String) {
     let name = "I-CASH(crash)";
     let plan = plan_for(seed, rate).torn_writes();
-    let mut sys = build_icash(plan);
+    let mut sys = build_icash(plan, depth);
     let sink = traced.then(|| attach_jsonl(&mut sys));
     let backing = ZeroSource;
     let mut cpu = CpuModel::xeon();
@@ -188,6 +214,12 @@ fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64, traced: bool) -> (CellR
             .push(content.clone());
         let w = Request::write(Lba::new(lba), t, content);
         t = sys.submit(&w, &mut ctx).finished;
+        // Mid-history barrier with tickets in flight: the crash below then
+        // lands with the staging buffer partially drained, covering the
+        // torn-group-commit recovery path. Depth-gated for byte-identity.
+        if depth > 1 && op == crash_at / 2 {
+            t = sys.sync(t, &mut ctx);
+        }
     }
     let mut sys = sys.crash_and_recover();
     let mut touched: Vec<u64> = history.keys().copied().collect();
@@ -212,6 +244,16 @@ fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64, traced: bool) -> (CellR
         t = c.finished;
         check_read(name, lba, &c, std::slice::from_ref(&content), &mut out);
     }
+    // Post-recovery full barrier: recovery must leave the pipeline in a
+    // state where sync still drains cleanly.
+    if depth > 1 {
+        let _ = sys.sync(t, &mut ctx);
+        assert_eq!(
+            sys.flushed_ticket(),
+            sys.write_ticket(),
+            "{name}: sync left tickets in flight after recovery"
+        );
+    }
     drop(sys);
     let text = sink
         .map(|s| s.lock().expect("trace sink").take_text())
@@ -221,6 +263,7 @@ fn run_crash_cell(seed: u64, rate: f64, crash_frac: f64, traced: bool) -> (CellR
 
 fn main() {
     let names = ["FusionIO", "RAID0", "Dedup", "LRU", "I-CASH"];
+    let depth = icash_bench::cli::group_commit_depth_from_env();
     let trace_path = trace_path_from_args();
     let traced = trace_path.is_some();
     let mut trace_doc = String::new();
@@ -234,9 +277,9 @@ fn main() {
         for &rate in &RATES {
             for &seed in &SEEDS {
                 let plan = plan_for(seed, rate);
-                let mut sys = build_system(kind, &plan);
+                let mut sys = build_system(kind, &plan, depth);
                 let sink = traced.then(|| attach_jsonl(sys.as_mut()));
-                let r = run_plain_cell(name, sys.as_mut(), seed);
+                let r = run_plain_cell(name, sys.as_mut(), seed, depth);
                 injected.merge(&sys.report(Ns::from_ms(1)).faults);
                 drop(sys);
                 if let Some(sink) = sink {
@@ -255,7 +298,7 @@ fn main() {
     for &rate in &RATES {
         for &frac in &CRASH_AT {
             for &seed in &SEEDS {
-                let (r, text) = run_crash_cell(seed, rate, frac, traced);
+                let (r, text) = run_crash_cell(seed, rate, frac, traced, depth);
                 if traced {
                     trace_doc.push_str(&format!(
                         "{{\"cell\":{{\"workload\":\"crash r{rate} f{frac} s{seed:#x}\",\"system\":\"I-CASH\"}}}}\n"

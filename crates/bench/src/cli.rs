@@ -1,0 +1,130 @@
+//! Shared command-line and environment handling for the exhibit binaries.
+//!
+//! Every binary accepts the same tracing flag and the same environment
+//! overrides; this module is the single implementation (the bins used to
+//! copy-paste the `--trace` extraction). All parsing is strict: a typo'd
+//! override panics with a clear message instead of silently falling back,
+//! because a "full reproduction" run that quietly ran with defaults would
+//! invalidate the numbers it claims to reproduce.
+
+use std::path::PathBuf;
+
+/// The `--trace <path>` / `--trace=<path>` command-line flag, falling back
+/// to the `ICASH_TRACE` environment variable. `None` means tracing stays
+/// off and the run is bit-for-bit the untraced one.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            return iter.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var("ICASH_TRACE").ok().map(PathBuf::from)
+}
+
+/// Command-line arguments with the `--trace` flag (and its value) removed,
+/// so binaries can keep their positional arguments (output paths, workload
+/// names) oblivious to tracing.
+pub fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let _ = args.next(); // the path value
+            continue;
+        }
+        if arg.starts_with("--trace=") {
+            continue;
+        }
+        out.push(arg);
+    }
+    out
+}
+
+/// The `ICASH_OPS` override for binaries that own their op count (the
+/// ablations), with `default` when unset.
+///
+/// # Panics
+///
+/// Panics when `ICASH_OPS` is set but not a positive integer.
+pub fn ops_from_env(default: u64) -> u64 {
+    match std::env::var("ICASH_OPS") {
+        Err(_) => default,
+        Ok(ops) => match ops.parse::<u64>() {
+            Ok(0) => panic!("invalid ICASH_OPS=0: the run must issue at least one operation"),
+            Ok(n) => n,
+            Err(_) => panic!(
+                "invalid ICASH_OPS={ops:?}: expected a positive integer number of operations"
+            ),
+        },
+    }
+}
+
+/// The `ICASH_GROUP_COMMIT` override: the staged write pipeline's group-
+/// commit depth for I-CASH instances built by the harness. Default 1 — the
+/// classic synchronous cycle, byte-identical to the pre-pipeline outputs.
+///
+/// # Panics
+///
+/// Panics when `ICASH_GROUP_COMMIT` is set but not a positive integer.
+pub fn group_commit_depth_from_env() -> u64 {
+    match std::env::var("ICASH_GROUP_COMMIT") {
+        Err(_) => 1,
+        Ok(depth) => match depth.parse::<u64>() {
+            Ok(0) => panic!("invalid ICASH_GROUP_COMMIT=0: the depth counts flush triggers per commit, so it must be at least 1"),
+            Ok(n) => n,
+            Err(_) => panic!(
+                "invalid ICASH_GROUP_COMMIT={depth:?}: expected a positive integer batch depth"
+            ),
+        },
+    }
+}
+
+/// The `ICASH_FLUSH_TICKET` override: when `1`, benchmark cells exercise
+/// the ticket barrier API (`sync`) after the measured run and assert the
+/// durability watermark caught the acceptance watermark. Default off, so
+/// default outputs stay byte-identical.
+///
+/// # Panics
+///
+/// Panics when `ICASH_FLUSH_TICKET` is set to anything but `0` or `1`.
+pub fn flush_ticket_from_env() -> bool {
+    match std::env::var("ICASH_FLUSH_TICKET") {
+        Err(_) => false,
+        Ok(v) => match v.as_str() {
+            "1" => true,
+            "0" | "" => false,
+            other => panic!("invalid ICASH_FLUSH_TICKET={other:?}: expected \"1\" or \"0\"/unset"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; keep them serialized by testing
+    // distinct variables per test.
+
+    #[test]
+    fn ops_default_and_override() {
+        std::env::remove_var("ICASH_OPS");
+        assert_eq!(ops_from_env(40_000), 40_000);
+    }
+
+    #[test]
+    fn group_commit_default_is_synchronous() {
+        std::env::remove_var("ICASH_GROUP_COMMIT");
+        assert_eq!(group_commit_depth_from_env(), 1);
+    }
+
+    #[test]
+    fn flush_ticket_default_is_off() {
+        std::env::remove_var("ICASH_FLUSH_TICKET");
+        assert!(!flush_ticket_from_env());
+    }
+}

@@ -29,7 +29,9 @@
 use icash_core::{Icash, IcashConfig};
 use icash_metrics::summary::RunSummary;
 use icash_metrics::trace::JsonlSink;
-use icash_storage::system::StorageSystem;
+use icash_storage::cpu::CpuModel;
+use icash_storage::system::{IoCtx, StorageSystem, ZeroSource};
+use icash_storage::time::Ns;
 use icash_storage::trace::{TraceSink, Tracer};
 use icash_workloads::content::ContentModel;
 use icash_workloads::driver::{run_benchmark, DriverConfig};
@@ -37,7 +39,7 @@ use icash_workloads::spec::WorkloadSpec;
 use icash_workloads::trace::{Trace, TracePlayer};
 use icash_workloads::vm::MultiVm;
 use icash_workloads::workload::Workload;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -71,6 +73,14 @@ impl SystemKind {
     /// I-CASH SSD budget; FusionIO gets the whole data set, §4.4). Every
     /// architecture constructs its devices through [`DeviceArray`].
     pub fn build(self, spec: &WorkloadSpec) -> Box<dyn StorageSystem> {
+        self.build_with_depth(spec, 1)
+    }
+
+    /// [`build`](SystemKind::build) with an explicit group-commit depth for
+    /// the I-CASH write pipeline (the baselines are write-through; the
+    /// depth does not apply to them). Depth 1 is the classic synchronous
+    /// cycle.
+    pub fn build_with_depth(self, spec: &WorkloadSpec, depth: u64) -> Box<dyn StorageSystem> {
         use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
         match self {
             SystemKind::FusionIo => Box::new(PureSsd::new(spec.data_bytes).timing_only()),
@@ -82,7 +92,9 @@ impl SystemKind {
                 Box::new(LruCache::new(spec.ssd_bytes, spec.data_bytes).timing_only())
             }
             SystemKind::Icash => Box::new(Icash::new(
-                IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes).build(),
+                IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
+                    .group_commit_depth(depth)
+                    .build(),
             )),
         }
     }
@@ -97,6 +109,12 @@ pub struct ExperimentConfig {
     pub clients: u32,
     /// RNG seed (trace + content).
     pub seed: u64,
+    /// Group-commit depth for I-CASH's write pipeline (1 = the classic
+    /// synchronous cycle; outputs at 1 are byte-identical to pre-pipeline).
+    pub group_commit_depth: u64,
+    /// Exercise the ticket barrier API (`sync`) after each measured cell
+    /// and assert the durability watermark caught acceptance.
+    pub flush_ticket: bool,
 }
 
 impl ExperimentConfig {
@@ -106,6 +124,8 @@ impl ExperimentConfig {
             ops: spec.default_ops,
             clients: spec.clients,
             seed: 0x1CA5_4001,
+            group_commit_depth: 1,
+            flush_ticket: false,
         }
     }
 
@@ -116,15 +136,18 @@ impl ExperimentConfig {
         spec.scaled_to_ops(self.ops)
     }
 
-    /// Honours `ICASH_OPS` / `ICASH_FULL=1` environment overrides so the
-    /// same binaries drive quick checks and full reproductions.
+    /// Honours `ICASH_OPS` / `ICASH_FULL=1` environment overrides — plus
+    /// the pipeline knobs `ICASH_GROUP_COMMIT` / `ICASH_FLUSH_TICKET` —
+    /// so the same binaries drive quick checks, full reproductions, and
+    /// pipeline experiments.
     ///
     /// # Panics
     ///
     /// Panics with a clear message when an override is malformed:
     /// `ICASH_OPS` must parse as a positive integer, and `ICASH_FULL` (when
     /// set) must be `0` or `1`. A typo'd override silently falling back to
-    /// quick mode would invalidate a "full reproduction" run.
+    /// quick mode would invalidate a "full reproduction" run. The pipeline
+    /// knobs inherit their strictness from [`crate::cli`].
     pub fn from_env(spec: &WorkloadSpec) -> Self {
         let mut cfg = Self::quick(spec);
         if let Ok(full) = std::env::var("ICASH_FULL") {
@@ -145,6 +168,8 @@ impl ExperimentConfig {
                 ),
             }
         }
+        cfg.group_commit_depth = crate::cli::group_commit_depth_from_env();
+        cfg.flush_ticket = crate::cli::flush_ticket_from_env();
         cfg
     }
 }
@@ -294,7 +319,7 @@ fn run_cell_inner(
     traced: bool,
 ) -> (RunSummary, Option<String>) {
     let wall_start = Instant::now();
-    let mut system = kind.build(&prep.spec);
+    let mut system = kind.build_with_depth(&prep.spec, prep.cfg.group_commit_depth);
     let sink = if traced {
         Some(attach_jsonl(system.as_mut()))
     } else {
@@ -313,6 +338,22 @@ fn run_cell_inner(
     };
     let mut summary = run_benchmark(system.as_mut(), &mut player, &mut model, &driver);
     summary.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    if prep.cfg.flush_ticket || prep.cfg.group_commit_depth > 1 {
+        // Exercise the ticket barrier across every architecture: a full
+        // sync after the measured run, after which no ticket may remain in
+        // flight. Gated off by default so default outputs stay
+        // byte-identical to the pre-pipeline harness.
+        let backing = ZeroSource;
+        let mut cpu = CpuModel::xeon();
+        let mut ctx = IoCtx::new(&backing, &mut cpu);
+        let _ = system.sync(Ns::ZERO, &mut ctx);
+        assert_eq!(
+            system.flushed_ticket(),
+            system.write_ticket(),
+            "{}: sync left tickets in flight",
+            summary.system
+        );
+    }
     drop(system);
     let text = sink.map(|s| s.lock().expect("trace sink").take_text());
     (summary, text)
@@ -332,41 +373,10 @@ pub fn attach_jsonl(system: &mut dyn StorageSystem) -> Arc<Mutex<JsonlSink>> {
     sink
 }
 
-/// The `--trace <path>` / `--trace=<path>` command-line flag, falling back
-/// to the `ICASH_TRACE` environment variable. `None` means tracing stays
-/// off and the run is bit-for-bit the untraced one.
-pub fn trace_path_from_args() -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        if arg == "--trace" {
-            return iter.next().map(PathBuf::from);
-        }
-        if let Some(path) = arg.strip_prefix("--trace=") {
-            return Some(PathBuf::from(path));
-        }
-    }
-    std::env::var("ICASH_TRACE").ok().map(PathBuf::from)
-}
-
-/// Command-line arguments with the `--trace` flag (and its value) removed,
-/// so binaries can keep their positional arguments (output paths, workload
-/// names) oblivious to tracing.
-pub fn positional_args() -> Vec<String> {
-    let mut out = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            let _ = args.next(); // the path value
-            continue;
-        }
-        if arg.starts_with("--trace=") {
-            continue;
-        }
-        out.push(arg);
-    }
-    out
-}
+// The `--trace` flag and `ICASH_*` environment handling live in
+// [`crate::cli`]; the re-exports keep the long-standing harness paths
+// working for the exhibit binaries.
+pub use crate::cli::{positional_args, trace_path_from_args};
 
 /// Renders traced results as one multi-cell JSONL document: each cell is a
 /// `{"cell":{...}}` header line followed by that cell's events.
@@ -605,6 +615,8 @@ mod tests {
             ops: 2_000,
             clients: 8,
             seed: 7,
+            group_commit_depth: 1,
+            flush_ticket: false,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod harness;
 
 pub use harness::{run_five_systems, ExperimentConfig, SystemKind};

@@ -46,6 +46,13 @@ pub struct IcashConfig {
     pub flush_dirty_bytes: usize,
     /// HDD log capacity in 4 KB delta blocks.
     pub log_blocks: u64,
+    /// Flush triggers batched per group commit. At 1 (the default) every
+    /// flush trigger commits immediately — the classic synchronous cycle,
+    /// byte-identical to the pre-pipeline controller. Above 1, triggered
+    /// flushes only *stage* their encoded deltas; every `depth`-th trigger
+    /// (or any barrier / eviction demand) drains the whole staging buffer
+    /// into one sequential multi-entry log append.
+    pub group_commit_depth: u64,
 }
 
 impl IcashConfig {
@@ -65,6 +72,7 @@ impl IcashConfig {
                 flush_interval: 4_000,
                 flush_dirty_bytes: 8 << 20,
                 log_blocks: 1 << 20, // 4 GB of log space
+                group_commit_depth: 1,
             },
         }
     }
@@ -111,6 +119,10 @@ impl IcashConfig {
         assert!(self.ram_bytes > 0, "RAM budget must be nonzero");
         assert!(self.data_bytes > 0, "data set must be nonzero");
         assert!(self.scan_interval > 0, "scan interval must be nonzero");
+        assert!(
+            self.group_commit_depth > 0,
+            "group-commit depth must be nonzero"
+        );
         assert!(self.segment_bytes > 0, "segments must be nonzero");
         assert_eq!(
             BLOCK_SIZE % self.segment_bytes,
@@ -170,6 +182,13 @@ impl IcashConfigBuilder {
     /// Overrides the HDD log capacity in 4 KB blocks.
     pub fn log_blocks(mut self, blocks: u64) -> Self {
         self.cfg.log_blocks = blocks;
+        self
+    }
+
+    /// Overrides the group-commit depth (flush triggers batched per
+    /// sequential log append; 1 = commit on every trigger).
+    pub fn group_commit_depth(mut self, depth: u64) -> Self {
+        self.cfg.group_commit_depth = depth;
         self
     }
 

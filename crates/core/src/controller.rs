@@ -33,9 +33,10 @@ use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::cpu::CpuOp;
 use icash_storage::fault::{crc32, FaultPlan};
 use icash_storage::hdd::{Hdd, HddError};
+use icash_storage::pipeline::Ticket;
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::Ssd;
-use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
+use icash_storage::system::{GroupCommitReport, IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
 use icash_storage::trace::{TraceEvent, TraceKind, Tracer};
 use std::collections::{HashMap, HashSet};
@@ -144,6 +145,10 @@ pub struct Icash {
     /// Virtual blocks with unflushed deltas.
     pub(crate) dirty: HashSet<usize>,
     pub(crate) dirty_bytes: usize,
+    /// The group-commit staging buffer: encoded-but-uncommitted deltas
+    /// keyed by monotonic flush tickets. Always empty at
+    /// `group_commit_depth = 1` (the synchronous cycle never stages).
+    pub(crate) staging: crate::staging::Staging,
     pub(crate) ios_since_scan: u64,
     pub(crate) ios_since_flush: u64,
     pub(crate) ios_since_scrub: u64,
@@ -184,6 +189,7 @@ impl Icash {
             evicted: HashMap::new(),
             dirty: HashSet::new(),
             dirty_bytes: 0,
+            staging: crate::staging::Staging::new(),
             ios_since_scan: 0,
             ios_since_flush: 0,
             ios_since_scrub: 0,
@@ -240,6 +246,16 @@ impl Icash {
     #[doc(hidden)]
     pub fn debug_validate(&self) {
         self.table.validate();
+        if self.cfg.group_commit_depth <= 1 {
+            assert!(
+                self.staging.is_empty(),
+                "the synchronous cycle must never stage"
+            );
+        }
+        assert!(
+            self.staging.live() as u64 <= self.stats.staged_entries,
+            "live staged entries cannot exceed the stage count"
+        );
     }
 
     /// The device array (SSD + HDD + RAM budget) backing the controller.
@@ -569,6 +585,7 @@ impl Icash {
                             self.ref_index.remove(lba, &sig_old);
                             self.table.set_role(id, Role::Independent);
                             self.drop_delta(id);
+                            self.unstage(id);
                             // The old self-delta in the log describes the
                             // *previous* slot content; recovery must never
                             // apply it to the new one.
@@ -589,6 +606,7 @@ impl Icash {
                             self.table.set_role(id, Role::Independent);
                             self.table.get_mut(id).ssd_slot = None;
                             self.drop_delta(id);
+                            self.unstage(id);
                             if let Some(loc) = self.table.get_mut(id).log_loc.take() {
                                 self.log.mark_stale(loc);
                             }
@@ -636,6 +654,7 @@ impl Icash {
                                 },
                             );
                             resp = self.harden_slot(lba, &content, t);
+                            self.unstage(id);
                             if let Some(loc) = self.table.get_mut(id).log_loc.take() {
                                 self.log.mark_stale(loc);
                             }
@@ -667,6 +686,10 @@ impl Icash {
         self.cache_data(id, content, at, ctx);
         self.table.touch(id);
         self.after_io(at, ctx);
+        // Reserve the write's flush ticket last: a flush triggered inside
+        // this write's own `after_io` must not claim to cover it (the
+        // completed watermark stays conservative).
+        self.staging.progress.reserve();
         resp
     }
 
@@ -740,6 +763,7 @@ impl Icash {
             },
         );
         self.drop_delta(id);
+        self.unstage(id);
         if let Some(loc) = self.table.get_mut(id).log_loc.take() {
             self.log.mark_stale(loc);
         }
@@ -886,7 +910,7 @@ impl Icash {
             });
             return (at, Ok(data));
         }
-        let (role, reference, slot, log_loc, has_delta, lba) = {
+        let (role, reference, slot, log_loc, has_delta, staged, lba) = {
             let vb = self.table.get(id);
             (
                 vb.role,
@@ -894,6 +918,7 @@ impl Icash {
                 vb.ssd_slot,
                 vb.log_loc,
                 vb.delta.is_some(),
+                vb.staged,
                 vb.lba,
             )
         };
@@ -908,9 +933,9 @@ impl Icash {
                     (t, Err(e)) => return (t, Err(e)),
                 };
                 // A written reference needs its own delta applied.
-                if has_delta || log_loc.is_some() {
+                if has_delta || log_loc.is_some() || staged {
                     if !has_delta {
-                        t = match self.fetch_log_block(id, t, ctx) {
+                        t = match self.fetch_delta(id, staged, t, ctx) {
                             (t, Ok(())) => t,
                             (t, Err(e)) => return (t, Err(e)),
                         };
@@ -925,7 +950,7 @@ impl Icash {
             Role::Associate => {
                 let mut t = at;
                 if !has_delta {
-                    t = match self.fetch_log_block(id, t, ctx) {
+                    t = match self.fetch_delta(id, staged, t, ctx) {
                         (t, Ok(())) => t,
                         (t, Err(e)) => return (t, Err(e)),
                     };
@@ -948,11 +973,11 @@ impl Icash {
                         self.note_delta_hit(t, lba);
                     }
                     (t, res)
-                } else if has_delta || log_loc.is_some() {
+                } else if has_delta || log_loc.is_some() || staged {
                     // Log-resident independent: decode against zero.
                     let mut t = at;
                     if !has_delta {
-                        t = match self.fetch_log_block(id, t, ctx) {
+                        t = match self.fetch_delta(id, staged, t, ctx) {
                             (t, Ok(())) => t,
                             (t, Err(e)) => return (t, Err(e)),
                         };
@@ -1048,6 +1073,48 @@ impl Icash {
         } else {
             self.read_slot(ref_lba, slot, at, ctx)
         }
+    }
+
+    /// Makes `id`'s delta resident: from the staging buffer when the block
+    /// is staged (read-your-writes, no device operation), from the HDD log
+    /// otherwise.
+    pub(crate) fn fetch_delta(
+        &mut self,
+        id: VbId,
+        staged: bool,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> (Ns, Result<(), IoErrorKind>) {
+        if staged {
+            self.fetch_staged_delta(id, at, ctx)
+        } else {
+            self.fetch_log_block(id, at, ctx)
+        }
+    }
+
+    /// Serves read-your-writes from the write pipeline: reinstalls `id`'s
+    /// encoded-but-uncommitted delta from the staging buffer. Pure RAM —
+    /// no device operation is charged and no trace event is emitted, so the
+    /// read looks exactly like any other resident-delta decode.
+    pub(crate) fn fetch_staged_delta(
+        &mut self,
+        id: VbId,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> (Ns, Result<(), IoErrorKind>) {
+        let lba = self.table.get(id).lba;
+        let delta = match self.staging.lookup(lba) {
+            Some(d) => d,
+            None => {
+                let (t, res) = self.metadata_error("staged delta missing", at);
+                return (t, res.map(|_| ()));
+            }
+        };
+        // `install_clean_delta` may flush under memory pressure, which can
+        // drain the staging buffer; the clone above stays valid either way.
+        self.install_clean_delta(id, delta, at, ctx);
+        debug_assert!(self.table.get(id).delta.is_some());
+        (at, Ok(()))
     }
 
     /// Fetches the packed log block holding `id`'s delta from the HDD and
@@ -1254,6 +1321,7 @@ impl Icash {
         ctx: &mut IoCtx<'_>,
     ) {
         self.drop_delta(id);
+        self.unstage(id);
         self.make_room_for_delta(id, delta.len(), at, ctx);
         let charge = self.pool.alloc_delta(delta.len());
         // Supersede any flushed copy in the log.
@@ -1304,6 +1372,21 @@ impl Icash {
             self.dirty.remove(&id.index());
             self.dirty_bytes -= charge;
         }
+    }
+
+    /// Invalidates `id`'s staged-but-uncommitted delta, if any: a newer
+    /// write (or a direct SSD install) superseded it before its group
+    /// commit, so committing it would only append a dead entry.
+    pub(crate) fn unstage(&mut self, id: VbId) {
+        let lba = {
+            let vb = self.table.get_mut(id);
+            if !vb.staged {
+                return;
+            }
+            vb.staged = false;
+            vb.lba
+        };
+        self.staging.invalidate(lba);
     }
 
     /// Releases `id`'s resident data block, if any.
@@ -1365,6 +1448,7 @@ impl Icash {
             self.table.touch(id);
             self.stats.writes += 1;
             self.after_io(req.at, ctx);
+            self.staging.progress.reserve();
         }
         resp
     }
@@ -1462,6 +1546,55 @@ impl Icash {
     }
 }
 
+impl Icash {
+    /// The flush ticket covering the most recently accepted write (the
+    /// write-acceptance watermark). One ticket is reserved per host write.
+    pub fn write_ticket(&self) -> Ticket {
+        self.staging.progress.reserved()
+    }
+
+    /// The durability watermark: every write whose ticket is at or below it
+    /// has reached stable media (HDD log, HDD home, or SSD).
+    pub fn flushed_ticket(&self) -> Ticket {
+        self.staging.progress.completed()
+    }
+
+    /// Durability barrier for one ticket: returns once every write with a
+    /// ticket at or below `ticket` is on stable media. Free when the
+    /// completed watermark already covers the ticket; otherwise the whole
+    /// pipeline drains (staged group commits *and* dirty independent data).
+    pub fn await_flush(&mut self, ticket: Ticket, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        if self.staging.progress.is_completed(ticket) {
+            self.stats.barrier_noops += 1;
+            self.array.tracer().emit(|| TraceEvent {
+                at: now,
+                kind: TraceKind::Barrier {
+                    ticket: ticket.as_u64(),
+                    waited: false,
+                },
+            });
+            return now;
+        }
+        self.stats.barrier_waits += 1;
+        let t = self.shutdown_flush(now, ctx);
+        self.array.tracer().emit(|| TraceEvent {
+            at: t,
+            kind: TraceKind::Barrier {
+                ticket: ticket.as_u64(),
+                waited: true,
+            },
+        });
+        t
+    }
+
+    /// Full durability barrier: every write accepted so far reaches stable
+    /// media before this returns.
+    pub fn sync(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        let ticket = self.write_ticket();
+        self.await_flush(ticket, now, ctx)
+    }
+}
+
 impl StorageSystem for Icash {
     fn name(&self) -> &str {
         "I-CASH"
@@ -1520,11 +1653,34 @@ impl StorageSystem for Icash {
         self.shutdown_flush(now, ctx)
     }
 
+    fn write_ticket(&self) -> Ticket {
+        Icash::write_ticket(self)
+    }
+
+    fn flushed_ticket(&self) -> Ticket {
+        Icash::flushed_ticket(self)
+    }
+
+    fn await_flush(&mut self, ticket: Ticket, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        Icash::await_flush(self, ticket, now, ctx)
+    }
+
+    fn sync(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        Icash::sync(self, now, ctx)
+    }
+
     fn set_tracer(&mut self, tracer: Tracer) {
         self.array.install_tracer(tracer);
     }
 
     fn report(&self, elapsed: Ns) -> SystemReport {
-        self.array.report(self.name(), elapsed)
+        let mut report = self.array.report(self.name(), elapsed);
+        report.group_commit = Some(GroupCommitReport {
+            commits: self.stats.group_commits,
+            entries: self.stats.group_commit_entries,
+            bytes: self.stats.group_commit_bytes,
+            staged_high_water: self.stats.staging_high_water,
+        });
+        report
     }
 }

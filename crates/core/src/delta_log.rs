@@ -252,6 +252,42 @@ impl DeltaLog {
         self.truncate_from(loc + 1);
     }
 
+    /// Simulates a torn *multi-entry* write: the crash interrupted the
+    /// append inside block `loc`, after its first `keep` entries reached
+    /// the platter with valid checksums. Recovery's contract for group
+    /// commits: the frame replays up to its last complete entry — the
+    /// verified prefix survives, the unverifiable tail entries and every
+    /// later block are dropped. Returns `(frames dropped, entries dropped
+    /// from the torn frame)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn tear_within(&mut self, loc: u32, keep: usize) -> (u64, u64) {
+        assert!(
+            (loc as usize) < self.blocks.len(),
+            "tear point out of range"
+        );
+        let frames_after = self.blocks.len() as u64 - loc as u64 - 1;
+        self.truncate_from(loc + 1);
+        let block = &mut self.blocks[loc as usize];
+        let torn_entries = block.entries.len().saturating_sub(keep) as u64;
+        block.entries.truncate(keep);
+        block.bytes = block.entries.iter().map(LogEntry::wire_len).sum();
+        if block.entries.is_empty() {
+            // Nothing of the frame verified: the whole block is gone.
+            self.truncate_from(loc);
+            return (frames_after + 1, torn_entries);
+        }
+        // Re-derive accounting for the shortened frame; the per-block stale
+        // count is clamped so diagnostics cannot exceed what remains.
+        let kept = self.blocks[loc as usize].entries.len() as u32;
+        self.stale[loc as usize] = self.stale[loc as usize].min(kept);
+        self.total_entries = self.blocks.iter().map(|b| b.entries.len() as u64).sum();
+        self.stale_entries = self.stale.iter().map(|&s| s as u64).sum();
+        (frames_after, torn_entries)
+    }
+
     /// Drops blocks `loc..` (recovery truncating at the first bad frame)
     /// and recomputes entry accounting from what remains.
     pub fn truncate_from(&mut self, loc: u32) {
@@ -488,6 +524,54 @@ mod tests {
         assert_eq!(log.len_blocks(), 1);
         assert_eq!(log.first_invalid_frame(), None);
         assert_eq!(log.live_entries(), log.fetch(0).entries.len() as u64);
+    }
+
+    #[test]
+    fn tear_within_keeps_the_verified_prefix() {
+        let mut log = DeltaLog::new(100);
+        // One multi-entry group-commit frame: 8 small entries in block 0,
+        // then a later frame in block 1 that never reached the platter.
+        log.append((0..8).map(|i| entry(i, 64)).collect());
+        log.append((10..14).map(|i| entry(i, 1500)).collect());
+        assert!(log.len_blocks() >= 2);
+        let tail = log.len_blocks() - 1;
+
+        let (frames, torn) = log.tear_within(0, 5);
+        assert_eq!(frames, u64::from(tail), "every later block is dropped");
+        assert_eq!(torn, 3, "the unverifiable tail entries are dropped");
+        assert_eq!(log.len_blocks(), 1);
+        assert_eq!(log.fetch(0).entries.len(), 5);
+        assert_eq!(log.live_entries(), 5);
+        assert_eq!(log.first_invalid_frame(), None, "the prefix still verifies");
+        assert!(log.fetch(0).entries.iter().all(LogEntry::verify));
+    }
+
+    #[test]
+    fn tear_within_nothing_verified_drops_the_block() {
+        let mut log = DeltaLog::new(100);
+        log.append((0..8).map(|i| entry(i, 64)).collect());
+        let (frames, torn) = log.tear_within(0, 0);
+        assert_eq!(frames, 1, "keep=0 drops the torn block itself");
+        assert_eq!(torn, 8);
+        assert_eq!(log.len_blocks(), 0);
+        assert_eq!(log.live_entries(), 0);
+    }
+
+    #[test]
+    fn tear_within_clamps_stale_accounting() {
+        let mut log = DeltaLog::new(100);
+        let report = log.append((0..8).map(|i| entry(i, 64)).collect());
+        // Mark 6 of the 8 entries stale, then tear so only 2 survive: the
+        // per-block stale count must clamp to what remains.
+        for _ in 0..6 {
+            log.mark_stale(report.entry_locs[0]);
+        }
+        log.tear_within(0, 2);
+        assert_eq!(log.fetch(0).entries.len(), 2);
+        assert!(
+            log.live_entries() <= 2,
+            "stale count clamped to kept entries"
+        );
     }
 
     #[test]

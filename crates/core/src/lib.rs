@@ -16,6 +16,10 @@
 //!   is the workspace-wide [`icash_storage::lru`] (re-exported as [`lru`]).
 //! * [`segment`] — the 64-byte-segment RAM budget.
 //! * [`delta_log`] — the packed HDD delta log (§3.1).
+//! * `staging` — the group-commit staging buffer: encoded-but-unflushed
+//!   deltas keyed by monotonic flush tickets
+//!   ([`icash_storage::pipeline::Ticket`]); see
+//!   [`Icash::await_flush`](Icash::await_flush) and [`Icash::sync`].
 //! * [`ref_index`] — sub-signature index over the reference set.
 //! * [`maintenance`] — flush, similarity scan, promotion/demotion, and the
 //!   three replacement policies.
@@ -54,6 +58,7 @@ pub mod maintenance;
 pub mod recovery;
 pub mod ref_index;
 pub mod segment;
+pub(crate) mod staging;
 pub mod stats;
 pub mod table;
 pub mod virtual_block;
@@ -61,5 +66,6 @@ pub mod virtual_block;
 pub use config::{IcashConfig, IcashConfigBuilder};
 pub use controller::Icash;
 pub use icash_storage::lru;
+pub use icash_storage::pipeline::{FlushProgress, Ticket};
 pub use stats::IcashStats;
 pub use virtual_block::Role;

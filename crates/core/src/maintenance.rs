@@ -40,11 +40,52 @@ impl Icash {
     // Flushing
     // ------------------------------------------------------------------
 
-    /// Packs every dirty delta into log blocks and writes them to the HDD
-    /// in one sequential operation. Returns the write completion instant.
-    pub(crate) fn flush_dirty(&mut self, now: Ns, _ctx: &mut IoCtx<'_>) -> Ns {
+    /// One flush trigger of the staged write pipeline.
+    ///
+    /// At `group_commit_depth <= 1` this is the classic synchronous cycle
+    /// ([`Icash::commit_now`]): encode, pack, and write every dirty delta to
+    /// the HDD log immediately — byte-identical to the pre-pipeline
+    /// controller. Above 1 the trigger only *stages* the encoded deltas;
+    /// every `depth`-th staged trigger drains the whole buffer into one
+    /// sequential multi-entry append ([`Icash::commit_staged`]).
+    pub(crate) fn flush_dirty(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        if self.cfg.group_commit_depth <= 1 {
+            return self.commit_now(now, ctx);
+        }
+        self.ios_since_flush = 0;
+        self.stage_dirty(now);
+        if self.staging.batches() >= self.cfg.group_commit_depth {
+            self.commit_staged(now)
+        } else {
+            now
+        }
+    }
+
+    /// A *forced* full drain of the pipeline: stages any remaining dirty
+    /// deltas and commits everything staged, regardless of the configured
+    /// depth. Used by barriers, shutdown, and the replacement policies —
+    /// anywhere correctness needs "no delta is RAM-only after this".
+    pub(crate) fn flush_all(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        if self.cfg.group_commit_depth <= 1 {
+            return self.commit_now(now, ctx);
+        }
+        self.ios_since_flush = 0;
+        self.stage_dirty(now);
+        self.commit_staged(now)
+    }
+
+    /// The synchronous encode → pack → flush cycle: packs every dirty delta
+    /// into log blocks and writes them to the HDD in one sequential
+    /// operation. Returns the write completion instant.
+    fn commit_now(&mut self, now: Ns, _ctx: &mut IoCtx<'_>) -> Ns {
+        // The watermark at entry: every write accepted so far either has a
+        // dirty delta (drained here) or is already on stable media (the
+        // controller never leaves accepted data merely RAM-dirty outside
+        // the dirty set), so finishing this flush makes them all durable.
+        let watermark = self.staging.progress.reserved();
         self.ios_since_flush = 0;
         if self.dirty.is_empty() {
+            self.staging.progress.complete_through(watermark);
             return now;
         }
         let mut ids: Vec<usize> = self.dirty.drain().collect();
@@ -98,6 +139,125 @@ impl Icash {
                 blocks,
             },
         });
+        self.staging.progress.complete_through(watermark);
+        if self.log.is_nearly_full() {
+            self.clean_log(t);
+        }
+        t
+    }
+
+    /// Stage phase of the pipeline (`group_commit_depth > 1` only): encodes
+    /// every dirty delta into a framed [`LogEntry`] and moves it into the
+    /// staging buffer. No device I/O happens here; the deltas stay
+    /// readable through the buffer (read-your-writes) until the commit.
+    fn stage_dirty(&mut self, now: Ns) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let ticket = self.staging.progress.reserved();
+        let mut ids: Vec<usize> = self.dirty.drain().collect();
+        ids.sort_unstable(); // determinism
+        for raw in ids {
+            let id = VbId::from_raw(raw);
+            let gen = self.next_gen();
+            let vb = self.table.get(id);
+            debug_assert!(vb.dirty_delta);
+            let delta = vb
+                .delta
+                .as_ref()
+                .expect("dirty implies resident")
+                .delta
+                .clone();
+            let reference = vb.reference.unwrap_or(vb.lba);
+            let lba = vb.lba;
+            let bytes = delta.len() as u32;
+            let entry = LogEntry::new(lba, reference, gen, delta);
+            {
+                let vb = self.table.get_mut(id);
+                vb.dirty_delta = false;
+                vb.staged = true;
+                if vb.role == Role::Associate {
+                    // Recoverable from reference + staged delta once the
+                    // group commit lands; the full copy needs no home write.
+                    vb.dirty_data = false;
+                }
+            }
+            self.staging.push(lba, entry, ticket);
+            self.stats.staged_entries += 1;
+            self.array.tracer().emit(|| TraceEvent {
+                at: now,
+                kind: TraceKind::StageEnter {
+                    lba: lba.raw(),
+                    ticket: ticket.as_u64(),
+                    bytes,
+                },
+            });
+        }
+        self.dirty_bytes = 0;
+        self.stats.staging_high_water = self.stats.staging_high_water.max(self.staging.bytes());
+        self.staging.finish_batch();
+    }
+
+    /// Commit phase of the pipeline: drains the whole staging buffer into
+    /// one sequential multi-entry log append (the group commit) and
+    /// completes the ticket watermark it covers.
+    fn commit_staged(&mut self, now: Ns) -> Ns {
+        let watermark = self.staging.progress.reserved();
+        let (staged, bytes) = self.staging.drain();
+        if staged.is_empty() {
+            // Everything staged was superseded (or nothing was staged):
+            // accepted writes are all on stable media already.
+            self.staging.progress.complete_through(watermark);
+            return now;
+        }
+        debug_assert!(
+            staged.iter().all(|s| s.ticket <= watermark),
+            "staged tickets must sit below the commit watermark"
+        );
+        let entries: Vec<LogEntry> = staged.into_iter().map(|s| s.entry).collect();
+        let n_entries = entries.len() as u32;
+        let lbas: Vec<Lba> = entries.iter().map(|e| e.lba).collect();
+        let report = self.log.append(entries);
+        let t = self
+            .hdd_write_retry(
+                now,
+                self.cfg.log_start() + report.first_block,
+                report.blocks_written,
+            )
+            .unwrap_or(now);
+        for (lba, &loc) in lbas.iter().zip(report.entry_locs.iter()) {
+            if let Some(id) = self.table.lookup(*lba) {
+                let vb = self.table.get_mut(id);
+                // Skip blocks re-dirtied or superseded since staging; their
+                // newer state owns the log_loc pointer.
+                if vb.staged {
+                    vb.staged = false;
+                    vb.log_loc = Some(loc);
+                }
+            }
+        }
+        self.stats.flushes += 1;
+        self.stats.log_blocks_written += report.blocks_written as u64;
+        self.stats.group_commits += 1;
+        self.stats.group_commit_entries += n_entries as u64;
+        self.stats.group_commit_bytes += bytes;
+        let blocks = report.blocks_written;
+        self.array.tracer().emit(|| TraceEvent {
+            at: t,
+            kind: TraceKind::LogFlush {
+                entries: n_entries,
+                blocks,
+            },
+        });
+        let commit_bytes = bytes.min(u32::MAX as u64) as u32;
+        self.array.tracer().emit(|| TraceEvent {
+            at: t,
+            kind: TraceKind::GroupCommit {
+                entries: n_entries,
+                bytes: commit_bytes,
+            },
+        });
+        self.staging.progress.complete_through(watermark);
         if self.log.is_nearly_full() {
             self.clean_log(t);
         }
@@ -152,10 +312,11 @@ impl Icash {
         });
     }
 
-    /// Clean-shutdown flush: dirty deltas go to the log, dirty independent
-    /// data goes to the HDD home area.
+    /// Clean-shutdown flush: staged and dirty deltas go to the log (one
+    /// final group commit), dirty independent data goes to the HDD home
+    /// area.
     pub(crate) fn shutdown_flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
-        let mut t = self.flush_dirty(now, ctx);
+        let mut t = self.flush_all(now, ctx);
         let mut dirty_data: Vec<VbId> = self
             .table
             .head_ids(usize::MAX)
@@ -298,6 +459,7 @@ impl Icash {
         };
         self.unbind(id);
         self.drop_delta(id);
+        self.unstage(id);
         if let Some(loc) = self.table.get_mut(id).log_loc.take() {
             self.log.mark_stale(loc);
         }
@@ -460,7 +622,9 @@ impl Icash {
                 continue;
             }
             let vb = self.table.get(id);
-            if vb.delta.is_some() && !vb.dirty_delta && vb.log_loc.is_some() {
+            // A staged block's delta is recoverable from the staging buffer
+            // (RAM, no device op), so it is as droppable as a logged one.
+            if vb.delta.is_some() && !vb.dirty_delta && (vb.log_loc.is_some() || vb.staged) {
                 self.drop_delta(id);
             }
         }
@@ -470,8 +634,9 @@ impl Icash {
 
         // Pass B: flushing turns dirty deltas into droppable clean ones and
         // unpins associates' data; dirty independents spill to the home
-        // area.
-        self.flush_dirty(at, ctx);
+        // area. Forced full drain: under memory pressure the pipeline must
+        // not hold deltas staged past the configured depth.
+        self.flush_all(at, ctx);
         let mut spills: Vec<VbId> = Vec::new();
         for id in self.table.tail_ids(usize::MAX) {
             if self.pool.available() + spills.len() * BLOCK_SIZE >= goal {
@@ -481,7 +646,7 @@ impl Icash {
                 continue;
             }
             let vb = self.table.get(id);
-            if vb.delta.is_some() && !vb.dirty_delta && vb.log_loc.is_some() {
+            if vb.delta.is_some() && !vb.dirty_delta && (vb.log_loc.is_some() || vb.staged) {
                 self.drop_delta(id);
             }
             let vb = self.table.get(id);
@@ -527,12 +692,16 @@ impl Icash {
             if vb.role == Role::Reference && (vb.delta.is_some() || vb.log_loc.is_some()) {
                 continue;
             }
-            if vb.dirty_delta && !flushed {
-                self.flush_dirty(at, ctx);
+            // A staged block's only copy may be the staging buffer (its
+            // clean delta is droppable); evicting it with no rebuild state
+            // would lose data. Commit the pipeline first, like the dirty
+            // case.
+            if (vb.dirty_delta || vb.staged) && !flushed {
+                self.flush_all(at, ctx);
                 flushed = true;
             }
             let vb = self.table.get(id);
-            if vb.dirty_delta {
+            if vb.dirty_delta || vb.staged {
                 continue;
             }
             if vb.dirty_data {

@@ -31,6 +31,10 @@ use std::collections::{HashMap, HashSet};
 /// the crash-interrupted append span.
 const TORN_SALT: u64 = 0xC4A5;
 
+/// Salt for the deterministic choice of how many entries of the torn
+/// multi-entry frame reached the platter intact (group-commit pipeline).
+const TORN_ENTRY_SALT: u64 = 0x7EA6;
+
 impl Icash {
     /// Simulates a power failure followed by log recovery.
     ///
@@ -70,7 +74,23 @@ impl Icash {
             let (first, count) = log.last_append_span();
             if count > 0 {
                 let pick = fault_roll(fault_plan.seed, TORN_SALT, first as u64, count as u64);
-                log.tear_from(first + (pick % count as u64) as u32);
+                let torn_loc = first + (pick % count as u64) as u32;
+                if cfg.group_commit_depth > 1 {
+                    // Group commits pack many entries per frame; the crash
+                    // contract is entry-granular: the torn frame replays up
+                    // to its last complete entry instead of being dropped
+                    // whole. A second seeded roll picks how many entries of
+                    // the frame reached the platter intact.
+                    let entries = log.fetch(torn_loc).entries.len() as u64;
+                    let roll =
+                        fault_roll(fault_plan.seed, TORN_ENTRY_SALT, torn_loc as u64, entries);
+                    let keep = (roll % (entries + 1)) as usize;
+                    let (frames, torn_entries) = log.tear_within(torn_loc, keep);
+                    stats.torn_frames_dropped += frames;
+                    stats.torn_entries_dropped += torn_entries;
+                } else {
+                    log.tear_from(torn_loc);
+                }
             }
         }
         // Truncate at the first frame that fails verification — torn above,
@@ -201,6 +221,10 @@ impl Icash {
             evicted: HashMap::new(),
             dirty: HashSet::new(),
             dirty_bytes: 0,
+            // The staging buffer is RAM: staged-but-uncommitted deltas are
+            // lost with the crash (the same contract as dirty deltas), and
+            // the ticket watermarks restart from zero.
+            staging: crate::staging::Staging::new(),
             ios_since_scan: 0,
             ios_since_flush: 0,
             ios_since_scrub: 0,
@@ -298,6 +322,59 @@ mod tests {
         // The write is lost; the block reads back as its pre-crash
         // persistent state (the zero backing image), not as garbage.
         assert_eq!(got, BlockBuf::zeroed());
+    }
+
+    #[test]
+    fn torn_group_commit_replays_to_the_last_complete_entry() {
+        use icash_storage::fault::FaultPlan;
+        let cfg = IcashConfig::builder(1 << 20, 256 << 10, 8 << 20)
+            .scan_interval(50)
+            .scan_window(64)
+            .flush_interval(20)
+            .log_blocks(4096)
+            .group_commit_depth(8)
+            .build();
+        let mut sys = Icash::new(cfg).with_fault_plan(FaultPlan::seeded(11).torn_writes());
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+
+        // Enough similar traffic that deltas form, then a barrier: the whole
+        // staged buffer lands as ONE multi-entry group-commit append. That
+        // append is what the armed torn-write fault tears at crash time.
+        let mut t = Ns::ZERO;
+        let mut versions: std::collections::HashMap<u64, Vec<BlockBuf>> =
+            std::collections::HashMap::new();
+        for i in 0..200u64 {
+            let lba = i % 40;
+            let data = content((i % 251) as u8);
+            versions.entry(lba).or_default().push(data.clone());
+            let w = Request::write(Lba::new(lba), t, data);
+            t = sys.submit(&w, &mut ctx).finished;
+        }
+        t = sys.flush(t, &mut ctx);
+        let pre = sys.stats();
+        assert!(pre.group_commits > 0, "depth 8 must group-commit");
+
+        let mut recovered = sys.crash_and_recover();
+        let post = recovered.stats();
+        // Entry-granular tearing: the torn frame loses only its unverified
+        // tail, not the whole multi-entry batch (seeded draw; seed 11 tears
+        // mid-frame).
+        assert!(
+            post.torn_entries_dropped > 0,
+            "the torn frame must lose its tail entries: {post:?}"
+        );
+
+        // Never a splice: every block reads back as SOME version it actually
+        // held — one of its written contents or the zero backing image —
+        // never decoded garbage.
+        for lba in 0..40u64 {
+            let r = Request::read(Lba::new(lba), t);
+            let got = recovered.submit(&r, &mut ctx).data[0].clone();
+            let valid = versions[&lba].iter().any(|v| got == *v) || got == BlockBuf::zeroed();
+            assert!(valid, "lba {lba}: recovered to a spliced/garbage version");
+        }
     }
 
     #[test]

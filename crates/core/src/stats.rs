@@ -69,6 +69,37 @@ pub struct IcashStats {
     /// Log entries ignored at recovery because the slot directory holds a
     /// newer generation for the block (stale data must not resurrect).
     pub stale_frames_dropped: u64,
+    /// Log entries dropped from the tail of a *torn* multi-entry frame at
+    /// recovery (the frame replayed up to its last complete entry).
+    pub torn_entries_dropped: u64,
+    /// Encoded deltas that entered the staging buffer (group commit
+    /// pending). Zero at `group_commit_depth = 1`: the synchronous cycle
+    /// never stages.
+    pub staged_entries: u64,
+    /// Group commits draining the staging buffer into one sequential
+    /// multi-entry log append.
+    pub group_commits: u64,
+    /// Staged entries drained by those commits.
+    pub group_commit_entries: u64,
+    /// Encoded payload bytes drained by those commits.
+    pub group_commit_bytes: u64,
+    /// High-water mark of buffered staging bytes.
+    pub staging_high_water: u64,
+    /// Durability barriers (`await_flush`/`sync`) that had to flush.
+    pub barrier_waits: u64,
+    /// Durability barriers already satisfied by the completed watermark.
+    pub barrier_noops: u64,
+}
+
+impl IcashStats {
+    /// Staged entries amortized per group commit (0 when none ran).
+    pub fn entries_per_commit(&self) -> f64 {
+        if self.group_commits == 0 {
+            0.0
+        } else {
+            self.group_commit_entries as f64 / self.group_commits as f64
+        }
+    }
 }
 
 impl IcashStats {

@@ -57,6 +57,11 @@ pub struct VirtualBlock {
     pub delta: Option<CachedDelta>,
     /// Whether the cached delta has not yet been flushed to the HDD log.
     pub dirty_delta: bool,
+    /// Whether the block's latest delta sits encoded in the staging buffer
+    /// awaiting group commit (not yet on stable media, but re-installable
+    /// from RAM without a device operation). Never set at
+    /// `group_commit_depth = 1`.
+    pub staged: bool,
     /// Whether cached independent data has not yet reached the HDD home.
     pub dirty_data: bool,
     /// SSD slot holding this block's pinned content (references and
@@ -80,6 +85,7 @@ impl VirtualBlock {
             data_charge: 0,
             delta: None,
             dirty_delta: false,
+            staged: false,
             dirty_data: false,
             ssd_slot: None,
             log_loc: None,
@@ -95,8 +101,13 @@ impl VirtualBlock {
     }
 
     /// Whether the block's current content can be rebuilt without RAM state
-    /// (from SSD, log, home area, or backing image).
+    /// (from SSD, log, home area, or backing image). A staged delta is
+    /// still RAM-resident — encoded but not yet group-committed — so a
+    /// staged block is not persisted.
     pub fn persisted(&self) -> bool {
+        if self.staged {
+            return false;
+        }
         match self.role {
             Role::Reference => !self.dirty_delta,
             Role::Associate => {

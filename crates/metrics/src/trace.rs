@@ -138,6 +138,14 @@ pub struct TraceProfile {
     pub ref_cache_hits: u64,
     /// Reference-index cache misses.
     pub ref_cache_misses: u64,
+    /// Encoded deltas entering the staging buffer.
+    pub stage_enters: u64,
+    /// Group commits and the staged entries they drained.
+    pub group_commits: u64,
+    /// Staged entries drained by group commits.
+    pub group_commit_entries: u64,
+    /// Durability barriers (whether or not they had to flush).
+    pub barriers: u64,
     /// Log flushes and the blocks they appended.
     pub log_flushes: u64,
     /// Log blocks appended by flushes.
@@ -230,6 +238,12 @@ impl TraceProfile {
                 self.log_flushes += 1;
                 self.log_blocks += blocks as u64;
             }
+            TraceKind::StageEnter { .. } => self.stage_enters += 1,
+            TraceKind::GroupCommit { entries, .. } => {
+                self.group_commits += 1;
+                self.group_commit_entries += entries as u64;
+            }
+            TraceKind::Barrier { .. } => self.barriers += 1,
             TraceKind::LogClean => self.log_cleans += 1,
             TraceKind::Scrub { .. } => self.scrubs += 1,
             TraceKind::SlotRepair { .. } => self.slot_repairs += 1,
@@ -271,7 +285,7 @@ impl TraceProfile {
         row("SSD programs", self.ssd_programs, self.ssd_program_time);
         row("HDD reads", self.hdd_reads, self.hdd_read_time);
         row("HDD writes", self.hdd_writes, self.hdd_write_time);
-        let counts: [(&str, u64); 13] = [
+        let counts: [(&str, u64); 16] = [
             ("SSD erases", self.ssd_erases),
             ("RAM hits", self.ram_hits),
             ("Signature probes", self.sig_probes),
@@ -280,6 +294,9 @@ impl TraceProfile {
             ("Delta decodes", self.delta_decodes),
             ("Ref-cache hits", self.ref_cache_hits),
             ("Ref-cache misses", self.ref_cache_misses),
+            ("Staged deltas", self.stage_enters),
+            ("Group commits", self.group_commits),
+            ("Barriers", self.barriers),
             ("Log flushes", self.log_flushes),
             ("Log cleans", self.log_cleans),
             ("Injected faults", self.faults),

@@ -288,6 +288,7 @@ impl DeviceArray {
             ssd_life_used: self.ssd_life_used(),
             device_energy: self.device_energy(elapsed),
             faults: self.fault_stats(),
+            group_commit: None,
         }
     }
 }

@@ -17,6 +17,9 @@
 //! * [`lru`] — the workspace's single LRU implementation ([`lru::LruList`]
 //!   and the keyed [`lru::LruMap`]), shared by the controller, the
 //!   baselines and the workload driver.
+//! * [`pipeline`] — monotonic flush tickets ([`pipeline::Ticket`] /
+//!   [`pipeline::FlushProgress`]) that let any architecture expose
+//!   group-commit durability watermarks and barriers.
 //! * [`system`] — the [`system::StorageSystem`] trait every architecture
 //!   (I-CASH and the baselines) implements.
 //! * [`trace`] — the deterministic, virtual-time-stamped structured event
@@ -57,6 +60,7 @@ pub mod energy;
 pub mod fault;
 pub mod hdd;
 pub mod lru;
+pub mod pipeline;
 pub mod request;
 pub mod ssd;
 pub mod stats;
@@ -67,7 +71,10 @@ pub mod trace;
 pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
 pub use fault::{FaultPlan, FaultStats, FaultTrigger};
+pub use pipeline::{FlushProgress, Ticket};
 pub use request::{BlockError, Completion, IoErrorKind, Op, Request};
-pub use system::{ContentSource, IoCtx, StorageSystem, SystemReport, ZeroSource};
+pub use system::{
+    ContentSource, GroupCommitReport, IoCtx, StorageSystem, SystemReport, ZeroSource,
+};
 pub use time::{Ns, SimClock};
 pub use trace::{TraceEvent, TraceKind, TraceSink, TraceStats, Tracer};

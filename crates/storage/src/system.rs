@@ -9,6 +9,7 @@ use crate::block::{BlockBuf, Lba};
 use crate::cpu::CpuModel;
 use crate::energy::MicroJoules;
 use crate::fault::FaultStats;
+use crate::pipeline::Ticket;
 use crate::request::{Completion, Request};
 use crate::ssd::ftl::GcStats;
 use crate::stats::DeviceStats;
@@ -69,6 +70,41 @@ impl<'a> IoCtx<'a> {
     }
 }
 
+/// Group-commit efficiency of a staged write pipeline: how many buffered
+/// entries each sequential log append amortized, and how deep the staging
+/// buffer grew. All zero for write-through architectures.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupCommitReport {
+    /// Group commits performed (one sequential append each).
+    pub commits: u64,
+    /// Staged entries drained by those commits.
+    pub entries: u64,
+    /// Encoded payload bytes drained by those commits.
+    pub bytes: u64,
+    /// High-water mark of buffered staging bytes.
+    pub staged_high_water: u64,
+}
+
+impl GroupCommitReport {
+    /// Entries amortized per commit (0 when no commits ran).
+    pub fn entries_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.commits as f64
+        }
+    }
+
+    /// Payload bytes amortized per commit (0 when no commits ran).
+    pub fn bytes_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.commits as f64
+        }
+    }
+}
+
 /// End-of-run report of one storage system, aggregated by the harness.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct SystemReport {
@@ -88,6 +124,8 @@ pub struct SystemReport {
     /// Injected-fault counters merged over every device (all zero when the
     /// run carried no fault plan).
     pub faults: FaultStats,
+    /// Group-commit efficiency, if the architecture stages writes.
+    pub group_commit: Option<GroupCommitReport>,
 }
 
 /// A complete disk I/O architecture under test.
@@ -114,6 +152,41 @@ pub trait StorageSystem: Send {
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
         let _ = ctx;
         now
+    }
+
+    /// The flush ticket covering the most recently accepted write (the
+    /// write-acceptance watermark). Write-through architectures that never
+    /// buffer may keep the default: [`Ticket::ZERO`] for both watermarks
+    /// means "nothing is ever pending".
+    fn write_ticket(&self) -> Ticket {
+        Ticket::ZERO
+    }
+
+    /// The durability watermark: every write whose ticket is at or below
+    /// it has reached stable media. Defaults to the write watermark
+    /// (write-through: accepted means durable).
+    fn flushed_ticket(&self) -> Ticket {
+        self.write_ticket()
+    }
+
+    /// Durability barrier for one ticket: returns once every write with a
+    /// ticket at or below `ticket` is on stable media, flushing buffered
+    /// state if it must. The default covers write-through systems: if the
+    /// ticket is already durable this is free, otherwise it falls back to
+    /// a full [`flush`](StorageSystem::flush).
+    fn await_flush(&mut self, ticket: Ticket, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        if ticket <= self.flushed_ticket() {
+            now
+        } else {
+            self.flush(now, ctx)
+        }
+    }
+
+    /// Full durability barrier: every write accepted so far reaches stable
+    /// media.
+    fn sync(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        let ticket = self.write_ticket();
+        self.await_flush(ticket, now, ctx)
     }
 
     /// Offline image preparation before the measured run, given the address

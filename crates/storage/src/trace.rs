@@ -244,6 +244,31 @@ pub enum TraceKind {
         /// True for a write retry, false for a read retry.
         write: bool,
     },
+    /// An encoded delta entered the staging buffer (group commit pending).
+    StageEnter {
+        /// Block address staged.
+        lba: u64,
+        /// Flush-ticket watermark covering the staged write.
+        ticket: u64,
+        /// Encoded payload bytes staged.
+        bytes: u32,
+    },
+    /// A group commit drained the staging buffer into one sequential
+    /// multi-entry log append.
+    GroupCommit {
+        /// Staged entries committed together.
+        entries: u32,
+        /// Encoded payload bytes committed.
+        bytes: u32,
+    },
+    /// A durability barrier (`await_flush`/`sync`) forced buffered state
+    /// to stable media.
+    Barrier {
+        /// The ticket the barrier waited for.
+        ticket: u64,
+        /// Whether the barrier had to flush (false: already durable).
+        waited: bool,
+    },
     /// Crash recovery dropped unverifiable log frames.
     RecoveryTruncate {
         /// Frames dropped from the tail.
@@ -394,6 +419,18 @@ impl TraceEvent {
             TraceKind::FaultRetry { lba, write } => {
                 format!("{{\"at\":{at},\"kind\":\"fault_retry\",\"lba\":{lba},\"write\":{write}}}")
             }
+            TraceKind::StageEnter { lba, ticket, bytes } => format!(
+                "{{\"at\":{at},\"kind\":\"stage_enter\",\"lba\":{lba},\
+                 \"ticket\":{ticket},\"bytes\":{bytes}}}"
+            ),
+            TraceKind::GroupCommit { entries, bytes } => format!(
+                "{{\"at\":{at},\"kind\":\"group_commit\",\"entries\":{entries},\
+                 \"bytes\":{bytes}}}"
+            ),
+            TraceKind::Barrier { ticket, waited } => format!(
+                "{{\"at\":{at},\"kind\":\"barrier\",\"ticket\":{ticket},\
+                 \"waited\":{waited}}}"
+            ),
             TraceKind::RecoveryTruncate { frames } => {
                 format!("{{\"at\":{at},\"kind\":\"recovery_truncate\",\"frames\":{frames}}}")
             }
@@ -505,6 +542,19 @@ impl TraceEvent {
             "fault_retry" => TraceKind::FaultRetry {
                 lba: field_u64(line, "lba")?,
                 write: field_bool(line, "write")?,
+            },
+            "stage_enter" => TraceKind::StageEnter {
+                lba: field_u64(line, "lba")?,
+                ticket: field_u64(line, "ticket")?,
+                bytes: field_u64(line, "bytes")? as u32,
+            },
+            "group_commit" => TraceKind::GroupCommit {
+                entries: field_u64(line, "entries")? as u32,
+                bytes: field_u64(line, "bytes")? as u32,
+            },
+            "barrier" => TraceKind::Barrier {
+                ticket: field_u64(line, "ticket")?,
+                waited: field_bool(line, "waited")?,
             },
             "recovery_truncate" => TraceKind::RecoveryTruncate {
                 frames: field_u64(line, "frames")?,
@@ -646,6 +696,20 @@ pub struct TraceStats {
     pub ref_cache_hits: u64,
     /// Reference-index cache misses.
     pub ref_cache_misses: u64,
+    /// Encoded deltas entering the staging buffer.
+    pub stage_enters: u64,
+    /// Payload bytes entering the staging buffer.
+    pub staged_bytes: u64,
+    /// Group commits draining the staging buffer.
+    pub group_commits: u64,
+    /// Staged entries drained by group commits.
+    pub group_commit_entries: u64,
+    /// Payload bytes drained by group commits.
+    pub group_commit_bytes: u64,
+    /// Durability barriers that had to flush.
+    pub barrier_waits: u64,
+    /// Durability barriers satisfied without flushing.
+    pub barrier_noops: u64,
     /// Dirty-buffer flushes to the HDD log.
     pub log_flushes: u64,
     /// Log blocks written by those flushes.
@@ -731,6 +795,22 @@ impl TraceSink for TraceStats {
             TraceKind::LogFlush { blocks, .. } => {
                 self.log_flushes += 1;
                 self.log_blocks += blocks as u64;
+            }
+            TraceKind::StageEnter { bytes, .. } => {
+                self.stage_enters += 1;
+                self.staged_bytes += bytes as u64;
+            }
+            TraceKind::GroupCommit { entries, bytes } => {
+                self.group_commits += 1;
+                self.group_commit_entries += entries as u64;
+                self.group_commit_bytes += bytes as u64;
+            }
+            TraceKind::Barrier { waited, .. } => {
+                if waited {
+                    self.barrier_waits += 1;
+                } else {
+                    self.barrier_noops += 1;
+                }
             }
             TraceKind::LogClean => self.log_cleans += 1,
             TraceKind::Scrub { .. } => self.scrubs += 1,
@@ -885,6 +965,19 @@ mod tests {
                 lba: 30,
                 write: false,
             }),
+            e(TraceKind::StageEnter {
+                lba: 9,
+                ticket: 41,
+                bytes: 96,
+            }),
+            e(TraceKind::GroupCommit {
+                entries: 12,
+                bytes: 1152,
+            }),
+            e(TraceKind::Barrier {
+                ticket: 41,
+                waited: true,
+            }),
             e(TraceKind::RecoveryTruncate { frames: 3 }),
             e(TraceKind::RecoveryReplay {
                 entries: 40,
@@ -968,6 +1061,13 @@ mod tests {
         assert_eq!(s.ref_cache_misses, 1);
         assert_eq!(s.log_flushes, 1);
         assert_eq!(s.log_blocks, 2);
+        assert_eq!(s.stage_enters, 1);
+        assert_eq!(s.staged_bytes, 96);
+        assert_eq!(s.group_commits, 1);
+        assert_eq!(s.group_commit_entries, 12);
+        assert_eq!(s.group_commit_bytes, 1152);
+        assert_eq!(s.barrier_waits, 1);
+        assert_eq!(s.barrier_noops, 0);
         assert_eq!(s.log_cleans, 1);
         assert_eq!(s.scrubs, 1);
         assert_eq!(s.slot_repairs, 1);

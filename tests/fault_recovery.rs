@@ -15,9 +15,17 @@ const SPAN: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum SysOp {
-    Write { lba: u64, tag: u8 },
-    Read { lba: u64 },
+    Write {
+        lba: u64,
+        tag: u8,
+    },
+    Read {
+        lba: u64,
+    },
     Flush,
+    /// A full pipeline barrier: `sync` awaits the newest write ticket, so
+    /// everything accepted so far must be durable when it returns.
+    Barrier,
 }
 
 fn ops_strategy() -> impl Strategy<Value = Vec<SysOp>> {
@@ -26,10 +34,15 @@ fn ops_strategy() -> impl Strategy<Value = Vec<SysOp>> {
             (0..SPAN, any::<u8>()).prop_map(|(lba, tag)| SysOp::Write { lba, tag }),
             (0..SPAN).prop_map(|lba| SysOp::Read { lba }),
             Just(SysOp::Flush),
+            Just(SysOp::Barrier),
         ],
         1..200,
     )
 }
+
+/// Staging depths the crash properties sweep: the synchronous cycle, a
+/// shallow pipeline, and a deep one that leaves many tickets in flight.
+const DEPTHS: [u64; 3] = [1, 4, 16];
 
 /// Content with intra-family similarity so I-CASH's machinery engages,
 /// plus a tag making every version distinguishable.
@@ -41,16 +54,20 @@ fn block_for(tag: u8) -> BlockBuf {
     BlockBuf::from_vec(v)
 }
 
-fn faulty_icash(seed: u64, rate: f64) -> Icash {
+fn pipelined_icash(depth: u64) -> Icash {
     Icash::new(
         IcashConfig::builder(1 << 20, 256 << 10, 4 << 20)
             .scan_interval(40)
             .scan_window(64)
             .flush_interval(25)
             .log_blocks(1 << 14)
+            .group_commit_depth(depth)
             .build(),
     )
-    .with_fault_plan(
+}
+
+fn faulty_icash(seed: u64, rate: f64, depth: u64) -> Icash {
+    pipelined_icash(depth).with_fault_plan(
         FaultPlan::seeded(seed)
             .hdd_read_errors(rate)
             .hdd_write_errors(rate)
@@ -70,9 +87,10 @@ proptest! {
         ops in ops_strategy(),
         seed in 0u64..1000,
         rate_pick in 0usize..3,
+        depth_pick in 0usize..3,
     ) {
         let rate = [1e-4, 1e-3, 1e-2][rate_pick];
-        let mut system = faulty_icash(seed, rate);
+        let mut system = faulty_icash(seed, rate, DEPTHS[depth_pick]);
         let mut cpu = CpuModel::xeon();
         let backing = ZeroSource;
         let mut oracle: HashMap<u64, BlockBuf> = HashMap::new();
@@ -102,22 +120,35 @@ proptest! {
                     let mut ctx = IoCtx::verifying(&backing, &mut cpu);
                     now = system.flush(now, &mut ctx);
                 }
+                SysOp::Barrier => {
+                    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                    let ticket = system.write_ticket();
+                    now = system.sync(now, &mut ctx);
+                    prop_assert!(
+                        system.flushed_ticket() >= ticket,
+                        "sync returned with tickets still in flight"
+                    );
+                }
             }
         }
     }
 
-    /// Crash anywhere with torn writes and injected faults: recovery must
-    /// bring every block back to *some* version it held (or report the
-    /// read failed) — a torn log frame must never splice foreign bytes.
+    /// Crash anywhere — with torn writes, injected faults, and any staging
+    /// depth (so up to K tickets are in flight, staged or mid-commit, when
+    /// the power dies): recovery must bring every block back to *some*
+    /// version it held (or report the read failed) — a torn log frame must
+    /// never splice foreign bytes, whether it carried one entry or a whole
+    /// group commit.
     #[test]
     fn crash_with_torn_writes_never_splices(
         ops in ops_strategy(),
         crash_at in 0usize..200,
         seed in 0u64..1000,
         rate_pick in 0usize..4,
+        depth_pick in 0usize..3,
     ) {
         let rate = [0.0, 1e-4, 1e-3, 1e-2][rate_pick];
-        let mut system = faulty_icash(seed, rate);
+        let mut system = faulty_icash(seed, rate, DEPTHS[depth_pick]);
         let mut cpu = CpuModel::xeon();
         let backing = ZeroSource;
         let mut versions: HashMap<u64, Vec<BlockBuf>> = HashMap::new();
@@ -140,6 +171,10 @@ proptest! {
                     let mut ctx = IoCtx::new(&backing, &mut cpu);
                     now = system.flush(now, &mut ctx);
                 }
+                SysOp::Barrier => {
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.sync(now, &mut ctx);
+                }
             }
         }
         let mut recovered = system.crash_and_recover();
@@ -156,6 +191,80 @@ proptest! {
                 held.contains(&completion.data[0]),
                 "lba {lba}: recovered to a value it never held"
             );
+        }
+    }
+
+    /// The barrier durability contract: any write covered by an
+    /// `await_flush`/`sync` that returned before the crash survives it —
+    /// recovery may only roll a block forward of its last barrier-covered
+    /// version, never behind it. (Fault-free: the torn-write model tears
+    /// the crash-interrupted append, which is a different, weaker
+    /// contract tested above.)
+    #[test]
+    fn awaited_writes_survive_any_crash(
+        ops in ops_strategy(),
+        crash_at in 0usize..200,
+        depth_pick in 0usize..3,
+    ) {
+        let mut system = pipelined_icash(DEPTHS[depth_pick]);
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        // Per LBA: every version written, and the index of the newest one
+        // covered by a completed barrier (none if never barriered).
+        let mut versions: HashMap<u64, Vec<BlockBuf>> = HashMap::new();
+        let mut durable_from: HashMap<u64, usize> = HashMap::new();
+        let mut now = Ns::ZERO;
+        for op in ops.iter().take(crash_at.min(ops.len())) {
+            match op {
+                SysOp::Write { lba, tag } => {
+                    let content = block_for(*tag);
+                    versions.entry(*lba).or_default().push(content.clone());
+                    let req = Request::write(Lba::new(*lba), now, content);
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.submit(&req, &mut ctx).finished;
+                }
+                SysOp::Read { lba } => {
+                    let req = Request::read(Lba::new(*lba), now);
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.submit(&req, &mut ctx).finished;
+                }
+                SysOp::Flush => {
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.flush(now, &mut ctx);
+                }
+                SysOp::Barrier => {
+                    let ticket = system.write_ticket();
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.await_flush(ticket, now, &mut ctx);
+                    prop_assert!(system.flushed_ticket() >= ticket);
+                    for (lba, held) in &versions {
+                        durable_from.insert(*lba, held.len() - 1);
+                    }
+                }
+            }
+        }
+        let mut recovered = system.crash_and_recover();
+        for (lba, held) in versions {
+            let req = Request::read(Lba::new(lba), now);
+            let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+            let completion = recovered.submit(&req, &mut ctx);
+            now = completion.finished;
+            let got = &completion.data[0];
+            match durable_from.get(&lba) {
+                // Barrier-covered: only the durable version or something
+                // newer is acceptable — rolling back past the barrier
+                // breaks the await_flush contract.
+                Some(&idx) => prop_assert!(
+                    held[idx..].contains(got),
+                    "lba {lba}: rolled back behind its barrier"
+                ),
+                // Never barriered: any held version (or pre-history zeroes)
+                // is a legitimate crash outcome.
+                None => prop_assert!(
+                    held.contains(got) || *got == BlockBuf::zeroed(),
+                    "lba {lba}: recovered to a value it never held"
+                ),
+            }
         }
     }
 }

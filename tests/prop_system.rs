@@ -51,7 +51,21 @@ fn check_system(mut system: Box<dyn StorageSystem>, ops: &[SysOp]) {
                 oracle.insert(*lba, content.clone());
                 let req = Request::write(Lba::new(*lba), now, content);
                 let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                let before = system.write_ticket();
                 now = system.submit(&req, &mut ctx).finished;
+                // Ticket parity across every architecture: accepting a
+                // write advances the acceptance watermark, and durability
+                // never runs ahead of acceptance.
+                assert!(
+                    system.write_ticket() > before,
+                    "{}: write did not draw a ticket",
+                    system.name()
+                );
+                assert!(
+                    system.flushed_ticket() <= system.write_ticket(),
+                    "{}: durability watermark ahead of acceptance",
+                    system.name()
+                );
             }
             SysOp::Read { lba } => {
                 let req = Request::read(Lba::new(*lba), now);
@@ -68,6 +82,16 @@ fn check_system(mut system: Box<dyn StorageSystem>, ops: &[SysOp]) {
             }
         }
     }
+    // A full barrier drains every pipeline: afterwards the durability
+    // watermark has caught the acceptance watermark on any architecture.
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let _ = system.sync(now, &mut ctx);
+    assert_eq!(
+        system.flushed_ticket(),
+        system.write_ticket(),
+        "{}: sync left tickets in flight",
+        system.name()
+    );
 }
 
 fn tiny_icash() -> Icash {

@@ -217,3 +217,90 @@ fn icash_controller_counters_match_trace() {
     assert!(trace.fault_retries > 0, "no retries exercised");
     assert!(trace.scrubs > 0, "no scrubs exercised");
 }
+
+/// The write-pipeline counters: at `group_commit_depth = 16`, every
+/// `StageEnter`/`GroupCommit`/`Barrier` event in the trace must reconcile
+/// field for field with [`IcashStats`] and the `group_commit` section of
+/// the [`SystemReport`].
+///
+/// [`IcashStats`]: icash::core::IcashStats
+/// [`SystemReport`]: icash::storage::system::SystemReport
+#[test]
+fn icash_pipeline_counters_match_trace() {
+    let mut sys = Icash::new(
+        IcashConfig::builder(1 << 20, 256 << 10, 8 << 20)
+            .scan_interval(50)
+            .scan_window(64)
+            .flush_interval(20)
+            .log_blocks(4096)
+            .group_commit_depth(16)
+            .build(),
+    );
+    let (tracer, counts) = Tracer::counting();
+    sys.set_tracer(tracer);
+
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let space = 2048u64;
+    let mut t = Ns::ZERO;
+    for op in 0..4_000u64 {
+        let roll = fault_roll(0x6C01, 0x5EED, op, 0);
+        let lba = roll % space;
+        if roll % 5 < 3 {
+            let mut v = vec![0xA5u8; 4096];
+            v[..8].copy_from_slice(&roll.to_le_bytes());
+            let w = Request::write(Lba::new(lba), t, BlockBuf::from_vec(v));
+            t = sys.submit(&w, &mut ctx).finished;
+        } else {
+            let r = Request::read(Lba::new(lba), t);
+            t = sys.submit(&r, &mut ctx).finished;
+        }
+        if op % 1_000 == 999 {
+            // Periodic durability barriers: some wait, some are no-ops.
+            t = sys.await_flush(sys.write_ticket(), t, &mut ctx);
+            t = sys.sync(t, &mut ctx);
+        }
+    }
+    t = sys.flush(t, &mut ctx);
+    let stats = sys.stats();
+    let report = sys.report(t);
+    drop(sys);
+    let trace = counts.lock().expect("counting sink").clone();
+
+    assert_eq!(trace.stage_enters, stats.staged_entries, "staged entries");
+    assert_eq!(trace.group_commits, stats.group_commits, "group commits");
+    assert_eq!(
+        trace.group_commit_entries, stats.group_commit_entries,
+        "entries per commit numerator"
+    );
+    assert_eq!(
+        trace.group_commit_bytes, stats.group_commit_bytes,
+        "group-commit payload bytes"
+    );
+    assert_eq!(trace.barrier_waits, stats.barrier_waits, "barrier waits");
+    assert_eq!(trace.barrier_noops, stats.barrier_noops, "barrier no-ops");
+    assert_eq!(trace.log_flushes, stats.flushes, "log flushes");
+    assert_eq!(trace.log_blocks, stats.log_blocks_written, "log blocks");
+
+    let gc = report
+        .group_commit
+        .as_ref()
+        .expect("I-CASH reports the pipeline");
+    assert_eq!(gc.commits, trace.group_commits, "report commits");
+    assert_eq!(gc.entries, trace.group_commit_entries, "report entries");
+    assert_eq!(gc.bytes, trace.group_commit_bytes, "report bytes");
+    assert_eq!(gc.staged_high_water, stats.staging_high_water, "high water");
+
+    // The scenario must actually exercise the pipeline, or every equality
+    // above is vacuous.
+    assert!(trace.stage_enters > 0, "nothing staged");
+    assert!(trace.group_commits > 0, "nothing group-committed");
+    assert!(trace.barrier_waits > 0, "no barrier waited");
+    assert!(trace.barrier_noops > 0, "no barrier no-op exercised");
+    assert!(
+        stats.entries_per_commit() > 1.0,
+        "commits carried no batching: {}",
+        stats.entries_per_commit()
+    );
+}
