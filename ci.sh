@@ -19,6 +19,13 @@
 #                   byte-identity (run_faults stdout + run_all trace JSONL
 #                   vs golden fixtures), crash proptests with K tickets in
 #                   flight, and the pipeline bench vs BENCH_pipeline.json
+#   ./ci.sh scale   sharded-engine gate: shards=1 byte-identity (run_all
+#                   trace vs the same pinned sha256 as the pipeline gate),
+#                   one-shard router differential + per-shard trace oracle,
+#                   cross-shard crash proptest, campaign determinism across
+#                   worker counts, and run_scale vs BENCH_scale.json (the
+#                   4x 8-vs-1-shard wall-speedup assert turns on only on
+#                   hosts with >= 8 workers)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -75,6 +82,38 @@ if [[ "${1:-}" == "pipeline" ]]; then
     BENCH_pipeline.json \
     target/bench_pipeline_current.json
   echo "PIPELINE OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "scale" ]]; then
+  echo "==> sharded-engine gate: one-shard differential + span readback + per-shard trace oracle"
+  cargo test -q -p icash --test shard
+  echo "==> cross-shard crash proptest: per-shard recovery never splices across shards"
+  cargo test -q -p icash --test fault_recovery cross_shard
+  echo "==> campaign determinism: document independent of ICASH_THREADS"
+  cargo test -q -p icash-bench --test scale_determinism
+  echo "==> shards=1 byte-identity: run_all trace JSONL vs pinned sha256"
+  cargo build -q --release -p icash-bench
+  ICASH_OPS=300 ICASH_THREADS=1 ICASH_SHARDS=1 \
+    ./target/release/run_all target/run_all_shards1.md \
+    --trace target/run_all_trace_shards1.jsonl > /dev/null
+  {
+    sha256sum target/run_all_trace_shards1.jsonl | cut -d' ' -f1
+    wc -l < target/run_all_trace_shards1.jsonl
+  } > target/run_all_trace_shards1.sha256
+  diff target/run_all_trace_shards1.sha256 ci/golden/run_all_trace_depth1.sha256
+  echo "==> run_scale campaign vs BENCH_scale.json"
+  scale_env=(CRITERION_JSON="$PWD/target/bench_scale_current.json")
+  if [[ "$(nproc)" -ge 8 ]]; then
+    echo "    (>= 8 workers: enforcing the 4x 8-vs-1-shard wall speedup)"
+    scale_env+=(ICASH_SCALE_ASSERT=4x)
+  fi
+  env "${scale_env[@]}" \
+    cargo run -q --release -p icash-bench --bin run_scale > target/run_scale.txt
+  cargo run -q --release -p icash-bench --bin bench_diff -- \
+    BENCH_scale.json \
+    target/bench_scale_current.json
+  echo "SCALE OK"
   exit 0
 fi
 

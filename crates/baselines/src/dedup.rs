@@ -13,7 +13,7 @@ use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
 use icash_storage::cpu::CpuOp;
 use icash_storage::fault::FaultPlan;
 use icash_storage::lru::LruMap;
-use icash_storage::pipeline::{FlushProgress, Ticket};
+use icash_storage::pipeline::{Ticket, WriteThrough};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
@@ -67,10 +67,9 @@ pub struct DedupCache {
     hits: u64,
     misses: u64,
     shared_hits: u64,
-    /// Write-acceptance/durability watermarks: every write lands on flash
-    /// or disk before submit returns, so the pair moves together, but
-    /// callers still get real barrier semantics.
-    tickets: FlushProgress,
+    /// Shared write-through ticket bookkeeping ([`WriteThrough`]): every
+    /// accepted write is on stable media when submit returns.
+    tickets: WriteThrough,
 }
 
 impl DedupCache {
@@ -88,7 +87,7 @@ impl DedupCache {
             hits: 0,
             misses: 0,
             shared_hits: 0,
-            tickets: FlushProgress::new(),
+            tickets: WriteThrough::new(),
         }
     }
 
@@ -206,7 +205,7 @@ impl StorageSystem for DedupCache {
         let mut errors = Vec::new();
         if req.op == Op::Write && req.blocks >= WRITE_BYPASS_BLOCKS {
             for lba in req.lbas() {
-                self.tickets.reserve();
+                self.tickets.accept();
                 if let Some(digest) = self.map.remove(&lba) {
                     self.unref_superseded(digest);
                 }
@@ -215,14 +214,13 @@ impl StorageSystem for DedupCache {
                 .home
                 .write_span(self.array.hdd_mut(), req.lba, &req.payload, req.at);
             self.array.trace_request_end(t);
-            let accepted = self.tickets.reserved();
-            self.tickets.complete_through(accepted);
+            self.tickets.settle();
             return Completion::with_data(t, data);
         }
         for (i, lba) in req.lbas().enumerate() {
             match req.op {
                 Op::Write => {
-                    self.tickets.reserve();
+                    self.tickets.accept();
                     // Every write pays the identity hash (the dedup tax).
                     let hash_cost = ctx.cpu.charge(CpuOp::ContentHash);
                     let content = &req.payload[i];
@@ -341,17 +339,16 @@ impl StorageSystem for DedupCache {
         self.array.trace_request_end(done);
         // Accepted writes are on flash or disk (both stable) when submit
         // returns, so accepted and durable watermarks advance together.
-        let accepted = self.tickets.reserved();
-        self.tickets.complete_through(accepted);
+        self.tickets.settle();
         Completion::with_data(done, data).with_errors(errors)
     }
 
     fn write_ticket(&self) -> Ticket {
-        self.tickets.reserved()
+        self.tickets.write_ticket()
     }
 
     fn flushed_ticket(&self) -> Ticket {
-        self.tickets.completed()
+        self.tickets.flushed_ticket()
     }
 
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {

@@ -11,7 +11,7 @@ use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
 use icash_storage::fault::FaultPlan;
 use icash_storage::lru::LruMap;
-use icash_storage::pipeline::{FlushProgress, Ticket};
+use icash_storage::pipeline::{Ticket, WriteThrough};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
@@ -54,10 +54,9 @@ pub struct LruCache {
     free_slots: Vec<u64>,
     hits: u64,
     misses: u64,
-    /// Write-acceptance/durability watermarks: every write lands on flash
-    /// or disk before submit returns, so the pair moves together, but
-    /// callers still get real barrier semantics.
-    tickets: FlushProgress,
+    /// Shared write-through ticket bookkeeping ([`WriteThrough`]): every
+    /// accepted write is on stable media when submit returns.
+    tickets: WriteThrough,
 }
 
 impl LruCache {
@@ -73,7 +72,7 @@ impl LruCache {
             free_slots: (0..slots).rev().collect(),
             hits: 0,
             misses: 0,
-            tickets: FlushProgress::new(),
+            tickets: WriteThrough::new(),
         }
     }
 
@@ -128,7 +127,7 @@ impl StorageSystem for LruCache {
         if req.op == Op::Write && req.blocks >= WRITE_BYPASS_BLOCKS {
             // Stream to disk sequentially; drop any stale cached copies.
             for lba in req.lbas() {
-                self.tickets.reserve();
+                self.tickets.accept();
                 if let Some(entry) = self.entries.remove(&lba) {
                     self.array.ssd_mut().trim(entry.slot);
                     self.free_slots.push(entry.slot);
@@ -138,14 +137,13 @@ impl StorageSystem for LruCache {
                 .home
                 .write_span(self.array.hdd_mut(), req.lba, &req.payload, req.at);
             self.array.trace_request_end(t);
-            let accepted = self.tickets.reserved();
-            self.tickets.complete_through(accepted);
+            self.tickets.settle();
             return Completion::with_data(t, data);
         }
         for (i, lba) in req.lbas().enumerate() {
             match req.op {
                 Op::Write => {
-                    self.tickets.reserve();
+                    self.tickets.accept();
                     let t = match self.entries.get_mut(&lba) {
                         Some(entry) => {
                             entry.dirty = true;
@@ -283,17 +281,16 @@ impl StorageSystem for LruCache {
         self.array.trace_request_end(done);
         // Accepted writes are on flash or disk (both stable) when submit
         // returns, so accepted and durable watermarks advance together.
-        let accepted = self.tickets.reserved();
-        self.tickets.complete_through(accepted);
+        self.tickets.settle();
         Completion::with_data(done, data).with_errors(errors)
     }
 
     fn write_ticket(&self) -> Ticket {
-        self.tickets.reserved()
+        self.tickets.write_ticket()
     }
 
     fn flushed_ticket(&self) -> Ticket {
-        self.tickets.completed()
+        self.tickets.flushed_ticket()
     }
 
     fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {

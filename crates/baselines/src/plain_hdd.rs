@@ -10,7 +10,7 @@ use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
 use icash_storage::block::BlockBuf;
 use icash_storage::fault::FaultPlan;
-use icash_storage::pipeline::{FlushProgress, Ticket};
+use icash_storage::pipeline::{Ticket, WriteThrough};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -38,9 +38,9 @@ use icash_storage::trace::Tracer;
 pub struct PlainHdd {
     array: DeviceArray,
     home: HomeDisk,
-    /// Write-acceptance/durability watermarks: write-through, so the pair
-    /// moves together, but callers still get real barrier semantics.
-    tickets: FlushProgress,
+    /// Shared write-through ticket bookkeeping ([`WriteThrough`]): every
+    /// accepted write is on stable media when submit returns.
+    tickets: WriteThrough,
 }
 
 impl PlainHdd {
@@ -50,7 +50,7 @@ impl PlainHdd {
         PlainHdd {
             array: DeviceArray::hdd_only(HomeDisk::build_disk(blocks)),
             home: HomeDisk::new(blocks),
-            tickets: FlushProgress::new(),
+            tickets: WriteThrough::new(),
         }
     }
 
@@ -81,7 +81,7 @@ impl StorageSystem for PlainHdd {
         for (i, lba) in req.lbas().enumerate() {
             match req.op {
                 Op::Write => {
-                    self.tickets.reserve();
+                    self.tickets.accept();
                     let t =
                         self.home
                             .write(self.array.hdd_mut(), lba, req.payload[i].clone(), req.at);
@@ -109,17 +109,16 @@ impl StorageSystem for PlainHdd {
         self.array.trace_request_end(done);
         // Write-through: the write is on the platter when submit returns,
         // so accepted and durable watermarks advance together.
-        let accepted = self.tickets.reserved();
-        self.tickets.complete_through(accepted);
+        self.tickets.settle();
         Completion::with_data(done, data).with_errors(errors)
     }
 
     fn write_ticket(&self) -> Ticket {
-        self.tickets.reserved()
+        self.tickets.write_ticket()
     }
 
     fn flushed_ticket(&self) -> Ticket {
-        self.tickets.completed()
+        self.tickets.flushed_ticket()
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

@@ -8,7 +8,7 @@
 use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::fault::FaultPlan;
-use icash_storage::pipeline::{FlushProgress, Ticket};
+use icash_storage::pipeline::{Ticket, WriteThrough};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
@@ -43,9 +43,9 @@ pub struct PureSsd {
     next_page: u64,
     overlay: HashMap<Lba, BlockBuf>,
     keep_content: bool,
-    /// Write-acceptance/durability watermarks: write-through, so the pair
-    /// moves together, but callers still get real barrier semantics.
-    tickets: FlushProgress,
+    /// Shared write-through ticket bookkeeping ([`WriteThrough`]): every
+    /// accepted write is on stable media when submit returns.
+    tickets: WriteThrough,
 }
 
 impl PureSsd {
@@ -57,7 +57,7 @@ impl PureSsd {
             next_page: 0,
             overlay: HashMap::new(),
             keep_content: true,
-            tickets: FlushProgress::new(),
+            tickets: WriteThrough::new(),
         }
     }
 
@@ -108,7 +108,7 @@ impl StorageSystem for PureSsd {
             let page = self.page_of(lba);
             match req.op {
                 Op::Write => {
-                    self.tickets.reserve();
+                    self.tickets.accept();
                     // Program failures are handled by the FTL remapping the
                     // page; a bounded retry models the reprogram.
                     let mut last = self.array.ssd_mut().write(req.at, page);
@@ -174,17 +174,16 @@ impl StorageSystem for PureSsd {
         self.array.trace_request_end(done);
         // Write-through: the program is on flash when submit returns, so
         // accepted and durable watermarks advance together.
-        let accepted = self.tickets.reserved();
-        self.tickets.complete_through(accepted);
+        self.tickets.settle();
         Completion::with_data(done, data).with_errors(errors)
     }
 
     fn write_ticket(&self) -> Ticket {
-        self.tickets.reserved()
+        self.tickets.write_ticket()
     }
 
     fn flushed_ticket(&self) -> Ticket {
-        self.tickets.completed()
+        self.tickets.flushed_ticket()
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

@@ -10,7 +10,7 @@ use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
 use icash_storage::fault::FaultPlan;
 use icash_storage::hdd::{Hdd, HddConfig};
-use icash_storage::pipeline::{FlushProgress, Ticket};
+use icash_storage::pipeline::{Ticket, WriteThrough};
 use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -45,9 +45,9 @@ pub struct Raid0 {
     data_blocks: u64,
     overlay: HashMap<Lba, BlockBuf>,
     keep_content: bool,
-    /// Write-acceptance/durability watermarks: write-through, so the pair
-    /// moves together, but callers still get real barrier semantics.
-    tickets: FlushProgress,
+    /// Shared write-through ticket bookkeeping ([`WriteThrough`]): every
+    /// accepted write is on stable media when submit returns.
+    tickets: WriteThrough,
 }
 
 impl Raid0 {
@@ -70,7 +70,7 @@ impl Raid0 {
             data_blocks,
             overlay: HashMap::new(),
             keep_content: true,
-            tickets: FlushProgress::new(),
+            tickets: WriteThrough::new(),
         }
     }
 
@@ -117,7 +117,7 @@ impl StorageSystem for Raid0 {
             let (disk, pos) = self.locate(lba);
             match req.op {
                 Op::Write => {
-                    self.tickets.reserve();
+                    self.tickets.accept();
                     // Write faults are transient: the drive remaps on
                     // rewrite, so a bounded retry clears them.
                     let mut last = self.array.hdd_at_mut(disk).write(req.at, pos, 1);
@@ -167,17 +167,16 @@ impl StorageSystem for Raid0 {
         self.array.trace_request_end(done);
         // Write-through: stripes are on the platters when submit returns,
         // so accepted and durable watermarks advance together.
-        let accepted = self.tickets.reserved();
-        self.tickets.complete_through(accepted);
+        self.tickets.settle();
         Completion::with_data(done, data).with_errors(errors)
     }
 
     fn write_ticket(&self) -> Ticket {
-        self.tickets.reserved()
+        self.tickets.write_ticket()
     }
 
     fn flushed_ticket(&self) -> Ticket {
-        self.tickets.completed()
+        self.tickets.flushed_ticket()
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

@@ -1,0 +1,75 @@
+//! The shard-scaling campaign: SysBench replayed across a grid of shard
+//! counts × per-shard client counts, thread-per-shard.
+//!
+//! Usage: `run_scale [output.txt]`
+//!
+//! * stdout (and the optional output file) receive the **deterministic**
+//!   campaign document: a schema header plus one JSON line per cell with
+//!   the shard-clock finish order and the merged summary. No wall-clock
+//!   quantity appears, so the bytes are independent of `ICASH_THREADS`.
+//! * stderr gets the human table with the wall-clock replay throughput and
+//!   speedup over the one-shard cell — the measurement this campaign
+//!   exists for.
+//! * `CRITERION_JSON=<path>` additionally writes the wall-clock results in
+//!   the format `bench_diff` compares against `BENCH_scale.json`.
+//!
+//! Environment: `ICASH_OPS` (outer ops, default 6,000),
+//! `ICASH_SCALE_SHARDS` / `ICASH_SCALE_CLIENTS` (comma-separated sweep
+//! overrides), `ICASH_THREADS` (worker pool), and
+//! `ICASH_SCALE_ASSERT=MINx` (e.g. `4x`) to fail the run unless the
+//! 8-vs-1-shard wall speedup reaches the bound — CI enables this only on
+//! hosts with at least 8 workers, where the sharded engine must deliver.
+
+use icash_bench::scale;
+use icash_bench::{cli, harness};
+use icash_workloads::sysbench;
+
+fn main() {
+    let ops = cli::ops_from_env(6_000);
+    let seed = 0x1CA5_4001u64;
+    let shard_sweep = scale::sweep_from_env("ICASH_SCALE_SHARDS", &scale::SHARD_SWEEP);
+    let client_sweep = scale::sweep_from_env("ICASH_SCALE_CLIENTS", &scale::CLIENT_SWEEP);
+    let spec = sysbench::spec().scaled_to_ops(ops);
+    eprintln!(
+        "run_scale: SysBench, {} ops, shards {:?} x clients {:?}, {} workers",
+        ops,
+        shard_sweep,
+        client_sweep,
+        harness::worker_count(usize::MAX)
+    );
+
+    let cells = scale::run_campaign(&spec, ops, seed, &shard_sweep, &client_sweep);
+
+    let doc = scale::document(&spec, ops, seed, &cells);
+    print!("{doc}");
+    if let Some(path) = harness::positional_args().into_iter().next() {
+        match std::fs::write(&path, &doc) {
+            Ok(()) => eprintln!("campaign document written to {path}"),
+            Err(err) => {
+                eprintln!("failed to write {path}: {err}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("\n{}", scale::wall_table(&cells));
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        std::fs::write(&path, scale::criterion_json(&cells)).expect("write CRITERION_JSON");
+        eprintln!("bench results written to {path}");
+    }
+
+    if let Ok(bound) = std::env::var("ICASH_SCALE_ASSERT") {
+        let min: f64 = bound.trim_end_matches('x').parse().unwrap_or_else(|_| {
+            panic!("invalid ICASH_SCALE_ASSERT={bound:?}: expected e.g. \"4x\"")
+        });
+        let clients = *client_sweep.last().expect("sweep is never empty");
+        let speedup = scale::wall_speedup(&cells, 8, 1, clients)
+            .expect("ICASH_SCALE_ASSERT needs shards 1 and 8 in the sweep");
+        eprintln!("run_scale: 8-vs-1-shard wall speedup at {clients} clients: {speedup:.2}x");
+        assert!(
+            speedup >= min,
+            "sharded engine scaled only {speedup:.2}x at 8 shards (required {min}x)"
+        );
+    }
+}

@@ -10,9 +10,14 @@
 //! controller-level counters (signature probes, delta codec activity, log
 //! flushes, scrub/repair work).
 //!
+//! Sharded traces (events carrying a `"shard"` tag, written when a cell
+//! runs behind a `ShardRouter`) additionally get one sub-table per shard,
+//! which is how a `run_scale` sweep shows *where* scaling saturates: a
+//! shard whose request spans dwarf its siblings' is the bottleneck.
+//!
 //! [`TraceProfile`]: icash_metrics::trace::TraceProfile
 
-use icash_metrics::trace::{parse_jsonl, TraceProfile};
+use icash_metrics::trace::{parse_jsonl, split_by_shard, TraceProfile};
 
 fn main() {
     let path = match icash_bench::harness::positional_args().into_iter().next() {
@@ -61,5 +66,21 @@ fn main() {
         let profile = TraceProfile::from_events(&events);
         println!("{header}");
         println!("{}", profile.render());
+
+        // Sharded cells: break the same events down per shard.
+        let shards = match split_by_shard(body) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("{path}: {header}: {err}");
+                std::process::exit(1);
+            }
+        };
+        if shards.len() > 1 {
+            for (shard, doc) in &shards {
+                let events = parse_jsonl(doc).expect("validated by split_by_shard");
+                println!("shard {shard}:");
+                println!("{}", TraceProfile::from_events(&events).render());
+            }
+        }
     }
 }

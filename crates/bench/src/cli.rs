@@ -84,6 +84,30 @@ pub fn group_commit_depth_from_env() -> u64 {
     }
 }
 
+/// The `ICASH_SHARDS` override: how many independent controllers the
+/// harness stripes the block space across (the `ShardRouter` width).
+/// Default 1 — the bare unsharded system, byte-identical to pre-sharding
+/// outputs.
+///
+/// # Panics
+///
+/// Panics when `ICASH_SHARDS` is set but not a positive integer — a
+/// zero-shard engine has nowhere to put a block.
+pub fn shards_from_env() -> u32 {
+    match std::env::var("ICASH_SHARDS") {
+        Err(_) => 1,
+        Ok(shards) => match shards.parse::<u32>() {
+            Ok(0) => panic!(
+                "invalid ICASH_SHARDS=0: the block space is striped across the shards, so there must be at least 1"
+            ),
+            Ok(n) => n,
+            Err(_) => {
+                panic!("invalid ICASH_SHARDS={shards:?}: expected a positive integer shard count")
+            }
+        },
+    }
+}
+
 /// The `ICASH_FLUSH_TICKET` override: when `1`, benchmark cells exercise
 /// the ticket barrier API (`sync`) after the measured run and assert the
 /// durability watermark caught the acceptance watermark. Default off, so
@@ -126,5 +150,11 @@ mod tests {
     fn flush_ticket_default_is_off() {
         std::env::remove_var("ICASH_FLUSH_TICKET");
         assert!(!flush_ticket_from_env());
+    }
+
+    #[test]
+    fn shards_default_is_unsharded() {
+        std::env::remove_var("ICASH_SHARDS");
+        assert_eq!(shards_from_env(), 1);
     }
 }

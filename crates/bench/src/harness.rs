@@ -30,6 +30,7 @@ use icash_core::{Icash, IcashConfig};
 use icash_metrics::summary::RunSummary;
 use icash_metrics::trace::JsonlSink;
 use icash_storage::cpu::CpuModel;
+use icash_storage::shard::ShardRouter;
 use icash_storage::system::{IoCtx, StorageSystem, ZeroSource};
 use icash_storage::time::Ns;
 use icash_storage::trace::{TraceSink, Tracer};
@@ -98,6 +99,29 @@ impl SystemKind {
             )),
         }
     }
+
+    /// [`build_with_depth`](SystemKind::build_with_depth) striped across
+    /// `shards` independent controllers behind a [`ShardRouter`]. Each
+    /// shard is a complete small system built from the spec's
+    /// [`shard_slice`](WorkloadSpec::shard_slice), so the aggregate
+    /// hardware budget matches the unsharded build. At `shards == 1` this
+    /// returns the bare (unwrapped) system — existing golden fixtures stay
+    /// untouched by construction.
+    pub fn build_sharded(
+        self,
+        spec: &WorkloadSpec,
+        depth: u64,
+        shards: u32,
+    ) -> Box<dyn StorageSystem> {
+        if shards <= 1 {
+            return self.build_with_depth(spec, depth);
+        }
+        let slice = spec.shard_slice(shards);
+        let systems: Vec<Box<dyn StorageSystem>> = (0..shards)
+            .map(|_| self.build_with_depth(&slice, depth))
+            .collect();
+        Box::new(ShardRouter::new(systems))
+    }
 }
 
 /// Settings for one experiment run.
@@ -115,6 +139,10 @@ pub struct ExperimentConfig {
     /// Exercise the ticket barrier API (`sync`) after each measured cell
     /// and assert the durability watermark caught acceptance.
     pub flush_ticket: bool,
+    /// Independent controllers the block space is striped across (the
+    /// [`ShardRouter`] width). 1 = the bare unsharded system,
+    /// byte-identical to pre-sharding outputs.
+    pub shards: u32,
 }
 
 impl ExperimentConfig {
@@ -126,6 +154,7 @@ impl ExperimentConfig {
             seed: 0x1CA5_4001,
             group_commit_depth: 1,
             flush_ticket: false,
+            shards: 1,
         }
     }
 
@@ -137,9 +166,9 @@ impl ExperimentConfig {
     }
 
     /// Honours `ICASH_OPS` / `ICASH_FULL=1` environment overrides — plus
-    /// the pipeline knobs `ICASH_GROUP_COMMIT` / `ICASH_FLUSH_TICKET` —
-    /// so the same binaries drive quick checks, full reproductions, and
-    /// pipeline experiments.
+    /// the pipeline knobs `ICASH_GROUP_COMMIT` / `ICASH_FLUSH_TICKET` and
+    /// the sharding knob `ICASH_SHARDS` — so the same binaries drive quick
+    /// checks, full reproductions, pipeline and scaling experiments.
     ///
     /// # Panics
     ///
@@ -170,6 +199,7 @@ impl ExperimentConfig {
         }
         cfg.group_commit_depth = crate::cli::group_commit_depth_from_env();
         cfg.flush_ticket = crate::cli::flush_ticket_from_env();
+        cfg.shards = crate::cli::shards_from_env();
         cfg
     }
 }
@@ -184,7 +214,7 @@ impl ExperimentConfig {
 /// # Panics
 ///
 /// Panics when `ICASH_THREADS` is set but is not a positive integer.
-fn worker_count(jobs: usize) -> usize {
+pub fn worker_count(jobs: usize) -> usize {
     let configured = match std::env::var("ICASH_THREADS") {
         Ok(v) => match v.parse::<usize>() {
             Ok(0) | Err(_) => {
@@ -202,8 +232,10 @@ fn worker_count(jobs: usize) -> usize {
 /// Runs `jobs` on a scoped worker pool and returns their results in job
 /// order. Workers pull the next job index from a shared atomic counter, so
 /// scheduling is dynamic but the output order (and, because every job is a
-/// self-contained simulation, every result) is deterministic.
-fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+/// self-contained simulation, every result) is deterministic. Public so
+/// campaign binaries (`run_scale`) can run their per-shard replays on the
+/// same pool with the same determinism contract.
+pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
@@ -319,7 +351,7 @@ fn run_cell_inner(
     traced: bool,
 ) -> (RunSummary, Option<String>) {
     let wall_start = Instant::now();
-    let mut system = kind.build_with_depth(&prep.spec, prep.cfg.group_commit_depth);
+    let mut system = kind.build_sharded(&prep.spec, prep.cfg.group_commit_depth, prep.cfg.shards);
     let sink = if traced {
         Some(attach_jsonl(system.as_mut()))
     } else {
@@ -338,7 +370,7 @@ fn run_cell_inner(
     };
     let mut summary = run_benchmark(system.as_mut(), &mut player, &mut model, &driver);
     summary.wall_ns = wall_start.elapsed().as_nanos() as u64;
-    if prep.cfg.flush_ticket || prep.cfg.group_commit_depth > 1 {
+    if prep.cfg.flush_ticket || prep.cfg.group_commit_depth > 1 || prep.cfg.shards > 1 {
         // Exercise the ticket barrier across every architecture: a full
         // sync after the measured run, after which no ticket may remain in
         // flight. Gated off by default so default outputs stay
@@ -617,6 +649,7 @@ mod tests {
             seed: 7,
             group_commit_depth: 1,
             flush_ticket: false,
+            shards: 1,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {
@@ -633,6 +666,69 @@ mod tests {
             assert!(s.elapsed.as_ns() > 0, "{} did not advance time", s.system);
             assert!(s.wall_ns > 0, "{} cell was not wall-timed", s.system);
         }
+    }
+
+    #[test]
+    fn five_systems_run_sharded() {
+        let mut spec = sysbench::spec();
+        spec.data_bytes = 32 << 20;
+        spec.ssd_bytes = 4 << 20;
+        spec.ram_bytes = 1 << 20;
+        let cfg = ExperimentConfig {
+            ops: 1_000,
+            clients: 4,
+            seed: 7,
+            group_commit_depth: 1,
+            flush_ticket: false,
+            shards: 4,
+        };
+        let spec_clone = spec.clone();
+        let summaries = run_five_systems(&spec, &cfg, move |seed| {
+            Box::new(icash_workloads::MixedWorkload::new(
+                spec_clone.clone(),
+                seed,
+            ))
+        });
+        assert_eq!(summaries.len(), 5);
+        for s in &summaries {
+            assert_eq!(s.ops, 1_000);
+            assert!(s.elapsed.as_ns() > 0, "{} did not advance time", s.system);
+        }
+    }
+
+    #[test]
+    fn env_overrides_shards() {
+        let _guard = env_guard();
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_SHARDS", "8");
+        let cfg = ExperimentConfig::from_env(&spec);
+        std::env::remove_var("ICASH_SHARDS");
+        assert_eq!(cfg.shards, 8);
+    }
+
+    #[test]
+    fn zero_shards_override_is_rejected() {
+        let _guard = env_guard();
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_SHARDS", "0");
+        let result = std::panic::catch_unwind(|| ExperimentConfig::from_env(&spec));
+        std::env::remove_var("ICASH_SHARDS");
+        let message = panic_message(result);
+        assert!(message.contains("ICASH_SHARDS=0"), "got: {message}");
+    }
+
+    #[test]
+    fn non_numeric_shards_override_is_rejected() {
+        let _guard = env_guard();
+        let spec = sysbench::spec();
+        std::env::set_var("ICASH_SHARDS", "many");
+        let result = std::panic::catch_unwind(|| ExperimentConfig::from_env(&spec));
+        std::env::remove_var("ICASH_SHARDS");
+        let message = panic_message(result);
+        assert!(
+            message.contains("ICASH_SHARDS=\"many\"") && message.contains("positive integer"),
+            "got: {message}"
+        );
     }
 
     #[test]

@@ -11,5 +11,6 @@
 
 pub mod cli;
 pub mod harness;
+pub mod scale;
 
 pub use harness::{run_five_systems, ExperimentConfig, SystemKind};

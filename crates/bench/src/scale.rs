@@ -1,0 +1,532 @@
+//! The `run_scale` campaign: where does shard scaling saturate?
+//!
+//! The sharded engine ([`ShardRouter`]) stripes the block space across N
+//! independent controllers, and because each shard is a complete
+//! self-contained simulation on its own virtual clock, the N shards of one
+//! replay can run on N real threads. This module measures what that buys:
+//! it records one SysBench op stream, partitions it per shard with the
+//! router's own striping arithmetic ([`partition_trace`]), replays every
+//! shard's slice as an independent closed-loop benchmark on the harness
+//! worker pool, and reports both the *deterministic* merged results (virtual
+//! time, latencies, device counters — byte-identical no matter how many
+//! worker threads ran) and the *wall-clock* throughput that shows the real
+//! parallel speedup.
+//!
+//! Two invariants the test suite pins:
+//!
+//! * [`document`] (the deterministic campaign report) contains no
+//!   wall-clock quantity, so its bytes are independent of `ICASH_THREADS`
+//!   (`crates/bench/tests/scale_determinism.rs`).
+//! * At one shard the partition is the identity and the replay is the bare
+//!   unsharded cell.
+//!
+//! Wall-clock numbers (the point of the exercise) go to the human table
+//! ([`wall_table`]) and the `CRITERION_JSON`-style output consumed by
+//! `bench_diff` against the committed `BENCH_scale.json` baseline.
+//!
+//! [`ShardRouter`]: icash_storage::shard::ShardRouter
+
+use crate::harness::run_jobs;
+use icash_core::{Icash, IcashConfig};
+use icash_metrics::histogram::LatencyHistogram;
+use icash_metrics::summary::RunSummary;
+use icash_storage::block::Lba;
+use icash_storage::shard::merge_streams;
+use icash_storage::system::SystemReport;
+use icash_storage::time::Ns;
+use icash_workloads::content::ContentModel;
+use icash_workloads::driver::{run_benchmark, DriverConfig};
+use icash_workloads::spec::WorkloadSpec;
+use icash_workloads::trace::{Trace, TracePlayer};
+use icash_workloads::workload::WorkloadOp;
+use std::time::Instant;
+
+/// Default shard-count sweep: powers of two through 64.
+pub const SHARD_SWEEP: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Default closed-loop client counts (per shard — each shard runs its own
+/// closed loop, matching how a sharded deployment would drive N queues).
+pub const CLIENT_SWEEP: [u32; 2] = [4, 16];
+
+/// Splits a recorded outer-address op stream into one per-shard stream,
+/// using exactly the router's striping: an op touching several shards
+/// becomes one smaller op on each (a shard's share of a span is a single
+/// contiguous inner span). At one shard this is the identity. Think/CPU
+/// costs ride along unchanged — each shard's closed loop models a client
+/// driving that shard.
+pub fn partition_trace(trace: &Trace, shards: u32) -> Vec<Trace> {
+    let n = shards.max(1) as u64;
+    let mut per_shard: Vec<Vec<WorkloadOp>> = vec![Vec::new(); n as usize];
+    for op in trace.ops() {
+        let base = op.lba.offset();
+        let blocks = op.blocks as u64;
+        for shard in 0..n {
+            // First outer offset in [base, base+blocks) owned by `shard`.
+            let skew = (shard + n - base % n) % n;
+            if skew >= blocks {
+                continue;
+            }
+            per_shard[shard as usize].push(WorkloadOp {
+                op: op.op,
+                lba: Lba::new((base + skew) / n).with_vm(op.lba.vm_id()),
+                blocks: ((blocks - skew - 1) / n + 1) as u32,
+                app_cpu: op.app_cpu,
+                think: op.think,
+            });
+        }
+    }
+    per_shard.into_iter().map(Trace::from_ops).collect()
+}
+
+/// One shard's slice of an address universe: the count of outer offsets in
+/// `[0, blocks)` striped onto `shard`, per `(vm, blocks)` span, zero-block
+/// spans dropped. Mirrors `ShardRouter::preload`.
+pub fn shard_universe(universe: &[(u8, u64)], shards: u32, shard: u32) -> Vec<(u8, u64)> {
+    let n = shards.max(1) as u64;
+    universe
+        .iter()
+        .map(|&(vm, blocks)| (vm, (blocks + n - 1 - shard as u64) / n))
+        .filter(|&(_, blocks)| blocks > 0)
+        .collect()
+}
+
+/// The result of one (shard count × client count) sweep cell.
+#[derive(Debug, Clone)]
+pub struct ScaleCell {
+    /// Controllers the block space was striped across.
+    pub shards: u32,
+    /// Closed-loop clients per shard.
+    pub clients: u32,
+    /// Outer (pre-partition) ops replayed.
+    pub ops: u64,
+    /// Per-shard summaries, in shard-id order.
+    pub per_shard: Vec<RunSummary>,
+    /// The shard-merged aggregate ([`RunSummary::merge_shards`]).
+    pub merged: RunSummary,
+    /// Shard ids ordered by `(virtual finish time, shard id)` — the
+    /// deterministic shard-clock merge ([`merge_streams`]). The last entry
+    /// is the straggler that bounds the cell's virtual time.
+    pub finish_order: Vec<u32>,
+    /// Host time for the whole cell (partition + parallel replay). Pure
+    /// instrumentation: excluded from [`ScaleCell::to_json`].
+    pub wall_ns: u64,
+}
+
+impl ScaleCell {
+    /// Wall-clock replay throughput in outer ops per host second — the
+    /// quantity that shows real parallel speedup. Nondeterministic by
+    /// nature; never part of the deterministic document.
+    pub fn wall_ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// The deterministic JSON line for this cell: grid coordinates, the
+    /// shard-clock finish order, per-shard virtual finish times, and the
+    /// merged summary. Everything here is simulation-determined, so two
+    /// runs of the same campaign render identical lines regardless of
+    /// `ICASH_THREADS`.
+    pub fn to_json(&self) -> String {
+        let finish: Vec<String> = self.finish_order.iter().map(u32::to_string).collect();
+        let elapsed: Vec<String> = self
+            .per_shard
+            .iter()
+            .map(|s| s.elapsed.as_ns().to_string())
+            .collect();
+        format!(
+            "{{\"cell\":{{\"shards\":{},\"clients\":{}}},\"ops\":{},\
+             \"finish_order\":[{}],\"shard_elapsed_ns\":[{}],\"merged\":{}}}",
+            self.shards,
+            self.clients,
+            self.ops,
+            finish.join(","),
+            elapsed.join(","),
+            self.merged.to_json()
+        )
+    }
+}
+
+/// Replays one shard's slice as an independent closed-loop benchmark.
+fn replay_shard(
+    spec: &WorkloadSpec,
+    cfg: IcashConfig,
+    trace: Trace,
+    universe: Vec<(u8, u64)>,
+    clients: u32,
+    seed: u64,
+) -> RunSummary {
+    let ops = trace.len() as u64;
+    if ops == 0 {
+        // A shard the partition never touched (possible on tiny grids):
+        // an empty summary keeps shard indices aligned.
+        return RunSummary {
+            system: "I-CASH".to_string(),
+            workload: spec.name.clone(),
+            ops: 0,
+            transactions: 0,
+            elapsed: Ns::ZERO,
+            steady_ops: 0,
+            steady_elapsed: Ns::ZERO,
+            read_latency: LatencyHistogram::new(),
+            write_latency: LatencyHistogram::new(),
+            cpu_utilization: 0.0,
+            storage_cpu_utilization: 0.0,
+            ssd_writes: 0,
+            energy_wh: 0.0,
+            report: SystemReport::default(),
+            wall_ns: 0,
+        };
+    }
+    let mut system = Icash::new(cfg);
+    let mut player = TracePlayer::new(spec.clone(), trace).with_universe(universe);
+    let mut model = ContentModel::new(seed, spec.profile.clone());
+    let driver = DriverConfig {
+        clients,
+        ops,
+        warmup_ops: ops / 4,
+        verify: false,
+        guest_cache: false,
+        cpu: None,
+    };
+    run_benchmark(&mut system, &mut player, &mut model, &driver)
+}
+
+/// Runs one sweep cell: partition the recorded trace, replay every shard's
+/// slice on the shared worker pool (thread-per-shard up to `ICASH_THREADS`
+/// workers), merge. Each shard is a complete small I-CASH built from the
+/// [`IcashConfig::shard_slice`] of the cell spec, so the aggregate
+/// hardware budget matches the one-shard cell.
+pub fn run_cell(
+    spec: &WorkloadSpec,
+    trace: &Trace,
+    universe: &[(u8, u64)],
+    shards: u32,
+    clients: u32,
+    seed: u64,
+) -> ScaleCell {
+    let wall_start = Instant::now();
+    let parts = partition_trace(trace, shards);
+    let slice_spec = spec.shard_slice(shards);
+    let slice_cfg = IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
+        .build()
+        .shard_slice(shards);
+    let jobs: Vec<_> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(shard, part)| {
+            let sub_universe = shard_universe(universe, shards, shard as u32);
+            let slice_spec = &slice_spec;
+            let slice_cfg = slice_cfg.clone();
+            move || replay_shard(slice_spec, slice_cfg, part, sub_universe, clients, seed)
+        })
+        .collect();
+    let per_shard = run_jobs(jobs);
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    // The deterministic shard-clock merge: one (finish time, shard) event
+    // per shard, ordered by time with ties broken by shard id.
+    let streams: Vec<Vec<(Ns, u32)>> = per_shard
+        .iter()
+        .enumerate()
+        .map(|(shard, s)| vec![(s.elapsed, shard as u32)])
+        .collect();
+    let finish_order: Vec<u32> = merge_streams(streams).into_iter().map(|(_, s)| s).collect();
+    let merged = RunSummary::merge_shards(&per_shard);
+    ScaleCell {
+        shards,
+        clients,
+        ops: trace.len() as u64,
+        per_shard,
+        merged,
+        finish_order,
+        wall_ns,
+    }
+}
+
+/// Runs the full sweep grid over one recorded op stream: every shard count
+/// × every client count, cells in grid order (shards outer, clients
+/// inner). The trace is recorded once from `spec` and `seed`, so every
+/// cell replays the same outer op stream.
+pub fn run_campaign(
+    spec: &WorkloadSpec,
+    ops: u64,
+    seed: u64,
+    shard_sweep: &[u32],
+    client_sweep: &[u32],
+) -> Vec<ScaleCell> {
+    let mut source = icash_workloads::MixedWorkload::new(spec.clone(), seed);
+    let universe = icash_workloads::workload::Workload::address_universe(&source);
+    let trace = Trace::record(&mut source, ops);
+    let mut cells = Vec::new();
+    for &shards in shard_sweep {
+        for &clients in client_sweep {
+            eprintln!("run_scale: shards={shards} clients={clients} ({ops} ops)");
+            cells.push(run_cell(spec, &trace, &universe, shards, clients, seed));
+        }
+    }
+    cells
+}
+
+/// The deterministic campaign document: a schema header followed by one
+/// [`ScaleCell::to_json`] line per cell. Contains no wall-clock quantity —
+/// `tests/scale_determinism.rs` pins the bytes independent of
+/// `ICASH_THREADS`.
+pub fn document(spec: &WorkloadSpec, ops: u64, seed: u64, cells: &[ScaleCell]) -> String {
+    let mut doc = format!(
+        "{{\"schema\":\"icash-scale-v1\",\"workload\":{:?},\"ops\":{},\"seed\":{}}}\n",
+        spec.name, ops, seed
+    );
+    for cell in cells {
+        doc.push_str(&cell.to_json());
+        doc.push('\n');
+    }
+    doc
+}
+
+/// The human-facing table: virtual rates (deterministic) next to the
+/// wall-clock replay throughput and its speedup over the one-shard cell at
+/// the same client count (host-dependent — this is the measurement).
+pub fn wall_table(cells: &[ScaleCell]) -> String {
+    let mut out = String::from(
+        "| Shards | Clients/shard | Ops | Virtual time | Virtual ops/s | Wall time | Wall ops/s | Speedup |\n\
+         |---:|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for cell in cells {
+        let base = cells
+            .iter()
+            .find(|c| c.shards == 1 && c.clients == cell.clients)
+            .map(ScaleCell::wall_ops_per_sec)
+            .unwrap_or(0.0);
+        let speedup = if base > 0.0 {
+            cell.wall_ops_per_sec() / base
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} s | {:.0} | {:.3} s | {:.0} | {:.2}x |\n",
+            cell.shards,
+            cell.clients,
+            cell.ops,
+            cell.merged.elapsed.as_secs_f64(),
+            cell.merged.ops_per_sec(),
+            cell.wall_ns as f64 / 1e9,
+            cell.wall_ops_per_sec(),
+            speedup,
+        ));
+    }
+    out
+}
+
+/// Renders the campaign as `CRITERION_JSON`-style results (`ns_per_iter` =
+/// host nanoseconds per outer op), the format `bench_diff` consumes to
+/// compare against the committed `BENCH_scale.json` baseline.
+pub fn criterion_json(cells: &[ScaleCell]) -> String {
+    let results: Vec<String> = cells
+        .iter()
+        .map(|cell| {
+            format!(
+                "{{\"name\": \"icash_scale/shards{}_clients{}\", \"ns_per_iter\": {:.1}}}",
+                cell.shards,
+                cell.clients,
+                cell.wall_ns as f64 / cell.ops.max(1) as f64
+            )
+        })
+        .collect();
+    format!("{{\"results\": [{}]}}\n", results.join(", "))
+}
+
+/// Wall-clock speedup of `hi` shards over `lo` shards at `clients` clients
+/// per shard; `None` when either cell is missing from the sweep. This is
+/// the campaign's headline number (the acceptance gate asserts ≥ 4x for 8
+/// over 1 on a host with at least 8 workers).
+pub fn wall_speedup(cells: &[ScaleCell], hi: u32, lo: u32, clients: u32) -> Option<f64> {
+    let rate = |shards: u32| {
+        cells
+            .iter()
+            .find(|c| c.shards == shards && c.clients == clients)
+            .map(ScaleCell::wall_ops_per_sec)
+    };
+    let (hi, lo) = (rate(hi)?, rate(lo)?);
+    if lo > 0.0 {
+        Some(hi / lo)
+    } else {
+        None
+    }
+}
+
+/// Comma-separated positive-integer list overrides for the sweep grids
+/// (`ICASH_SCALE_SHARDS` / `ICASH_SCALE_CLIENTS`), with `default` when the
+/// variable is unset. CI uses these to shrink the grid.
+///
+/// # Panics
+///
+/// Panics when the variable is set but empty or contains anything but
+/// positive integers — a typo'd sweep silently shrinking to the default
+/// would invalidate the campaign it claims to run.
+pub fn sweep_from_env(var: &str, default: &[u32]) -> Vec<u32> {
+    let Ok(raw) = std::env::var(var) else {
+        return default.to_vec();
+    };
+    let parsed: Vec<u32> = raw
+        .split(',')
+        .map(|item| match item.trim().parse::<u32>() {
+            Ok(0) | Err(_) => {
+                panic!(
+                    "invalid {var}={raw:?}: expected a comma-separated list of positive integers"
+                )
+            }
+            Ok(n) => n,
+        })
+        .collect();
+    if parsed.is_empty() {
+        panic!("invalid {var}={raw:?}: the sweep needs at least one entry");
+    }
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icash_workloads::sysbench;
+
+    fn small_spec() -> WorkloadSpec {
+        let mut spec = sysbench::spec();
+        spec.data_bytes = 16 << 20;
+        spec.ssd_bytes = 2 << 20;
+        spec.ram_bytes = 1 << 20;
+        spec
+    }
+
+    #[test]
+    fn partition_is_identity_at_one_shard() {
+        let spec = small_spec();
+        let mut wl = icash_workloads::MixedWorkload::new(spec, 11);
+        let trace = Trace::record(&mut wl, 200);
+        let parts = partition_trace(&trace, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].ops(), trace.ops());
+    }
+
+    #[test]
+    fn partition_conserves_blocks_and_stripes_correctly() {
+        let spec = small_spec();
+        let mut wl = icash_workloads::MixedWorkload::new(spec, 11);
+        let trace = Trace::record(&mut wl, 300);
+        for shards in [2u32, 3, 8] {
+            let parts = partition_trace(&trace, shards);
+            assert_eq!(parts.len(), shards as usize);
+            let outer: u64 = trace.ops().iter().map(|o| o.blocks as u64).sum();
+            let inner: u64 = parts
+                .iter()
+                .flat_map(|p| p.ops().iter())
+                .map(|o| o.blocks as u64)
+                .sum();
+            assert_eq!(outer, inner, "{shards} shards must conserve blocks");
+            // Every sub-op's address range stays within the shard's share
+            // of the block space.
+            let max_inner = spec_blocks(&trace) / shards as u64 + 1;
+            for part in &parts {
+                for op in part.ops() {
+                    assert!(op.lba.offset() + op.blocks as u64 <= max_inner + 1);
+                }
+            }
+        }
+    }
+
+    fn spec_blocks(trace: &Trace) -> u64 {
+        trace
+            .ops()
+            .iter()
+            .map(|o| o.lba.offset() + o.blocks as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn universe_slices_cover_every_block_once() {
+        let universe = [(0u8, 100u64), (3, 7)];
+        for shards in [1u32, 2, 3, 8, 64] {
+            let mut total = 0u64;
+            for shard in 0..shards {
+                total += shard_universe(&universe, shards, shard)
+                    .iter()
+                    .filter(|&&(vm, _)| vm == 0)
+                    .map(|&(_, b)| b)
+                    .sum::<u64>();
+            }
+            assert_eq!(total, 100, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn one_shard_cell_matches_the_bare_replay() {
+        let spec = small_spec();
+        let mut wl = icash_workloads::MixedWorkload::new(spec.clone(), 5);
+        let universe = icash_workloads::workload::Workload::address_universe(&wl);
+        let trace = Trace::record(&mut wl, 400);
+        let cell = run_cell(&spec, &trace, &universe, 1, 4, 5);
+        assert_eq!(cell.per_shard.len(), 1);
+        assert_eq!(cell.finish_order, vec![0]);
+        // The merged summary IS the single shard's summary.
+        assert_eq!(cell.merged.to_json(), cell.per_shard[0].to_json());
+        assert_eq!(cell.merged.ops, 400);
+    }
+
+    #[test]
+    fn sharded_cell_replays_every_block_deterministically() {
+        let spec = small_spec();
+        let mut wl = icash_workloads::MixedWorkload::new(spec.clone(), 5);
+        let universe = icash_workloads::workload::Workload::address_universe(&wl);
+        let trace = Trace::record(&mut wl, 400);
+        let a = run_cell(&spec, &trace, &universe, 4, 2, 5);
+        let b = run_cell(&spec, &trace, &universe, 4, 2, 5);
+        assert_eq!(a.to_json(), b.to_json(), "cells replay bit-identically");
+        assert_eq!(a.per_shard.len(), 4);
+        assert_eq!(a.finish_order.len(), 4);
+        assert_eq!(
+            a.per_shard.iter().map(|s| s.ops).sum::<u64>(),
+            a.merged.ops,
+            "merged op count is the shard sum"
+        );
+    }
+
+    #[test]
+    fn document_excludes_wall_clock() {
+        let spec = small_spec();
+        let cells = run_campaign(&spec, 120, 9, &[1, 2], &[2]);
+        let doc = document(&spec, 120, 9, &cells);
+        assert!(doc.starts_with("{\"schema\":\"icash-scale-v1\""));
+        assert_eq!(doc.lines().count(), 3, "header + one line per cell");
+        assert!(!doc.contains("wall"), "no wall-clock field may leak");
+        // Re-rendering with different wall numbers changes nothing.
+        let mut forged = cells.clone();
+        for cell in &mut forged {
+            cell.wall_ns = cell.wall_ns.wrapping_mul(7).wrapping_add(13);
+        }
+        assert_eq!(doc, document(&spec, 120, 9, &forged));
+        // The criterion output, by contrast, is all wall clock.
+        let bench = criterion_json(&cells);
+        assert!(bench.contains("icash_scale/shards1_clients2"));
+        assert!(bench.contains("ns_per_iter"));
+    }
+
+    #[test]
+    fn sweep_env_parses_and_rejects() {
+        std::env::remove_var("ICASH_SCALE_SHARDS_TEST");
+        assert_eq!(
+            sweep_from_env("ICASH_SCALE_SHARDS_TEST", &[1, 8]),
+            vec![1, 8]
+        );
+        std::env::set_var("ICASH_SCALE_SHARDS_TEST", "1, 2,4");
+        assert_eq!(
+            sweep_from_env("ICASH_SCALE_SHARDS_TEST", &[1]),
+            vec![1, 2, 4]
+        );
+        std::env::set_var("ICASH_SCALE_SHARDS_TEST", "1,zero");
+        let result = std::panic::catch_unwind(|| sweep_from_env("ICASH_SCALE_SHARDS_TEST", &[1]));
+        std::env::remove_var("ICASH_SCALE_SHARDS_TEST");
+        assert!(result.is_err(), "non-numeric sweep entries must panic");
+    }
+}

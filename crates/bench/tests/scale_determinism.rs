@@ -1,0 +1,50 @@
+//! Shard-scaling determinism gate: the `run_scale` campaign document must
+//! be byte-identical no matter how many worker threads replayed the
+//! shards.
+//!
+//! Each shard of a cell is a complete self-contained simulation on its own
+//! virtual clock, and the deterministic document ([`scale::document`])
+//! deliberately contains no wall-clock quantity — so `ICASH_THREADS=1` and
+//! `ICASH_THREADS=3` must render the same bytes, and so must a sharded
+//! harness run (`ICASH_SHARDS` through `ExperimentConfig`). This lives in
+//! its own integration-test binary so its env-var mutation cannot race
+//! other tests (separate process).
+
+use icash_bench::scale;
+use icash_workloads::spec::WorkloadSpec;
+use icash_workloads::sysbench;
+
+fn small_spec() -> WorkloadSpec {
+    let mut spec = sysbench::spec();
+    spec.data_bytes = 16 << 20;
+    spec.ssd_bytes = 2 << 20;
+    spec.ram_bytes = 1 << 20;
+    spec
+}
+
+const OPS: u64 = 600;
+const SEED: u64 = 0x1CA5_4001;
+
+fn campaign_with_threads(threads: &str) -> String {
+    std::env::set_var("ICASH_THREADS", threads);
+    let spec = small_spec();
+    let cells = scale::run_campaign(&spec, OPS, SEED, &[1, 2, 8], &[2, 4]);
+    scale::document(&spec, OPS, SEED, &cells)
+}
+
+#[test]
+fn campaign_document_is_independent_of_worker_count() {
+    let sequential = campaign_with_threads("1");
+    let parallel = campaign_with_threads("3");
+    std::env::remove_var("ICASH_THREADS");
+    assert!(
+        sequential.contains("\"shards\":8"),
+        "the sweep actually ran its widest cell"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "worker count changed the campaign document"
+    );
+    // Six cells plus the schema header.
+    assert_eq!(sequential.lines().count(), 7);
+}

@@ -111,6 +111,51 @@ impl RunSummary {
         self.mean_response_ms() * 1000.0
     }
 
+    /// Folds the per-shard summaries of one sharded replay into a single
+    /// aggregate. Counters (ops, transactions, latencies, SSD writes,
+    /// energy) add; the clocks take the max, because shards run in
+    /// parallel on independent virtual clocks and the replay finishes when
+    /// the slowest shard does; utilizations average weighted by each
+    /// shard's share of virtual time; the device report merges via
+    /// [`SystemReport::merge`]. Names come from shard 0 — all shards of
+    /// one cell run the same architecture and workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice: a zero-shard replay has no summary.
+    pub fn merge_shards(parts: &[RunSummary]) -> RunSummary {
+        let first = parts.first().expect("at least one shard summary");
+        let mut merged = first.clone();
+        let weight = |s: &RunSummary| s.elapsed.as_ns() as f64;
+        let total_weight: f64 = parts.iter().map(weight).sum();
+        for s in &parts[1..] {
+            merged.ops += s.ops;
+            merged.transactions += s.transactions;
+            merged.elapsed = merged.elapsed.max(s.elapsed);
+            merged.steady_ops += s.steady_ops;
+            merged.steady_elapsed = merged.steady_elapsed.max(s.steady_elapsed);
+            merged.read_latency.merge(&s.read_latency);
+            merged.write_latency.merge(&s.write_latency);
+            merged.ssd_writes += s.ssd_writes;
+            merged.energy_wh += s.energy_wh;
+            merged.report.merge(&s.report);
+            merged.wall_ns = merged.wall_ns.max(s.wall_ns);
+        }
+        if total_weight > 0.0 {
+            merged.cpu_utilization = parts
+                .iter()
+                .map(|s| s.cpu_utilization * weight(s))
+                .sum::<f64>()
+                / total_weight;
+            merged.storage_cpu_utilization = parts
+                .iter()
+                .map(|s| s.storage_cpu_utilization * weight(s))
+                .sum::<f64>()
+                / total_weight;
+        }
+        merged
+    }
+
     /// A canonical JSON rendering of every *simulation-determined* field.
     ///
     /// Two summaries render identically iff the simulated runs were
@@ -244,6 +289,31 @@ mod tests {
         s.elapsed = Ns::ZERO;
         assert_eq!(s.transactions_per_sec(), 0.0);
         assert_eq!(s.ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn shard_merge_adds_counters_and_maxes_clocks() {
+        let a = summary();
+        let mut b = summary();
+        b.elapsed = Ns::from_secs(4);
+        b.ops = 5;
+        b.ssd_writes = 1;
+        let merged = RunSummary::merge_shards(&[a.clone(), b]);
+        assert_eq!(merged.ops, 8);
+        assert_eq!(merged.ssd_writes, 8);
+        assert_eq!(merged.elapsed, Ns::from_secs(10));
+        assert_eq!(
+            merged.read_latency.count(),
+            a.read_latency.count() * 2,
+            "histograms merge"
+        );
+        // Equal utilizations stay put under the weighted average.
+        assert!((merged.cpu_utilization - 0.5).abs() < 1e-12);
+        // One shard is the identity.
+        assert_eq!(
+            RunSummary::merge_shards(&[a.clone()]).to_json(),
+            a.to_json()
+        );
     }
 
     #[test]

@@ -74,6 +74,50 @@ impl TraceSink for JsonlSink {
         self.text.push('\n');
         self.events += 1;
     }
+
+    /// Serializes the shard tag by splicing a `"shard"` field before the
+    /// closing brace. Shard 0 (also the unsharded engine) stays untagged,
+    /// so a one-shard router's document is byte-identical to the bare
+    /// system's — the invariant the `shards=1` differential tests pin.
+    fn record_sharded(&mut self, shard: u32, event: TraceEvent) {
+        if shard == 0 {
+            self.record(event);
+            return;
+        }
+        let mut line = event.to_json();
+        debug_assert!(line.ends_with('}'));
+        line.pop();
+        self.text.push_str(&line);
+        self.text.push_str(&format!(",\"shard\":{shard}}}\n"));
+        self.events += 1;
+    }
+}
+
+/// Splits a JSONL trace document into per-shard documents, indexed by
+/// shard id (untagged lines are shard 0). Blank lines are dropped; parse
+/// errors are reported with their line number, as in [`parse_jsonl`].
+pub fn split_by_shard(text: &str) -> Result<Vec<(u32, String)>, String> {
+    let mut shards: Vec<(u32, String)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if TraceEvent::from_json(line).is_none() {
+            return Err(format!("line {}: unparseable trace event: {line}", i + 1));
+        }
+        let shard = TraceEvent::shard_of_json(line);
+        let doc = match shards.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, doc)) => doc,
+            None => {
+                shards.push((shard, String::new()));
+                &mut shards.last_mut().expect("just pushed").1
+            }
+        };
+        doc.push_str(line);
+        doc.push('\n');
+    }
+    shards.sort_by_key(|&(s, _)| s);
+    Ok(shards)
 }
 
 /// Parses a JSONL trace document back into events. Blank lines are
@@ -393,6 +437,33 @@ mod tests {
         assert!(table.contains("Request spans"), "table: {table}");
         assert!(table.contains("HDD writes"), "table: {table}");
         assert!(table.contains("RAM hits"), "table: {table}");
+    }
+
+    #[test]
+    fn sharded_lines_round_trip_and_split() {
+        let mut sink = JsonlSink::new();
+        let ev = |at| e(at, TraceKind::RamHit { lba: 3 });
+        sink.record_sharded(0, ev(Ns::from_us(1)));
+        sink.record_sharded(2, ev(Ns::from_us(2)));
+        sink.record_sharded(1, ev(Ns::from_us(3)));
+        // Shard 0 serializes exactly like an untagged event.
+        let untagged = {
+            let mut s = JsonlSink::new();
+            s.record(ev(Ns::from_us(1)));
+            s.take_text()
+        };
+        assert_eq!(sink.text().lines().next().unwrap(), untagged.trim_end());
+        assert!(sink.text().contains("\"shard\":2"));
+        // The tag survives the parser (which ignores unknown fields)...
+        let parsed = parse_jsonl(sink.text()).expect("parses");
+        assert_eq!(parsed.len(), 3);
+        // ...and drives the per-shard split.
+        let shards = split_by_shard(sink.text()).expect("splits");
+        let ids: Vec<u32> = shards.iter().map(|&(s, _)| s).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for (_, doc) in &shards {
+            assert_eq!(parse_jsonl(doc).expect("each splits cleanly").len(), 1);
+        }
     }
 
     #[test]

@@ -18,10 +18,15 @@
 //!   and the keyed [`lru::LruMap`]), shared by the controller, the
 //!   baselines and the workload driver.
 //! * [`pipeline`] — monotonic flush tickets ([`pipeline::Ticket`] /
-//!   [`pipeline::FlushProgress`]) that let any architecture expose
+//!   [`pipeline::FlushProgress`], write-through bookkeeping in
+//!   [`pipeline::WriteThrough`]) that let any architecture expose
 //!   group-commit durability watermarks and barriers.
 //! * [`system`] — the [`system::StorageSystem`] trait every architecture
 //!   (I-CASH and the baselines) implements.
+//! * [`shard`] — the sharded multi-controller engine:
+//!   [`shard::ShardRouter`] stripes the block space across N independent
+//!   shards behind one `StorageSystem` facade, with per-shard virtual
+//!   clocks merged deterministically ([`shard::merge_streams`]).
 //! * [`trace`] — the deterministic, virtual-time-stamped structured event
 //!   layer ([`trace::Tracer`] / [`trace::TraceSink`]); zero-cost when
 //!   disabled, an oracle for the aggregate counters when enabled.
@@ -62,6 +67,7 @@ pub mod hdd;
 pub mod lru;
 pub mod pipeline;
 pub mod request;
+pub mod shard;
 pub mod ssd;
 pub mod stats;
 pub mod system;
@@ -71,8 +77,9 @@ pub mod trace;
 pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
 pub use fault::{FaultPlan, FaultStats, FaultTrigger};
-pub use pipeline::{FlushProgress, Ticket};
+pub use pipeline::{FlushProgress, Ticket, WriteThrough};
 pub use request::{BlockError, Completion, IoErrorKind, Op, Request};
+pub use shard::ShardRouter;
 pub use system::{
     ContentSource, GroupCommitReport, IoCtx, StorageSystem, SystemReport, ZeroSource,
 };

@@ -101,6 +101,52 @@ impl FlushProgress {
     }
 }
 
+/// Ticket bookkeeping for architectures that write *through*: every write
+/// reaches stable media before its completion is reported, so the
+/// durability watermark trails the acceptance watermark only within a
+/// single `submit` call.
+///
+/// All five baselines share this helper instead of hand-rolling the same
+/// reserve/settle dance: call [`WriteThrough::accept`] once per written
+/// block and [`WriteThrough::settle`] when the request's device work is
+/// done, then wire [`WriteThrough::write_ticket`] /
+/// [`WriteThrough::flushed_ticket`] straight into the `StorageSystem`
+/// ticket methods. Callers still get real barrier semantics — a ticket
+/// taken mid-request is not durable until `settle` runs.
+#[derive(Debug, Clone, Default)]
+pub struct WriteThrough {
+    tickets: FlushProgress,
+}
+
+impl WriteThrough {
+    /// A fresh watermark pair with nothing accepted.
+    pub fn new() -> Self {
+        WriteThrough::default()
+    }
+
+    /// Draws a ticket for one accepted block write.
+    pub fn accept(&mut self) -> Ticket {
+        self.tickets.reserve()
+    }
+
+    /// Marks everything accepted so far durable (end of a write-through
+    /// `submit`: the device work already happened).
+    pub fn settle(&mut self) {
+        let accepted = self.tickets.reserved();
+        self.tickets.complete_through(accepted);
+    }
+
+    /// The write-acceptance watermark (`StorageSystem::write_ticket`).
+    pub fn write_ticket(&self) -> Ticket {
+        self.tickets.reserved()
+    }
+
+    /// The durability watermark (`StorageSystem::flushed_ticket`).
+    pub fn flushed_ticket(&self) -> Ticket {
+        self.tickets.completed()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +180,23 @@ mod tests {
     #[test]
     fn raw_round_trip() {
         assert_eq!(Ticket::from_u64(7).as_u64(), 7);
+    }
+
+    #[test]
+    fn write_through_settles_everything_accepted() {
+        let mut wt = WriteThrough::new();
+        assert_eq!(wt.write_ticket(), Ticket::ZERO);
+        assert_eq!(wt.flushed_ticket(), Ticket::ZERO);
+        let a = wt.accept();
+        let b = wt.accept();
+        assert!(a < b);
+        // Mid-request: accepted but not yet durable.
+        assert_eq!(wt.write_ticket(), b);
+        assert_eq!(wt.flushed_ticket(), Ticket::ZERO);
+        wt.settle();
+        assert_eq!(wt.flushed_ticket(), b);
+        // Settling with nothing new accepted is a no-op.
+        wt.settle();
+        assert_eq!(wt.flushed_ticket(), b);
     }
 }

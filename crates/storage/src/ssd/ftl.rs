@@ -41,6 +41,16 @@ impl GcStats {
             (self.host_programs + self.gc_programs) as f64 / self.host_programs as f64
         }
     }
+
+    /// Folds another FTL's counters into this one (sharded engines report
+    /// the union of their per-shard SSDs).
+    pub fn merge(&mut self, other: &GcStats) {
+        self.collections += other.collections;
+        self.moved_pages += other.moved_pages;
+        self.erases += other.erases;
+        self.host_programs += other.host_programs;
+        self.gc_programs += other.gc_programs;
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -103,6 +103,16 @@ impl GroupCommitReport {
             self.bytes as f64 / self.commits as f64
         }
     }
+
+    /// Folds another shard's pipeline counters into this one. Counters add;
+    /// the staging high-water mark is each shard's private buffer, so the
+    /// merged figure is the worst single shard.
+    pub fn merge(&mut self, other: &GroupCommitReport) {
+        self.commits += other.commits;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.staged_high_water = self.staged_high_water.max(other.staged_high_water);
+    }
 }
 
 /// End-of-run report of one storage system, aggregated by the harness.
@@ -126,6 +136,35 @@ pub struct SystemReport {
     pub faults: FaultStats,
     /// Group-commit efficiency, if the architecture stages writes.
     pub group_commit: Option<GroupCommitReport>,
+}
+
+impl SystemReport {
+    /// Folds another shard's report into this one, producing the figures a
+    /// single system over the same union of devices would have reported:
+    /// device stats, energy and fault counters add; SSD life used is the
+    /// worst shard (wear-out is per device, not amortizable); optional
+    /// sections appear as soon as any shard has them. The name is kept from
+    /// `self` — shards of one architecture all share it.
+    pub fn merge(&mut self, other: &SystemReport) {
+        fn merge_opt<T: Clone>(into: &mut Option<T>, from: &Option<T>, fold: impl Fn(&mut T, &T)) {
+            match (into.as_mut(), from) {
+                (Some(a), Some(b)) => fold(a, b),
+                (None, Some(b)) => *into = Some(b.clone()),
+                _ => {}
+            }
+        }
+        merge_opt(&mut self.ssd, &other.ssd, |a, b| a.merge(b));
+        merge_opt(&mut self.hdd, &other.hdd, |a, b| a.merge(b));
+        merge_opt(&mut self.gc, &other.gc, |a, b| a.merge(b));
+        merge_opt(&mut self.ssd_life_used, &other.ssd_life_used, |a, b| {
+            *a = a.max(*b)
+        });
+        merge_opt(&mut self.group_commit, &other.group_commit, |a, b| {
+            a.merge(b)
+        });
+        self.device_energy.add(other.device_energy);
+        self.faults.merge(&other.faults);
+    }
 }
 
 /// A complete disk I/O architecture under test.
@@ -208,6 +247,52 @@ pub trait StorageSystem: Send {
 
     /// End-of-run statistics for the report tables.
     fn report(&self, elapsed: Ns) -> SystemReport;
+}
+
+/// Boxed systems forward every method (including overridden defaults) to
+/// the inner implementation, so generic containers like
+/// [`ShardRouter`](crate::shard::ShardRouter) can hold `Box<dyn
+/// StorageSystem>` shards without losing behaviour.
+impl<T: StorageSystem + ?Sized> StorageSystem for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn submit(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Completion {
+        (**self).submit(req, ctx)
+    }
+
+    fn flush(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        (**self).flush(now, ctx)
+    }
+
+    fn write_ticket(&self) -> Ticket {
+        (**self).write_ticket()
+    }
+
+    fn flushed_ticket(&self) -> Ticket {
+        (**self).flushed_ticket()
+    }
+
+    fn await_flush(&mut self, ticket: Ticket, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        (**self).await_flush(ticket, now, ctx)
+    }
+
+    fn sync(&mut self, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        (**self).sync(now, ctx)
+    }
+
+    fn preload(&mut self, universe: &[(u8, u64)], ctx: &mut IoCtx<'_>) {
+        (**self).preload(universe, ctx)
+    }
+
+    fn set_tracer(&mut self, tracer: crate::trace::Tracer) {
+        (**self).set_tracer(tracer)
+    }
+
+    fn report(&self, elapsed: Ns) -> SystemReport {
+        (**self).report(elapsed)
+    }
 }
 
 #[cfg(test)]

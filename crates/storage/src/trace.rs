@@ -567,6 +567,12 @@ impl TraceEvent {
         };
         Some(TraceEvent { at, kind })
     }
+
+    /// The shard tag on a serialized event line. Untagged lines (and every
+    /// line written before sharding existed) are shard 0.
+    pub fn shard_of_json(line: &str) -> u32 {
+        field_u64(line, "shard").unwrap_or(0) as u32
+    }
 }
 
 /// Extracts the raw text after `"key":` up to the next `,` or `}`.
@@ -610,6 +616,17 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 pub trait TraceSink {
     /// Accepts one event.
     fn record(&mut self, event: TraceEvent);
+
+    /// Accepts one event tagged with the shard that emitted it.
+    ///
+    /// Shard 0 is also the unsharded engine, so sinks that serialize the
+    /// tag (e.g. the JSONL sink) must emit identical bytes for shard 0 and
+    /// an untagged event — that is what keeps a one-shard router
+    /// byte-identical to the bare system. The default drops the tag.
+    fn record_sharded(&mut self, shard: u32, event: TraceEvent) {
+        let _ = shard;
+        self.record(event);
+    }
 }
 
 /// A bounded in-memory ring of the most recent events (flight-recorder
@@ -834,6 +851,7 @@ type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
 #[derive(Clone, Default)]
 pub struct Tracer {
     sink: Option<SharedSink>,
+    shard: u32,
 }
 
 impl Tracer {
@@ -844,7 +862,24 @@ impl Tracer {
 
     /// A tracer feeding an existing shared sink.
     pub fn to_sink(sink: SharedSink) -> Self {
-        Tracer { sink: Some(sink) }
+        Tracer {
+            sink: Some(sink),
+            shard: 0,
+        }
+    }
+
+    /// Tags every event this tracer emits with a shard id. The router
+    /// hands each shard `tracer.with_shard(i)` over one shared sink, so a
+    /// merged stream still says which controller did what. Shard 0 is the
+    /// unsharded default.
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// The shard id stamped on emitted events (0 = unsharded).
+    pub fn shard(&self) -> u32 {
+        self.shard
     }
 
     /// A tracer over a fresh bounded ring; returns the handle and the ring.
@@ -870,7 +905,9 @@ impl Tracer {
     #[inline]
     pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
         if let Some(sink) = &self.sink {
-            sink.lock().expect("trace sink poisoned").record(make());
+            sink.lock()
+                .expect("trace sink poisoned")
+                .record_sharded(self.shard, make());
         }
     }
 }
@@ -1090,5 +1127,56 @@ mod tests {
             kind: TraceKind::RequestEnd,
         });
         assert_eq!(stats.lock().expect("stats").request_time, Ns::from_us(25));
+    }
+
+    #[test]
+    fn shard_tag_reaches_the_sink_and_defaults_to_zero() {
+        /// Records the shard ids seen, proving `emit` routes through
+        /// `record_sharded`.
+        #[derive(Default)]
+        struct ShardLog(Vec<u32>);
+        impl TraceSink for ShardLog {
+            fn record(&mut self, _event: TraceEvent) {
+                self.0.push(u32::MAX); // default path must not be taken
+            }
+            fn record_sharded(&mut self, shard: u32, _event: TraceEvent) {
+                self.0.push(shard);
+            }
+        }
+
+        let sink = Arc::new(Mutex::new(ShardLog::default()));
+        let tracer = Tracer::to_sink(sink.clone());
+        assert_eq!(tracer.shard(), 0);
+        tracer.emit(|| TraceEvent {
+            at: Ns::ZERO,
+            kind: TraceKind::RequestEnd,
+        });
+        let sharded = tracer.clone().with_shard(5);
+        assert_eq!(sharded.shard(), 5);
+        sharded.emit(|| TraceEvent {
+            at: Ns::ZERO,
+            kind: TraceKind::RequestEnd,
+        });
+        assert_eq!(sink.lock().expect("sink").0, vec![0, 5]);
+    }
+
+    #[test]
+    fn default_record_sharded_drops_the_tag() {
+        // Sinks that only implement `record` (ring, counting) still work.
+        let (tracer, ring) = Tracer::ring(4);
+        tracer.with_shard(3).emit(|| TraceEvent {
+            at: Ns::from_us(1),
+            kind: TraceKind::RequestEnd,
+        });
+        assert_eq!(ring.lock().expect("ring").events().len(), 1);
+    }
+
+    #[test]
+    fn shard_of_json_reads_the_tag() {
+        assert_eq!(
+            TraceEvent::shard_of_json(r#"{"at":1,"kind":"req_end","shard":7}"#),
+            7
+        );
+        assert_eq!(TraceEvent::shard_of_json(r#"{"at":1,"kind":"req_end"}"#), 0);
     }
 }

@@ -267,7 +267,6 @@ mod tests {
     use crate::content::ContentProfile;
     use crate::spec::WorkloadSpec;
     use crate::workload::MixedWorkload;
-    use icash_storage::block::Lba;
     use icash_storage::request::Completion;
     use icash_storage::system::SystemReport;
 

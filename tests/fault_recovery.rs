@@ -7,6 +7,7 @@
 use icash::core::{Icash, IcashConfig};
 use icash::storage::cpu::CpuModel;
 use icash::storage::fault::FaultPlan;
+use icash::storage::shard::ShardRouter;
 use icash::storage::{BlockBuf, IoCtx, Lba, Ns, Request, StorageSystem, ZeroSource};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -54,16 +55,18 @@ fn block_for(tag: u8) -> BlockBuf {
     BlockBuf::from_vec(v)
 }
 
+fn base_config(depth: u64) -> IcashConfig {
+    IcashConfig::builder(1 << 20, 256 << 10, 4 << 20)
+        .scan_interval(40)
+        .scan_window(64)
+        .flush_interval(25)
+        .log_blocks(1 << 14)
+        .group_commit_depth(depth)
+        .build()
+}
+
 fn pipelined_icash(depth: u64) -> Icash {
-    Icash::new(
-        IcashConfig::builder(1 << 20, 256 << 10, 4 << 20)
-            .scan_interval(40)
-            .scan_window(64)
-            .flush_interval(25)
-            .log_blocks(1 << 14)
-            .group_commit_depth(depth)
-            .build(),
-    )
+    Icash::new(base_config(depth))
 }
 
 fn faulty_icash(seed: u64, rate: f64, depth: u64) -> Icash {
@@ -75,6 +78,42 @@ fn faulty_icash(seed: u64, rate: f64, depth: u64) -> Icash {
             .torn_writes()
             .scrub_every(97),
     )
+}
+
+/// A width-`n` router of independently faulty I-CASH shards, each built
+/// from the shard slice of the pinned config — the same construction the
+/// sharded harness uses. Per-shard fault streams are seeded apart so a
+/// crash tears each shard's log differently.
+fn sharded_faulty(width: u32, seed: u64, rate: f64, depth: u64) -> ShardRouter<Icash> {
+    let slice = base_config(depth).shard_slice(width);
+    ShardRouter::new(
+        (0..width)
+            .map(|shard| {
+                Icash::new(slice.clone()).with_fault_plan(
+                    FaultPlan::seeded(seed ^ ((shard as u64 + 1) << 13))
+                        .hdd_read_errors(rate)
+                        .hdd_write_errors(rate)
+                        .ssd_read_errors(rate)
+                        .torn_writes()
+                        .scrub_every(97),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Like [`block_for`], but stamped with the *outer* address. Shards store
+/// striped inner addresses, so distinct outer blocks collide on the same
+/// inner slot of different shards — a recovery that spliced state across
+/// shards would surface a block stamped with a foreign outer lba, which no
+/// per-lba version list contains.
+fn shard_block_for(lba: u64, tag: u8) -> BlockBuf {
+    let mut v = vec![0xA7u8; 4096];
+    v[3] = tag;
+    v[8..16].copy_from_slice(&lba.to_le_bytes());
+    v[1500] = tag.wrapping_mul(3);
+    v[3000] = tag.wrapping_add(101);
+    BlockBuf::from_vec(v)
 }
 
 proptest! {
@@ -190,6 +229,85 @@ proptest! {
             prop_assert!(
                 held.contains(&completion.data[0]),
                 "lba {lba}: recovered to a value it never held"
+            );
+        }
+    }
+
+    /// The sharded engine under the same contract: crash with up to K
+    /// tickets in flight spread across several shards (deep group commit
+    /// plus torn writes on every shard), recover each shard independently
+    /// with its own highest-generation-wins replay, and re-assemble the
+    /// router. Every outer block must come back as a version *it* held (or
+    /// a reported error) — content is stamped with the outer address, so a
+    /// recovery that spliced state across shards (distinct outer blocks
+    /// share inner slots on different shards) can never pass.
+    #[test]
+    fn cross_shard_crash_recovery_never_splices_across_shards(
+        ops in ops_strategy(),
+        crash_at in 0usize..200,
+        seed in 0u64..1000,
+        rate_pick in 0usize..3,
+        depth_pick in 0usize..3,
+        width_pick in 0usize..3,
+    ) {
+        let rate = [0.0, 1e-4, 1e-3][rate_pick];
+        let width = [2u32, 3, 5][width_pick];
+        let mut system = sharded_faulty(width, seed, rate, DEPTHS[depth_pick]);
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut versions: HashMap<u64, Vec<BlockBuf>> = HashMap::new();
+        let mut now = Ns::ZERO;
+        for op in ops.iter().take(crash_at.min(ops.len())) {
+            match op {
+                SysOp::Write { lba, tag } => {
+                    let content = shard_block_for(*lba, *tag);
+                    versions.entry(*lba).or_default().push(content.clone());
+                    let req = Request::write(Lba::new(*lba), now, content);
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.submit(&req, &mut ctx).finished;
+                }
+                SysOp::Read { lba } => {
+                    let req = Request::read(Lba::new(*lba), now);
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.submit(&req, &mut ctx).finished;
+                }
+                SysOp::Flush => {
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.flush(now, &mut ctx);
+                }
+                SysOp::Barrier => {
+                    let ticket = system.write_ticket();
+                    let mut ctx = IoCtx::new(&backing, &mut cpu);
+                    now = system.sync(now, &mut ctx);
+                    prop_assert!(
+                        system.flushed_ticket() >= ticket,
+                        "cross-shard sync returned with tickets in flight"
+                    );
+                }
+            }
+        }
+        // Power dies on every shard at once; each recovers alone, then the
+        // router is rebuilt over the survivors.
+        let mut recovered = ShardRouter::new(
+            system
+                .into_shards()
+                .into_iter()
+                .map(Icash::crash_and_recover)
+                .collect(),
+        );
+        for (lba, mut held) in versions {
+            held.push(BlockBuf::zeroed()); // the pre-history version
+            let req = Request::read(Lba::new(lba), now);
+            let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+            let completion = recovered.submit(&req, &mut ctx);
+            now = completion.finished;
+            if completion.failed(Lba::new(lba)) {
+                continue;
+            }
+            prop_assert!(
+                held.contains(&completion.data[0]),
+                "outer lba {lba}: recovered to a value it never held \
+                 (possible cross-shard splice)"
             );
         }
     }
