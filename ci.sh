@@ -26,6 +26,12 @@
 #                   worker counts, and run_scale vs BENCH_scale.json (the
 #                   4x 8-vs-1-shard wall-speedup assert turns on only on
 #                   hosts with >= 8 workers)
+#   ./ci.sh chaos   device-health gate: health=off byte-identity (run_all
+#                   trace vs the same pinned sha256), the health-free and
+#                   device-death differential/property suites, and the
+#                   run_chaos campaign (SSD/HDD death, double death, crash
+#                   mid-rebuild, backpressure) with its output asserted
+#                   identical across worker counts
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -114,6 +120,31 @@ if [[ "${1:-}" == "scale" ]]; then
     BENCH_scale.json \
     target/bench_scale_current.json
   echo "SCALE OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "chaos" ]]; then
+  echo "==> health-off differential: enabled-but-idle health changes nothing"
+  cargo test -q -p icash --test health_free
+  echo "==> device-death proptest: kill anywhere, rebuild, valid-or-typed reads"
+  cargo test -q -p icash --test fault_recovery device_death
+  echo "==> health=off byte-identity: run_all trace JSONL vs pinned sha256"
+  cargo build -q --release -p icash-bench
+  ICASH_OPS=300 ICASH_THREADS=1 ICASH_HEALTH=0 \
+    ./target/release/run_all target/run_all_healthoff.md \
+    --trace target/run_all_trace_healthoff.jsonl > /dev/null
+  {
+    sha256sum target/run_all_trace_healthoff.jsonl | cut -d' ' -f1
+    wc -l < target/run_all_trace_healthoff.jsonl
+  } > target/run_all_trace_healthoff.sha256
+  diff target/run_all_trace_healthoff.sha256 ci/golden/run_all_trace_depth1.sha256
+  echo "==> chaos campaign (run_chaos): zero silent corruption under device death"
+  ./target/release/run_chaos > target/run_chaos_a.txt
+  echo "==> chaos determinism: campaign output independent of ICASH_THREADS"
+  ICASH_THREADS=7 ./target/release/run_chaos > target/run_chaos_b.txt
+  diff target/run_chaos_a.txt target/run_chaos_b.txt
+  cat target/run_chaos_a.txt | tail -3
+  echo "CHAOS OK"
   exit 0
 fi
 

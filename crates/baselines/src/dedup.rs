@@ -9,12 +9,12 @@
 
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
-use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
+use icash_storage::block::{Lba, BLOCK_SIZE};
 use icash_storage::cpu::CpuOp;
-use icash_storage::fault::FaultPlan;
+use icash_storage::fault::{self, FaultPlan};
 use icash_storage::lru::LruMap;
 use icash_storage::pipeline::{Ticket, WriteThrough};
-use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
+use icash_storage::request::{Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -253,12 +253,8 @@ impl StorageSystem for DedupCache {
                     let t = match cached {
                         Some((digest, entry)) => {
                             self.hits += 1;
-                            match self
-                                .array
-                                .ssd_mut()
-                                .read(req.at, entry.slot)
-                                .or_else(|_| self.array.ssd_mut().read(req.at, entry.slot))
-                            {
+                            let ssd = self.array.ssd_mut();
+                            match fault::read_with_retry(|| ssd.read(req.at, entry.slot)) {
                                 Ok(t) => t,
                                 Err(_) => {
                                     // The shared copy is unreadable: retire
@@ -270,13 +266,13 @@ impl StorageSystem for DedupCache {
                                     if entry.dirty {
                                         // Some block's latest bytes lived
                                         // only in flash: report the loss.
-                                        errors.push(BlockError {
+                                        fault::report_lost(
+                                            &mut errors,
+                                            &mut data,
+                                            ctx.collect_data,
                                             lba,
-                                            kind: IoErrorKind::SsdMedia,
-                                        });
-                                        if ctx.collect_data {
-                                            data.push(BlockBuf::zeroed());
-                                        }
+                                            IoErrorKind::SsdMedia,
+                                        );
                                         continue;
                                     }
                                     // Clean copy: the disk still holds the
@@ -284,13 +280,13 @@ impl StorageSystem for DedupCache {
                                     match self.home.read(self.array.hdd_mut(), lba, req.at, ctx) {
                                         (t, Ok(_)) => t,
                                         (t, Err(_)) => {
-                                            errors.push(BlockError {
+                                            fault::report_lost(
+                                                &mut errors,
+                                                &mut data,
+                                                ctx.collect_data,
                                                 lba,
-                                                kind: IoErrorKind::HddMedia,
-                                            });
-                                            if ctx.collect_data {
-                                                data.push(BlockBuf::zeroed());
-                                            }
+                                                IoErrorKind::HddMedia,
+                                            );
                                             done = done.max(t);
                                             continue;
                                         }
@@ -316,13 +312,13 @@ impl StorageSystem for DedupCache {
                                     t + hash_cost
                                 }
                                 (t, Err(_)) => {
-                                    errors.push(BlockError {
+                                    fault::report_lost(
+                                        &mut errors,
+                                        &mut data,
+                                        ctx.collect_data,
                                         lba,
-                                        kind: IoErrorKind::HddMedia,
-                                    });
-                                    if ctx.collect_data {
-                                        data.push(BlockBuf::zeroed());
-                                    }
+                                        IoErrorKind::HddMedia,
+                                    );
                                     done = done.max(t);
                                     continue;
                                 }

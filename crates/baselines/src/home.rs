@@ -7,6 +7,7 @@
 //! the devices, and the helper borrows the HDD per operation.
 
 use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::fault;
 use icash_storage::hdd::{Hdd, HddConfig, HddError};
 use icash_storage::system::IoCtx;
 use icash_storage::time::Ns;
@@ -60,7 +61,7 @@ impl HomeDisk {
         ctx: &mut IoCtx<'_>,
     ) -> (Ns, Result<BlockBuf, HddError>) {
         let pos = self.pos(lba);
-        let t = match disk.read(at, pos, 1).or_else(|_| disk.read(at, pos, 1)) {
+        let t = match fault::read_with_retry(|| disk.read(at, pos, 1)) {
             Ok(t) => t,
             Err(e) => return (at, Err(e)),
         };
@@ -86,14 +87,7 @@ impl HomeDisk {
     /// A disk write with bounded retries; residual failures fall back to
     /// the arrival instant (the drive remaps the sector on the next pass).
     fn write_retry(disk: &mut Hdd, at: Ns, pos: u64, blocks: u32) -> Ns {
-        let mut last = disk.write(at, pos, blocks);
-        for _ in 0..3 {
-            if last.is_ok() {
-                break;
-            }
-            last = disk.write(at, pos, blocks);
-        }
-        last.unwrap_or(at)
+        fault::write_with_retry(|| disk.write(at, pos, blocks)).unwrap_or(at)
     }
 
     /// Writes a run of consecutive blocks in one sequential disk operation

@@ -8,11 +8,11 @@
 
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
-use icash_storage::block::{BlockBuf, Lba, BLOCK_SIZE};
-use icash_storage::fault::FaultPlan;
+use icash_storage::block::{Lba, BLOCK_SIZE};
+use icash_storage::fault::{self, FaultPlan};
 use icash_storage::lru::LruMap;
 use icash_storage::pipeline::{Ticket, WriteThrough};
-use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
+use icash_storage::request::{Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -195,12 +195,8 @@ impl StorageSystem for LruCache {
                     let t = match self.entries.get(&lba).copied() {
                         Some(entry) => {
                             self.hits += 1;
-                            match self
-                                .array
-                                .ssd_mut()
-                                .read(req.at, entry.slot)
-                                .or_else(|_| self.array.ssd_mut().read(req.at, entry.slot))
-                            {
+                            let ssd = self.array.ssd_mut();
+                            match fault::read_with_retry(|| ssd.read(req.at, entry.slot)) {
                                 Ok(t) => t,
                                 Err(_) if !entry.dirty => {
                                     // Clean entry: the disk still holds the
@@ -213,13 +209,13 @@ impl StorageSystem for LruCache {
                                             t
                                         }
                                         (t, Err(_)) => {
-                                            errors.push(BlockError {
+                                            fault::report_lost(
+                                                &mut errors,
+                                                &mut data,
+                                                ctx.collect_data,
                                                 lba,
-                                                kind: IoErrorKind::HddMedia,
-                                            });
-                                            if ctx.collect_data {
-                                                data.push(BlockBuf::zeroed());
-                                            }
+                                                IoErrorKind::HddMedia,
+                                            );
                                             done = done.max(t);
                                             continue;
                                         }
@@ -232,13 +228,13 @@ impl StorageSystem for LruCache {
                                     self.entries.remove(&lba);
                                     self.array.ssd_mut().trim(entry.slot);
                                     self.free_slots.push(entry.slot);
-                                    errors.push(BlockError {
+                                    fault::report_lost(
+                                        &mut errors,
+                                        &mut data,
+                                        ctx.collect_data,
                                         lba,
-                                        kind: IoErrorKind::SsdMedia,
-                                    });
-                                    if ctx.collect_data {
-                                        data.push(BlockBuf::zeroed());
-                                    }
+                                        IoErrorKind::SsdMedia,
+                                    );
                                     continue;
                                 }
                             }
@@ -258,13 +254,13 @@ impl StorageSystem for LruCache {
                                     t
                                 }
                                 (t, Err(_)) => {
-                                    errors.push(BlockError {
+                                    fault::report_lost(
+                                        &mut errors,
+                                        &mut data,
+                                        ctx.collect_data,
                                         lba,
-                                        kind: IoErrorKind::HddMedia,
-                                    });
-                                    if ctx.collect_data {
-                                        data.push(BlockBuf::zeroed());
-                                    }
+                                        IoErrorKind::HddMedia,
+                                    );
                                     done = done.max(t);
                                     continue;
                                 }

@@ -8,10 +8,9 @@
 
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
-use icash_storage::block::BlockBuf;
-use icash_storage::fault::FaultPlan;
+use icash_storage::fault::{self, FaultPlan};
 use icash_storage::pipeline::{Ticket, WriteThrough};
-use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
+use icash_storage::request::{Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
 use icash_storage::trace::Tracer;
@@ -95,13 +94,13 @@ impl StorageSystem for PlainHdd {
                         }
                     }
                     (_, Err(_)) => {
-                        errors.push(BlockError {
+                        fault::report_lost(
+                            &mut errors,
+                            &mut data,
+                            ctx.collect_data,
                             lba,
-                            kind: IoErrorKind::HddMedia,
-                        });
-                        if ctx.collect_data {
-                            data.push(BlockBuf::zeroed());
-                        }
+                            IoErrorKind::HddMedia,
+                        );
                     }
                 },
             }
@@ -133,7 +132,7 @@ impl StorageSystem for PlainHdd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icash_storage::block::Lba;
+    use icash_storage::block::{BlockBuf, Lba};
     use icash_storage::cpu::CpuModel;
     use icash_storage::system::ZeroSource;
     use icash_storage::trace::{TraceKind, Tracer};

@@ -7,9 +7,9 @@
 
 use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
-use icash_storage::fault::FaultPlan;
+use icash_storage::fault::{self, FaultPlan};
 use icash_storage::pipeline::{Ticket, WriteThrough};
-use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
+use icash_storage::request::{Completion, IoErrorKind, Op, Request};
 use icash_storage::ssd::{Ssd, SsdConfig};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
@@ -111,13 +111,8 @@ impl StorageSystem for PureSsd {
                     self.tickets.accept();
                     // Program failures are handled by the FTL remapping the
                     // page; a bounded retry models the reprogram.
-                    let mut last = self.array.ssd_mut().write(req.at, page);
-                    for _ in 0..3 {
-                        if last.is_ok() {
-                            break;
-                        }
-                        last = self.array.ssd_mut().write(req.at, page);
-                    }
+                    let ssd = self.array.ssd_mut();
+                    let last = fault::write_with_retry(|| ssd.write(req.at, page));
                     done = done.max(last.unwrap_or(req.at));
                     if self.keep_content {
                         self.overlay.insert(lba, req.payload[i].clone());
@@ -128,21 +123,17 @@ impl StorageSystem for PureSsd {
                     if !self.array.ssd().is_mapped(page)
                         && self.array.ssd_mut().prefill(page).is_err()
                     {
-                        errors.push(BlockError {
+                        fault::report_lost(
+                            &mut errors,
+                            &mut data,
+                            ctx.collect_data,
                             lba,
-                            kind: IoErrorKind::SsdSpace,
-                        });
-                        if ctx.collect_data {
-                            data.push(BlockBuf::zeroed());
-                        }
+                            IoErrorKind::SsdSpace,
+                        );
                         continue;
                     }
-                    match self
-                        .array
-                        .ssd_mut()
-                        .read(req.at, page)
-                        .or_else(|_| self.array.ssd_mut().read(req.at, page))
-                    {
+                    let ssd = self.array.ssd_mut();
+                    match fault::read_with_retry(|| ssd.read(req.at, page)) {
                         Ok(t) => done = done.max(t),
                         Err(_) => {
                             // Uncorrectable: the page is lost. Reprogram it
@@ -150,13 +141,13 @@ impl StorageSystem for PureSsd {
                             // read failed rather than serve bytes the flash
                             // could not deliver.
                             let _ = self.array.ssd_mut().write(req.at, page);
-                            errors.push(BlockError {
+                            fault::report_lost(
+                                &mut errors,
+                                &mut data,
+                                ctx.collect_data,
                                 lba,
-                                kind: IoErrorKind::SsdMedia,
-                            });
-                            if ctx.collect_data {
-                                data.push(BlockBuf::zeroed());
-                            }
+                                IoErrorKind::SsdMedia,
+                            );
                             continue;
                         }
                     }

@@ -8,10 +8,10 @@
 use crate::home::HomeDisk;
 use icash_storage::array::DeviceArray;
 use icash_storage::block::{BlockBuf, Lba};
-use icash_storage::fault::FaultPlan;
+use icash_storage::fault::{self, FaultPlan};
 use icash_storage::hdd::{Hdd, HddConfig};
 use icash_storage::pipeline::{Ticket, WriteThrough};
-use icash_storage::request::{BlockError, Completion, IoErrorKind, Op, Request};
+use icash_storage::request::{Completion, IoErrorKind, Op, Request};
 use icash_storage::system::{IoCtx, StorageSystem, SystemReport};
 use icash_storage::time::Ns;
 use icash_storage::trace::Tracer;
@@ -120,13 +120,8 @@ impl StorageSystem for Raid0 {
                     self.tickets.accept();
                     // Write faults are transient: the drive remaps on
                     // rewrite, so a bounded retry clears them.
-                    let mut last = self.array.hdd_at_mut(disk).write(req.at, pos, 1);
-                    for _ in 0..3 {
-                        if last.is_ok() {
-                            break;
-                        }
-                        last = self.array.hdd_at_mut(disk).write(req.at, pos, 1);
-                    }
+                    let hdd = self.array.hdd_at_mut(disk);
+                    let last = fault::write_with_retry(|| hdd.write(req.at, pos, 1));
                     done = done.max(last.unwrap_or(req.at));
                     if self.keep_content {
                         self.overlay.insert(lba, req.payload[i].clone());
@@ -135,21 +130,17 @@ impl StorageSystem for Raid0 {
                 Op::Read => {
                     // RAID0 has no redundancy: a latent sector error that
                     // survives the retry is an unrecoverable read.
-                    match self
-                        .array
-                        .hdd_at_mut(disk)
-                        .read(req.at, pos, 1)
-                        .or_else(|_| self.array.hdd_at_mut(disk).read(req.at, pos, 1))
-                    {
+                    let hdd = self.array.hdd_at_mut(disk);
+                    match fault::read_with_retry(|| hdd.read(req.at, pos, 1)) {
                         Ok(t) => done = done.max(t),
                         Err(_) => {
-                            errors.push(BlockError {
+                            fault::report_lost(
+                                &mut errors,
+                                &mut data,
+                                ctx.collect_data,
                                 lba,
-                                kind: IoErrorKind::HddMedia,
-                            });
-                            if ctx.collect_data {
-                                data.push(BlockBuf::zeroed());
-                            }
+                                IoErrorKind::HddMedia,
+                            );
                             continue;
                         }
                     }

@@ -1,0 +1,796 @@
+//! The chaos campaign: whole-device failures, degraded-mode service,
+//! online rebuild and backpressure, exercised under live traffic with two
+//! oracles held throughout:
+//!
+//! * **zero silent corruption** — every read returns a version of the
+//!   block the history allows, or a typed error; never a splice;
+//! * **availability** — service degrades instead of crashing: reads keep
+//!   returning data-or-typed-error across a device death, writes after an
+//!   HDD death fail fast with [`IoErrorKind::DeviceFailed`], and after
+//!   `replace_ssd` the online rebuild returns the array to `Healthy`
+//!   under traffic, after which fresh writes read back exactly.
+//!
+//! Grid (all cells deterministic in their seed; the campaign runs
+//! sequentially, so output is independent of `ICASH_THREADS`):
+//!
+//! * fault storm: 5 systems x 2 seeds at a 1e-2 media-error rate
+//! * SSD death → degraded service → replace → online rebuild:
+//!   I-CASH x shard counts {1, 2} x 2 seeds
+//! * HDD death → fail-fast writes: I-CASH x {1, 2} x 2 seeds
+//! * second (HDD) death while the rebuild runs: I-CASH x {1, 2} x 2 seeds
+//! * crash mid-rebuild → recovery: I-CASH x {1, 2} x 2 seeds
+//! * backpressure: a tiny staging cap under a write burst, {1, 2} x 2 seeds
+//!
+//! Exits nonzero (after printing every violation) if any oracle fails, if
+//! a scenario's machinery did not engage (no degraded reads, no rebuild
+//! chunks, no busy rejections — a chaos campaign that never saw chaos
+//! proves nothing), or on any panic.
+
+use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
+use icash_core::{Icash, IcashConfig};
+use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::cpu::CpuModel;
+use icash_storage::fault::{fault_roll, FaultPlan, HealthPolicy, HealthState};
+use icash_storage::request::{Completion, IoErrorKind, Request};
+use icash_storage::shard::ShardRouter;
+use icash_storage::system::{HealthReport, IoCtx, StorageSystem, ZeroSource};
+use icash_storage::time::Ns;
+use std::collections::HashMap;
+
+/// Logical block space each cell works over.
+const SPACE: u64 = 1024;
+/// Mixed ops in the healthy warm-up phase of the death scenarios.
+const WARM_OPS: u64 = 150;
+/// Mixed ops driven while a device is failed (degraded service window).
+const DEGRADED_OPS: u64 = 100;
+/// Upper bound on ops spent waiting for a deterministic state change
+/// (monitor reaching `Failed`, rebuild draining). Hitting the bound is a
+/// campaign failure, not a hang.
+const WAIT_OPS: u64 = 20000;
+/// Device-op index at which the armed device dies.
+const DEATH_OP: u64 = 60;
+/// Campaign seeds.
+const SEEDS: [u64; 2] = [0xC4A0_0001, 0xC4A0_0002];
+/// Shard-router widths the I-CASH scenarios run under.
+const SHARDS: [u32; 2] = [1, 2];
+/// Data-set / cache sizing shared by every cell.
+const DATA_BYTES: u64 = 8 << 20;
+const SSD_BYTES: u64 = 1 << 20;
+const RAM_BYTES: u64 = 256 << 10;
+
+/// The content of version `ver` of block `lba`: a shared base (so I-CASH
+/// forms references and deltas) plus a unique tag making any cross-version
+/// or cross-block splice detectable.
+fn version_content(lba: u64, ver: u32) -> BlockBuf {
+    let mut v = vec![0xC7u8; 4096];
+    let tag = fault_roll(lba, 0xCA05, ver as u64, 0);
+    v[..8].copy_from_slice(&tag.to_le_bytes());
+    v[100] = (lba % 251) as u8;
+    v[2000] = (ver % 251) as u8;
+    BlockBuf::from_vec(v)
+}
+
+fn base_policy() -> HealthPolicy {
+    HealthPolicy::default()
+}
+
+fn icash_config(policy: HealthPolicy) -> IcashConfig {
+    icash_config_depth(policy, 1)
+}
+
+fn icash_config_depth(policy: HealthPolicy, depth: u64) -> IcashConfig {
+    IcashConfig::builder(SSD_BYTES, RAM_BYTES, DATA_BYTES)
+        .scan_interval(50)
+        .scan_window(64)
+        .flush_interval(20)
+        .log_blocks(4096)
+        .group_commit_depth(depth)
+        .health(policy)
+        .build()
+}
+
+/// An I-CASH instance per shard behind a router (width 1 routes
+/// identically), each armed with its own seeded fault plan.
+fn build_router(
+    cfg: IcashConfig,
+    shards: u32,
+    plan_for_shard: impl Fn(u64) -> FaultPlan,
+) -> ShardRouter<Icash> {
+    let slice = if shards > 1 {
+        let mut slice = cfg.shard_slice(shards);
+        // The scenarios state their knobs per shard: undo the slice's
+        // global-cap division, and keep the parent's dirty-flush threshold
+        // so a sliced shard does not drain staging after every block
+        // (which would make a small staging cap untestable).
+        slice.health = cfg.health;
+        slice.flush_dirty_bytes = cfg.flush_dirty_bytes;
+        slice
+    } else {
+        cfg
+    };
+    let systems: Vec<Icash> = (0..shards)
+        .map(|s| Icash::new(slice.clone()).with_fault_plan(plan_for_shard(s as u64)))
+        .collect();
+    ShardRouter::new(systems)
+}
+
+/// Rolling tallies for one cell, merged into the campaign totals.
+#[derive(Debug, Default)]
+struct CellResult {
+    reads: u64,
+    reported_errors: u64,
+    refused_writes: u64,
+    violations: Vec<String>,
+}
+
+/// Per-block content the history allows: every version the system ever
+/// acknowledged. Writes refused with a typed error do not advance it.
+#[derive(Debug, Default)]
+struct Model {
+    history: HashMap<u64, Vec<BlockBuf>>,
+    vers: HashMap<u64, u32>,
+}
+
+impl Model {
+    fn acceptable(&self, lba: u64) -> Vec<BlockBuf> {
+        self.history
+            .get(&lba)
+            .cloned()
+            .unwrap_or_else(|| vec![BlockBuf::zeroed()])
+    }
+
+    fn latest(&self, lba: u64) -> BlockBuf {
+        self.history
+            .get(&lba)
+            .and_then(|v| v.last().cloned())
+            .unwrap_or_else(BlockBuf::zeroed)
+    }
+}
+
+fn check_read(
+    name: &str,
+    lba: u64,
+    completion: &Completion,
+    acceptable: &[BlockBuf],
+    out: &mut CellResult,
+) {
+    out.reads += 1;
+    if completion.failed(Lba::new(lba)) {
+        out.reported_errors += 1;
+        return;
+    }
+    let got = &completion.data[0];
+    if !acceptable.iter().any(|want| want == got) {
+        out.violations.push(format!(
+            "{name}: lba {lba} returned bytes matching none of the {} acceptable versions",
+            acceptable.len()
+        ));
+    }
+}
+
+/// Issues one mixed op (3:2 write:read) and folds it into the model. The
+/// oracle here is the permissive one — any acknowledged version — because
+/// these ops run across device deaths where reads may legally serve older
+/// hardened copies. A refused write (typed error) leaves the model as-is.
+#[allow(clippy::too_many_arguments)]
+fn mixed_op(
+    name: &str,
+    sys: &mut dyn StorageSystem,
+    ctx: &mut IoCtx<'_>,
+    model: &mut Model,
+    seed: u64,
+    op: u64,
+    t: Ns,
+    out: &mut CellResult,
+) -> Ns {
+    let roll = fault_roll(seed, 0xC405, op, 0);
+    let lba = roll % SPACE;
+    if roll % 5 < 3 {
+        let ver = model.vers.entry(lba).or_insert(0);
+        *ver += 1;
+        let content = version_content(lba, *ver);
+        let w = Request::write(Lba::new(lba), t, content.clone());
+        let c = sys.submit(&w, ctx);
+        if c.failed(Lba::new(lba)) {
+            out.refused_writes += 1;
+        } else {
+            model
+                .history
+                .entry(lba)
+                .or_insert_with(|| vec![BlockBuf::zeroed()])
+                .push(content);
+        }
+        c.finished
+    } else {
+        let r = Request::read(Lba::new(lba), t);
+        let c = sys.submit(&r, ctx);
+        check_read(name, lba, &c, &model.acceptable(lba), out);
+        c.finished
+    }
+}
+
+/// Drives mixed traffic until `done` holds for **every shard's** health
+/// report (the merged report takes the worst shard, which would declare an
+/// array-wide state after a single shard reached it), bounded by
+/// [`WAIT_OPS`]; pushes a violation if the bound hits.
+#[allow(clippy::too_many_arguments)]
+fn drive_until(
+    name: &str,
+    what: &str,
+    sys: &mut ShardRouter<Icash>,
+    ctx: &mut IoCtx<'_>,
+    model: &mut Model,
+    seed: u64,
+    op_base: u64,
+    mut t: Ns,
+    out: &mut CellResult,
+    done: impl Fn(&HealthReport) -> bool,
+) -> (Ns, u64) {
+    for op in 0..WAIT_OPS {
+        let reached = sys.shards().iter().all(|shard| {
+            let health = shard
+                .report(Ns::from_ms(1))
+                .health
+                .expect("health cells always report");
+            done(&health)
+        });
+        if reached {
+            return (t, op_base + op);
+        }
+        t = mixed_op(name, sys, ctx, model, seed, op_base + op, t, out);
+    }
+    out.violations
+        .push(format!("{name}: {what} not reached within {WAIT_OPS} ops"));
+    (t, op_base + WAIT_OPS)
+}
+
+fn merged_health(sys: &ShardRouter<Icash>) -> HealthReport {
+    sys.report(Ns::from_ms(1))
+        .health
+        .expect("health cells always report")
+}
+
+/// Post-incident service check: fresh writes must be acknowledged and read
+/// back exactly (the strict oracle — the array claims to be healthy again).
+fn check_fresh_service(
+    name: &str,
+    sys: &mut dyn StorageSystem,
+    ctx: &mut IoCtx<'_>,
+    model: &mut Model,
+    seed: u64,
+    mut t: Ns,
+    out: &mut CellResult,
+) -> Ns {
+    for op in 0..50u64 {
+        let roll = fault_roll(seed, 0xF4E5, op, 0);
+        let lba = roll % SPACE;
+        let ver = model.vers.entry(lba).or_insert(0);
+        *ver += 1;
+        let content = version_content(lba, *ver);
+        let w = Request::write(Lba::new(lba), t, content.clone());
+        let c = sys.submit(&w, ctx);
+        if c.failed(Lba::new(lba)) {
+            out.violations
+                .push(format!("{name}: post-incident write of lba {lba} refused"));
+            continue;
+        }
+        model
+            .history
+            .entry(lba)
+            .or_insert_with(|| vec![BlockBuf::zeroed()])
+            .push(content.clone());
+        let r = Request::read(Lba::new(lba), t.max(c.finished));
+        let c = sys.submit(&r, ctx);
+        t = c.finished;
+        check_read(name, lba, &c, std::slice::from_ref(&content), out);
+    }
+    t
+}
+
+/// Final availability sweep: every block the history touched must read as
+/// an acknowledged version or a typed error; at least one read must
+/// actually return data (an all-errors sweep is no availability at all).
+fn final_sweep(
+    name: &str,
+    sys: &mut dyn StorageSystem,
+    ctx: &mut IoCtx<'_>,
+    model: &Model,
+    mut t: Ns,
+    out: &mut CellResult,
+) -> Ns {
+    let mut touched: Vec<u64> = model.history.keys().copied().collect();
+    touched.sort_unstable();
+    let errors_before = out.reported_errors;
+    let reads_before = out.reads;
+    for lba in touched {
+        let r = Request::read(Lba::new(lba), t);
+        let c = sys.submit(&r, ctx);
+        t = c.finished;
+        check_read(name, lba, &c, &model.acceptable(lba), out);
+    }
+    let swept = out.reads - reads_before;
+    let errored = out.reported_errors - errors_before;
+    if swept > 0 && errored == swept {
+        out.violations.push(format!(
+            "{name}: availability sweep served zero of {swept} reads"
+        ));
+    }
+    t
+}
+
+fn validate_shards(sys: &ShardRouter<Icash>) {
+    for shard in sys.shards() {
+        shard.debug_validate();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scenarios
+// ----------------------------------------------------------------------
+
+/// SSD dies mid-run → degraded HDD-only service → `replace_ssd` → online
+/// rebuild under traffic → healthy again, fresh writes exact.
+fn cell_ssd_death(seed: u64, shards: u32) -> (CellResult, HealthReport) {
+    let name = format!("ssd-death/s{shards}");
+    let mut sys = build_router(icash_config(base_policy()), shards, |s| {
+        FaultPlan::seeded(seed + s).ssd_dies_at(DEATH_OP)
+    });
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let mut model = Model::default();
+    let mut out = CellResult::default();
+    let mut t = Ns::ZERO;
+    for op in 0..WARM_OPS {
+        t = mixed_op(&name, &mut sys, &mut ctx, &mut model, seed, op, t, &mut out);
+    }
+    // The armed device op count passes during the warm-up; keep driving
+    // until every shard's monitor has walked to `Failed`.
+    let (mut t, mut op) = drive_until(
+        &name,
+        "SSD Failed",
+        &mut sys,
+        &mut ctx,
+        &mut model,
+        seed,
+        WARM_OPS,
+        t,
+        &mut out,
+        |h| h.ssd == HealthState::Failed,
+    );
+    // Degraded window: service continues HDD-only.
+    for i in 0..DEGRADED_OPS {
+        t = mixed_op(
+            &name,
+            &mut sys,
+            &mut ctx,
+            &mut model,
+            seed,
+            op + i,
+            t,
+            &mut out,
+        );
+    }
+    op += DEGRADED_OPS;
+    for shard in sys.shards_mut() {
+        shard.replace_ssd(t);
+    }
+    // Rebuild rides the host I/O stream; drive until the array reports
+    // Healthy again.
+    let (t, _) = drive_until(
+        &name,
+        "rebuild completion",
+        &mut sys,
+        &mut ctx,
+        &mut model,
+        seed,
+        op,
+        t,
+        &mut out,
+        |h| h.ssd == HealthState::Healthy,
+    );
+    let t = check_fresh_service(&name, &mut sys, &mut ctx, &mut model, seed, t, &mut out);
+    final_sweep(&name, &mut sys, &mut ctx, &model, t, &mut out);
+    validate_shards(&sys);
+    let health = merged_health(&sys);
+    if health.degraded_reads + health.degraded_writes == 0 {
+        out.violations
+            .push(format!("{name}: degraded service never engaged"));
+    }
+    if health.rebuild_chunks == 0 {
+        out.violations.push(format!("{name}: rebuild never ran"));
+    }
+    (out, health)
+}
+
+/// HDD dies mid-run → writes fail fast with a typed `DeviceFailed` error
+/// while reads keep serving RAM/SSD-resident state or typed errors.
+fn cell_hdd_death(seed: u64, shards: u32) -> (CellResult, HealthReport) {
+    let name = format!("hdd-death/s{shards}");
+    let mut sys = build_router(icash_config(base_policy()), shards, |s| {
+        FaultPlan::seeded(seed + s).hdd_dies_at(DEATH_OP)
+    });
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let mut model = Model::default();
+    let mut out = CellResult::default();
+    let mut t = Ns::ZERO;
+    for op in 0..WARM_OPS {
+        t = mixed_op(&name, &mut sys, &mut ctx, &mut model, seed, op, t, &mut out);
+    }
+    let (mut t, op) = drive_until(
+        &name,
+        "HDD Failed",
+        &mut sys,
+        &mut ctx,
+        &mut model,
+        seed,
+        WARM_OPS,
+        t,
+        &mut out,
+        |h| h.hdd == HealthState::Failed,
+    );
+    // Fail-fast contract: every write is refused with DeviceFailed (the
+    // whole array is down once every shard's spindle is).
+    for i in 0..20u64 {
+        let roll = fault_roll(seed, 0xDEAD, i, 0);
+        let lba = roll % SPACE;
+        let ver = model.vers.entry(lba).or_insert(0);
+        *ver += 1;
+        let content = version_content(lba, *ver);
+        let w = Request::write(Lba::new(lba), t, content.clone());
+        let c = sys.submit(&w, &mut ctx);
+        t = c.finished;
+        let typed = c
+            .errors
+            .iter()
+            .any(|e| e.lba == Lba::new(lba) && e.kind == IoErrorKind::DeviceFailed);
+        if typed {
+            out.refused_writes += 1;
+        } else {
+            out.violations.push(format!(
+                "{name}: write to lba {lba} on a failed HDD was not refused with DeviceFailed"
+            ));
+            if !c.failed(Lba::new(lba)) {
+                model
+                    .history
+                    .entry(lba)
+                    .or_insert_with(|| vec![BlockBuf::zeroed()])
+                    .push(content);
+            }
+        }
+    }
+    // Reads during the outage: valid-or-typed-error.
+    for i in 0..DEGRADED_OPS {
+        let roll = fault_roll(seed, 0x0D1E, op + i, 0);
+        let lba = roll % SPACE;
+        let r = Request::read(Lba::new(lba), t);
+        let c = sys.submit(&r, &mut ctx);
+        t = c.finished;
+        check_read(&name, lba, &c, &model.acceptable(lba), &mut out);
+    }
+    validate_shards(&sys);
+    (out, merged_health(&sys))
+}
+
+/// SSD death → replace → rebuild, with the HDD armed to die as the rebuild
+/// traffic runs: the rebuild's home-copy reads start failing and service
+/// must degrade further, never corrupt.
+fn cell_death_during_rebuild(seed: u64, shards: u32) -> (CellResult, HealthReport) {
+    let name = format!("double-death/s{shards}");
+    let mut policy = base_policy();
+    // A slow rebuild stretches the window the second death lands in.
+    policy.rebuild_rate = 1;
+    // Each shard sees ~1/width of the traffic, so its device-op clock runs
+    // that much slower: scale the second death so it lands in the rebuild
+    // window at every width.
+    let hdd_death = (DEATH_OP * 16) / shards as u64;
+    let mut sys = build_router(icash_config(policy), shards, |s| {
+        FaultPlan::seeded(seed + s)
+            .ssd_dies_at(DEATH_OP)
+            .hdd_dies_at(hdd_death)
+    });
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let mut model = Model::default();
+    let mut out = CellResult::default();
+    let mut t = Ns::ZERO;
+    for op in 0..WARM_OPS {
+        t = mixed_op(&name, &mut sys, &mut ctx, &mut model, seed, op, t, &mut out);
+    }
+    let (t, mut op) = drive_until(
+        &name,
+        "SSD Failed",
+        &mut sys,
+        &mut ctx,
+        &mut model,
+        seed,
+        WARM_OPS,
+        t,
+        &mut out,
+        |h| h.ssd == HealthState::Failed,
+    );
+    for shard in sys.shards_mut() {
+        shard.replace_ssd(t);
+    }
+    // Drive rebuild traffic until the armed HDD death lands on every
+    // shard; the oracles hold across the compound failure.
+    let (mut t, op2) = drive_until(
+        &name,
+        "HDD Failed during rebuild",
+        &mut sys,
+        &mut ctx,
+        &mut model,
+        seed,
+        op,
+        t,
+        &mut out,
+        |h| h.hdd == HealthState::Failed,
+    );
+    op = op2;
+    for i in 0..DEGRADED_OPS {
+        t = mixed_op(
+            &name,
+            &mut sys,
+            &mut ctx,
+            &mut model,
+            seed,
+            op + i,
+            t,
+            &mut out,
+        );
+    }
+    validate_shards(&sys);
+    let health = merged_health(&sys);
+    if health.rebuild_chunks == 0 {
+        out.violations.push(format!("{name}: rebuild never ran"));
+    }
+    (out, health)
+}
+
+/// SSD death → replace → crash mid-rebuild → recovery: every block reads
+/// as an acknowledged version or a typed error, and post-recovery service
+/// is exact.
+fn cell_crash_during_rebuild(seed: u64, shards: u32) -> (CellResult, HealthReport) {
+    let name = format!("crash-rebuild/s{shards}");
+    let mut policy = base_policy();
+    policy.rebuild_rate = 1; // crash lands with work still pending
+    let mut sys = build_router(icash_config(policy), shards, |s| {
+        FaultPlan::seeded(seed + s).ssd_dies_at(DEATH_OP)
+    });
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let mut model = Model::default();
+    let mut out = CellResult::default();
+    let mut t = Ns::ZERO;
+    for op in 0..WARM_OPS {
+        t = mixed_op(&name, &mut sys, &mut ctx, &mut model, seed, op, t, &mut out);
+    }
+    let (mut t, op) = drive_until(
+        &name,
+        "SSD Failed",
+        &mut sys,
+        &mut ctx,
+        &mut model,
+        seed,
+        WARM_OPS,
+        t,
+        &mut out,
+        |h| h.ssd == HealthState::Failed,
+    );
+    for shard in sys.shards_mut() {
+        shard.replace_ssd(t);
+    }
+    // A little rebuild traffic, then the plug is pulled mid-task.
+    for i in 0..30u64 {
+        t = mixed_op(
+            &name,
+            &mut sys,
+            &mut ctx,
+            &mut model,
+            seed,
+            op + i,
+            t,
+            &mut out,
+        );
+    }
+    let recovered: Vec<Icash> = sys
+        .into_shards()
+        .into_iter()
+        .map(|s| s.crash_and_recover())
+        .collect();
+    let mut sys = ShardRouter::new(recovered);
+    // Everything the history acknowledged must still read valid-or-typed.
+    final_sweep(&name, &mut sys, &mut ctx, &model, t, &mut out);
+    let t = check_fresh_service(&name, &mut sys, &mut ctx, &mut model, seed, t, &mut out);
+    let _ = t;
+    validate_shards(&sys);
+    (out, merged_health(&sys))
+}
+
+/// A tiny staging cap under a pure write burst: admission control must
+/// refuse with typed `Busy` errors (and never lose an acknowledged write).
+fn cell_backpressure(seed: u64, shards: u32) -> (CellResult, HealthReport) {
+    let name = format!("backpressure/s{shards}");
+    let mut policy = base_policy();
+    policy.staging_cap = 2 * shards as u64; // each shard polices cap/shards
+                                            // A staging cap only bites when deltas actually sit in staging, which
+                                            // needs the staged pipeline (depth > 1); at depth 1 every flush trigger
+                                            // commits synchronously and the buffer is always empty.
+    let mut sys = build_router(icash_config_depth(policy, 8), shards, |s| {
+        FaultPlan::seeded(seed + s)
+    });
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let mut model = Model::default();
+    let mut out = CellResult::default();
+    let mut t = Ns::ZERO;
+    let mut busy = 0u64;
+    for op in 0..400u64 {
+        let lba = fault_roll(seed, 0xB0B0, op, 0) % SPACE;
+        let ver = model.vers.entry(lba).or_insert(0);
+        *ver += 1;
+        let content = version_content(lba, *ver);
+        let w = Request::write(Lba::new(lba), t, content.clone());
+        let c = sys.submit(&w, &mut ctx);
+        t = c.finished;
+        if c.errors
+            .iter()
+            .any(|e| e.lba == Lba::new(lba) && e.kind == IoErrorKind::Busy)
+        {
+            busy += 1;
+            out.refused_writes += 1;
+        } else if c.failed(Lba::new(lba)) {
+            out.violations.push(format!(
+                "{name}: fault-free write to lba {lba} failed with a non-Busy error"
+            ));
+        } else {
+            model
+                .history
+                .entry(lba)
+                .or_insert_with(|| vec![BlockBuf::zeroed()])
+                .push(content);
+        }
+    }
+    if busy == 0 {
+        out.violations
+            .push(format!("{name}: a 2-block staging cap never pushed back"));
+    }
+    t = sys.flush(t, &mut ctx);
+    // Every acknowledged write is readable; latest version exactly (no
+    // faults were injected here).
+    let mut touched: Vec<u64> = model.history.keys().copied().collect();
+    touched.sort_unstable();
+    for lba in touched {
+        let r = Request::read(Lba::new(lba), t);
+        let c = sys.submit(&r, &mut ctx);
+        t = c.finished;
+        check_read(
+            &name,
+            lba,
+            &c,
+            std::slice::from_ref(&model.latest(lba)),
+            &mut out,
+        );
+    }
+    validate_shards(&sys);
+    (out, merged_health(&sys))
+}
+
+/// A high-rate media-fault storm across all five architectures; I-CASH
+/// runs with health armed so the backoff machinery absorbs the noise.
+fn cell_fault_storm(kind: usize, name: &str, seed: u64) -> (CellResult, Option<HealthReport>) {
+    let rate = 1e-2;
+    let plan = FaultPlan::seeded(seed)
+        .hdd_read_errors(rate)
+        .hdd_write_errors(rate)
+        .ssd_read_errors(rate);
+    let mut sys: Box<dyn StorageSystem> = match kind {
+        0 => Box::new(PureSsd::new(DATA_BYTES).with_fault_plan(&plan)),
+        1 => Box::new(Raid0::new(DATA_BYTES, 4).with_fault_plan(&plan)),
+        2 => Box::new(DedupCache::new(SSD_BYTES, DATA_BYTES).with_fault_plan(&plan)),
+        3 => Box::new(LruCache::new(SSD_BYTES, DATA_BYTES).with_fault_plan(&plan)),
+        _ => {
+            Box::new(Icash::new(icash_config(base_policy())).with_fault_plan(plan.scrub_every(97)))
+        }
+    };
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let mut model = Model::default();
+    let mut out = CellResult::default();
+    let mut t = Ns::ZERO;
+    for op in 0..300u64 {
+        t = mixed_op(
+            name,
+            sys.as_mut(),
+            &mut ctx,
+            &mut model,
+            seed,
+            op,
+            t,
+            &mut out,
+        );
+    }
+    t = sys.flush(t, &mut ctx);
+    final_sweep(name, sys.as_mut(), &mut ctx, &model, t, &mut out);
+    (out, sys.report(Ns::from_ms(1)).health)
+}
+
+fn main() {
+    let mut cells = 0u64;
+    let mut totals = CellResult::default();
+    let mut health = HealthReport::default();
+    let mut fold = |name: String, r: CellResult, h: Option<HealthReport>| {
+        println!(
+            "cell {name}: {} reads, {} typed errors, {} refused writes",
+            r.reads, r.reported_errors, r.refused_writes
+        );
+        cells += 1;
+        totals.reads += r.reads;
+        totals.reported_errors += r.reported_errors;
+        totals.refused_writes += r.refused_writes;
+        totals.violations.extend(r.violations);
+        if let Some(h) = h {
+            health.merge(&h);
+        }
+    };
+
+    let storm_names = ["FusionIO", "RAID0", "Dedup", "LRU", "I-CASH"];
+    for (kind, sys_name) in storm_names.iter().enumerate() {
+        for &seed in &SEEDS {
+            let name = format!("storm/{sys_name}/{seed:#x}");
+            let (r, h) = cell_fault_storm(kind, &name, seed);
+            fold(name, r, h);
+        }
+    }
+    for &shards in &SHARDS {
+        for &seed in &SEEDS {
+            let (r, h) = cell_ssd_death(seed, shards);
+            fold(format!("ssd-death/s{shards}/{seed:#x}"), r, Some(h));
+            let (r, h) = cell_hdd_death(seed, shards);
+            fold(format!("hdd-death/s{shards}/{seed:#x}"), r, Some(h));
+            let (r, h) = cell_death_during_rebuild(seed, shards);
+            fold(format!("double-death/s{shards}/{seed:#x}"), r, Some(h));
+            let (r, h) = cell_crash_during_rebuild(seed, shards);
+            fold(format!("crash-rebuild/s{shards}/{seed:#x}"), r, Some(h));
+            let (r, h) = cell_backpressure(seed, shards);
+            fold(format!("backpressure/s{shards}/{seed:#x}"), r, Some(h));
+        }
+    }
+
+    println!(
+        "chaos campaign: {cells} cells, {} verified reads, {} typed errors, {} refused writes",
+        totals.reads, totals.reported_errors, totals.refused_writes
+    );
+    println!(
+        "health: {} transitions, {} degraded reads, {} degraded writes, \
+         {} busy rejections, {} retry backoffs, {} rebuild chunks",
+        health.transitions,
+        health.degraded_reads,
+        health.degraded_writes,
+        health.busy_rejections,
+        health.retry_backoffs,
+        health.rebuild_chunks
+    );
+    if !totals.violations.is_empty() {
+        for v in &totals.violations {
+            eprintln!("CHAOS VIOLATION: {v}");
+        }
+        eprintln!("{} violation(s)", totals.violations.len());
+        std::process::exit(1);
+    }
+    // The campaign must have actually exercised every mechanism it exists
+    // to test; a quiet pass would prove nothing.
+    assert!(health.transitions > 0, "no health transitions observed");
+    assert!(health.degraded_reads > 0, "no degraded reads observed");
+    assert!(health.degraded_writes > 0, "no degraded writes observed");
+    assert!(health.busy_rejections > 0, "no backpressure observed");
+    assert!(health.retry_backoffs > 0, "no backoff retries observed");
+    assert!(health.rebuild_chunks > 0, "no rebuild chunks observed");
+    println!("CHAOS CAMPAIGN OK");
+}

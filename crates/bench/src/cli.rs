@@ -7,6 +7,7 @@
 //! because a "full reproduction" run that quietly ran with defaults would
 //! invalidate the numbers it claims to reproduce.
 
+use icash_storage::fault::HealthPolicy;
 use std::path::PathBuf;
 
 /// The `--trace <path>` / `--trace=<path>` command-line flag, falling back
@@ -127,6 +128,73 @@ pub fn flush_ticket_from_env() -> bool {
     }
 }
 
+/// The `ICASH_HEALTH` switch plus its tuning knobs: when `"1"`, harness
+/// I-CASH instances run with the device-health machinery (monitors,
+/// degraded-mode service, online rebuild, backpressure) using the default
+/// [`HealthPolicy`] adjusted by `ICASH_REBUILD_RATE` (slots repopulated per
+/// host I/O during rebuild), `ICASH_STAGING_CAP` (staging-buffer blocks
+/// before writes bounce with `Busy`), and `ICASH_RETRY_BUDGET` (bounded
+/// backoff attempts per mechanical access). Default off — the health-free
+/// build, byte-identical to pre-health outputs.
+///
+/// # Panics
+///
+/// Panics when `ICASH_HEALTH` is set to anything but `0`/`1`, when a tuning
+/// knob is set but malformed or zero, or when a tuning knob is set while
+/// `ICASH_HEALTH` is off — a knob that silently did nothing would
+/// invalidate the run it claims to describe.
+pub fn health_from_env() -> Option<HealthPolicy> {
+    let on = match std::env::var("ICASH_HEALTH") {
+        Err(_) => false,
+        Ok(v) => match v.as_str() {
+            "1" => true,
+            "0" | "" => false,
+            other => panic!("invalid ICASH_HEALTH={other:?}: expected \"1\" or \"0\"/unset"),
+        },
+    };
+    if !on {
+        for knob in [
+            "ICASH_REBUILD_RATE",
+            "ICASH_STAGING_CAP",
+            "ICASH_RETRY_BUDGET",
+        ] {
+            if std::env::var(knob).is_ok() {
+                panic!(
+                    "{knob} is set but ICASH_HEALTH is not \"1\": the knob would be silently ignored"
+                );
+            }
+        }
+        return None;
+    }
+    let mut policy = HealthPolicy::default();
+    if let Ok(v) = std::env::var("ICASH_REBUILD_RATE") {
+        policy.rebuild_rate = parse_positive_u32("ICASH_REBUILD_RATE", &v);
+    }
+    if let Ok(v) = std::env::var("ICASH_STAGING_CAP") {
+        match v.parse::<u64>() {
+            Ok(0) => panic!(
+                "invalid ICASH_STAGING_CAP=0: a zero-block staging buffer would refuse every write; unset the variable for an unbounded buffer"
+            ),
+            Ok(n) => policy.staging_cap = n,
+            Err(_) => panic!(
+                "invalid ICASH_STAGING_CAP={v:?}: expected a positive integer block count"
+            ),
+        }
+    }
+    if let Ok(v) = std::env::var("ICASH_RETRY_BUDGET") {
+        policy.retry_budget = parse_positive_u32("ICASH_RETRY_BUDGET", &v);
+    }
+    Some(policy)
+}
+
+fn parse_positive_u32(name: &str, value: &str) -> u32 {
+    match value.parse::<u32>() {
+        Ok(0) => panic!("invalid {name}=0: expected a positive integer"),
+        Ok(n) => n,
+        Err(_) => panic!("invalid {name}={value:?}: expected a positive integer"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +224,14 @@ mod tests {
     fn shards_default_is_unsharded() {
         std::env::remove_var("ICASH_SHARDS");
         assert_eq!(shards_from_env(), 1);
+    }
+
+    #[test]
+    fn health_default_is_off() {
+        std::env::remove_var("ICASH_HEALTH");
+        std::env::remove_var("ICASH_REBUILD_RATE");
+        std::env::remove_var("ICASH_STAGING_CAP");
+        std::env::remove_var("ICASH_RETRY_BUDGET");
+        assert!(health_from_env().is_none());
     }
 }

@@ -30,6 +30,7 @@ use icash_core::{Icash, IcashConfig};
 use icash_metrics::summary::RunSummary;
 use icash_metrics::trace::JsonlSink;
 use icash_storage::cpu::CpuModel;
+use icash_storage::fault::HealthPolicy;
 use icash_storage::shard::ShardRouter;
 use icash_storage::system::{IoCtx, StorageSystem, ZeroSource};
 use icash_storage::time::Ns;
@@ -82,6 +83,19 @@ impl SystemKind {
     /// depth does not apply to them). Depth 1 is the classic synchronous
     /// cycle.
     pub fn build_with_depth(self, spec: &WorkloadSpec, depth: u64) -> Box<dyn StorageSystem> {
+        self.build_with_options(spec, depth, None)
+    }
+
+    /// [`build_with_depth`](SystemKind::build_with_depth) with an optional
+    /// device-health policy for the I-CASH controller (`ICASH_HEALTH`; the
+    /// baselines have no health machinery and ignore it). `None` builds the
+    /// health-free controller, byte-identical to pre-health outputs.
+    pub fn build_with_options(
+        self,
+        spec: &WorkloadSpec,
+        depth: u64,
+        health: Option<HealthPolicy>,
+    ) -> Box<dyn StorageSystem> {
         use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
         match self {
             SystemKind::FusionIo => Box::new(PureSsd::new(spec.data_bytes).timing_only()),
@@ -92,11 +106,15 @@ impl SystemKind {
             SystemKind::Lru => {
                 Box::new(LruCache::new(spec.ssd_bytes, spec.data_bytes).timing_only())
             }
-            SystemKind::Icash => Box::new(Icash::new(
-                IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
-                    .group_commit_depth(depth)
-                    .build(),
-            )),
+            SystemKind::Icash => {
+                let mut builder =
+                    IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
+                        .group_commit_depth(depth);
+                if let Some(policy) = health {
+                    builder = builder.health(policy);
+                }
+                Box::new(Icash::new(builder.build()))
+            }
         }
     }
 
@@ -112,13 +130,22 @@ impl SystemKind {
         spec: &WorkloadSpec,
         depth: u64,
         shards: u32,
+        health: Option<HealthPolicy>,
     ) -> Box<dyn StorageSystem> {
         if shards <= 1 {
-            return self.build_with_depth(spec, depth);
+            return self.build_with_options(spec, depth, health);
         }
+        // Each shard polices its share of the staging budget; divide the
+        // global cap so the aggregate bound matches the unsharded build.
+        let health = health.map(|mut policy| {
+            if policy.staging_cap > 0 {
+                policy.staging_cap = (policy.staging_cap / shards as u64).max(1);
+            }
+            policy
+        });
         let slice = spec.shard_slice(shards);
         let systems: Vec<Box<dyn StorageSystem>> = (0..shards)
-            .map(|_| self.build_with_depth(&slice, depth))
+            .map(|_| self.build_with_options(&slice, depth, health))
             .collect();
         Box::new(ShardRouter::new(systems))
     }
@@ -143,6 +170,10 @@ pub struct ExperimentConfig {
     /// [`ShardRouter`] width). 1 = the bare unsharded system,
     /// byte-identical to pre-sharding outputs.
     pub shards: u32,
+    /// Device-health policy for I-CASH cells (`ICASH_HEALTH` plus its
+    /// tuning knobs). `None` — the default — builds the health-free
+    /// controller, byte-identical to pre-health outputs.
+    pub health: Option<HealthPolicy>,
 }
 
 impl ExperimentConfig {
@@ -155,6 +186,7 @@ impl ExperimentConfig {
             group_commit_depth: 1,
             flush_ticket: false,
             shards: 1,
+            health: None,
         }
     }
 
@@ -200,6 +232,7 @@ impl ExperimentConfig {
         cfg.group_commit_depth = crate::cli::group_commit_depth_from_env();
         cfg.flush_ticket = crate::cli::flush_ticket_from_env();
         cfg.shards = crate::cli::shards_from_env();
+        cfg.health = crate::cli::health_from_env();
         cfg
     }
 }
@@ -351,7 +384,12 @@ fn run_cell_inner(
     traced: bool,
 ) -> (RunSummary, Option<String>) {
     let wall_start = Instant::now();
-    let mut system = kind.build_sharded(&prep.spec, prep.cfg.group_commit_depth, prep.cfg.shards);
+    let mut system = kind.build_sharded(
+        &prep.spec,
+        prep.cfg.group_commit_depth,
+        prep.cfg.shards,
+        prep.cfg.health,
+    );
     let sink = if traced {
         Some(attach_jsonl(system.as_mut()))
     } else {
@@ -650,6 +688,7 @@ mod tests {
             group_commit_depth: 1,
             flush_ticket: false,
             shards: 1,
+            health: None,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {
@@ -681,6 +720,7 @@ mod tests {
             group_commit_depth: 1,
             flush_ticket: false,
             shards: 4,
+            health: None,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {

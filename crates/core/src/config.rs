@@ -1,6 +1,7 @@
 //! I-CASH controller configuration.
 
 use icash_storage::block::BLOCK_SIZE;
+use icash_storage::fault::HealthPolicy;
 use icash_storage::hdd::HddConfig;
 use icash_storage::ssd::SsdConfig;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,13 @@ pub struct IcashConfig {
     /// (or any barrier / eviction demand) drains the whole staging buffer
     /// into one sequential multi-entry log append.
     pub group_commit_depth: u64,
+    /// Device-health machinery: when `Some`, the controller runs per-device
+    /// health monitors (error-budget state machines), degraded-mode service,
+    /// online rebuild after [`crate::Icash::replace_ssd`], exponential
+    /// retry backoff, and staging-buffer backpressure. `None` (the default)
+    /// installs nothing: runs stay byte-identical to a health-free build.
+    #[serde(default)]
+    pub health: Option<HealthPolicy>,
 }
 
 impl IcashConfig {
@@ -73,6 +81,7 @@ impl IcashConfig {
                 flush_dirty_bytes: 8 << 20,
                 log_blocks: 1 << 20, // 4 GB of log space
                 group_commit_depth: 1,
+                health: None,
             },
         }
     }
@@ -124,6 +133,13 @@ impl IcashConfig {
         cfg.ram_bytes = (self.ram_bytes / n).max(64 << 10);
         cfg.flush_dirty_bytes = (self.flush_dirty_bytes / n as usize).max(BLOCK_SIZE);
         cfg.log_blocks = (self.log_blocks / n).max(64);
+        if let Some(h) = &mut cfg.health {
+            // The backpressure cap bounds *total* buffered state, so each
+            // shard polices its share (floor 1 keeps the knob meaningful).
+            if h.staging_cap > 0 {
+                h.staging_cap = (h.staging_cap / n).max(1);
+            }
+        }
         cfg.validate();
         cfg
     }
@@ -153,6 +169,18 @@ impl IcashConfig {
             (0.0..=1.0).contains(&self.ref_fraction),
             "ref_fraction must be in [0, 1]"
         );
+        if let Some(h) = &self.health {
+            assert!(
+                h.consecutive_degraded > 0 && h.consecutive_failed > 0,
+                "health streak thresholds must be nonzero"
+            );
+            assert!(
+                h.ewma_alpha > 0.0 && h.ewma_alpha <= 1.0,
+                "health EWMA alpha must be in (0, 1]"
+            );
+            assert!(h.retry_base_ns > 0, "retry backoff base must be nonzero");
+            assert!(h.rebuild_rate > 0, "rebuild rate must be nonzero");
+        }
     }
 }
 
@@ -209,6 +237,13 @@ impl IcashConfigBuilder {
     /// sequential log append; 1 = commit on every trigger).
     pub fn group_commit_depth(mut self, depth: u64) -> Self {
         self.cfg.group_commit_depth = depth;
+        self
+    }
+
+    /// Switches on the device-health machinery with `policy` (monitors,
+    /// degraded mode, online rebuild, retry backoff, backpressure).
+    pub fn health(mut self, policy: HealthPolicy) -> Self {
+        self.cfg.health = Some(policy);
         self
     }
 

@@ -153,6 +153,11 @@ pub struct Icash {
     pub(crate) ios_since_flush: u64,
     pub(crate) ios_since_scrub: u64,
     pub(crate) max_virtual_blocks: usize,
+    /// Device-health machinery (monitors, degraded mode, rebuild, backoff,
+    /// backpressure). `None` unless [`IcashConfig::health`] is set; every
+    /// hook is then a single `Option` check and the controller behaves
+    /// byte-identically to one built without the subsystem.
+    pub(crate) health: Option<crate::health::HealthCore>,
     pub(crate) stats: IcashStats,
 }
 
@@ -168,6 +173,7 @@ impl Icash {
         // Metadata is ~100 B/block; allow 16 tracked blocks per RAM-resident
         // block, bounded to keep the table itself small.
         let max_virtual_blocks = ((cfg.ram_budget() / 4096) * 16).clamp(4_096, 4 << 20);
+        let health = cfg.health.map(crate::health::HealthCore::new);
         Icash {
             array,
             codec: DeltaCodec::default(),
@@ -194,6 +200,7 @@ impl Icash {
             ios_since_flush: 0,
             ios_since_scrub: 0,
             max_virtual_blocks,
+            health,
             stats: IcashStats::default(),
             cfg,
         }
@@ -317,6 +324,9 @@ impl Icash {
     /// HDD read with one bounded retry (latent sector errors persist, so a
     /// second failure means the sector is genuinely gone until rewritten).
     pub(crate) fn hdd_read_retry(&mut self, at: Ns, pos: u64, blocks: u32) -> Result<Ns, HddError> {
+        if self.health.is_some() {
+            return self.hdd_read_backoff(at, pos, blocks);
+        }
         match self.array.hdd_mut().read(at, pos, blocks) {
             Ok(t) => Ok(t),
             Err(_) => {
@@ -345,6 +355,9 @@ impl Icash {
         pos: u64,
         blocks: u32,
     ) -> Result<Ns, HddError> {
+        if self.health.is_some() {
+            return self.hdd_write_backoff(at, pos, blocks);
+        }
         let mut last = self.array.hdd_mut().write(at, pos, blocks);
         for _ in 0..3 {
             if last.is_ok() {
@@ -398,7 +411,7 @@ impl Icash {
         if self.slot_sums.get(&slot) != Some(&sum) {
             return (t, Err(IoErrorKind::SsdMedia));
         }
-        let t = match self.array.ssd_mut().write(t, slot) {
+        let t = match self.ssd_write_op(t, slot) {
             Ok(t) => t,
             Err(_) => return (t, Err(IoErrorKind::SsdMedia)),
         };
@@ -419,7 +432,12 @@ impl Icash {
         at: Ns,
         ctx: &mut IoCtx<'_>,
     ) -> BlockRead {
-        match self.array.ssd_mut().read(at, slot) {
+        if self.slot_unavailable(slot) {
+            // Failed (or not-yet-rebuilt) flash: serve the hardened HDD
+            // home copy instead of touching the device.
+            return self.degraded_slot_read(lba, slot, at, ctx);
+        }
+        match self.ssd_read_op(at, slot) {
             Ok(t) => (t, Ok(self.ssd_store[&slot].clone())),
             Err(_) => {
                 self.note_retry(at, slot, false);
@@ -444,7 +462,12 @@ impl Icash {
         let (mut repaired, mut failed) = (0u32, 0u32);
         let mut t = now;
         for (lba, slot) in slots {
-            match self.array.ssd_mut().read(t, slot) {
+            if self.slot_unavailable(slot) {
+                // Scrubbing a failed device is pointless; the rebuild (or
+                // the degraded read path) owns these slots.
+                continue;
+            }
+            match self.ssd_read_op(t, slot) {
                 Ok(t2) => t = t2,
                 Err(_) => {
                     self.note_retry(t, slot, false);
@@ -556,6 +579,14 @@ impl Icash {
             (vb.role, vb.reference, vb.ssd_slot, vb.dependants)
         };
 
+        if self.ssd_is_failed() && !(role == Role::Reference && dependants > 0) {
+            // Degraded mode: bypass the delta machinery and write home.
+            // A reference that still has associates keeps the RAM-encode
+            // delta path (its SSD copy is mirrored in `ssd_store`, so no
+            // device op is needed and its associates stay decodable).
+            return self.write_degraded(id, lba, content, sig, at, ctx);
+        }
+
         match role {
             Role::Reference => {
                 // The SSD copy is immutable while referenced: store the
@@ -570,7 +601,7 @@ impl Icash {
                     // No dependants and nothing similar left: retire the
                     // reference and overwrite its SSD copy in place.
                     let sig_old = self.table.get(id).sig;
-                    match self.array.ssd_mut().write(at, s) {
+                    match self.ssd_write_op(at, s) {
                         Ok(t) => {
                             self.ssd_install(s, content.clone());
                             let gen = self.next_gen();
@@ -642,7 +673,7 @@ impl Icash {
             Role::Independent => {
                 if let Some(s) = slot {
                     // Already SSD-resident from an earlier direct write.
-                    match self.array.ssd_mut().write(at, s) {
+                    match self.ssd_write_op(at, s) {
                         Ok(t) => {
                             self.ssd_install(s, content.clone());
                             let gen = self.next_gen();
@@ -736,7 +767,7 @@ impl Icash {
                 return self.write_as_independent(id, &content, at, ctx).max(at);
             }
         };
-        let t = match self.array.ssd_mut().write(at, slot) {
+        let t = match self.ssd_write_op(at, slot) {
             Ok(t) => t,
             Err(_) => {
                 // Flash refused the program (worn out / no reclaimable
@@ -1143,14 +1174,18 @@ impl Icash {
         let mut span = (READAHEAD as u64).min(self.log.len_blocks() - loc as u64) as u32;
         span = span.max(1);
         let log_pos = self.cfg.log_start() + loc as u64;
-        let t = match self.array.hdd_mut().read(at, log_pos, span) {
+        let first = self.array.hdd_mut().read(at, log_pos, span);
+        self.note_device(at, crate::health::DEV_HDD, first.is_ok());
+        let t = match first {
             Ok(t) => t,
             Err(_) => {
                 // Some block of the readahead span is unreadable; retry
                 // with just the block the host actually needs.
                 self.note_retry(at, log_pos, false);
                 span = 1;
-                match self.array.hdd_mut().read(at, log_pos, 1) {
+                let narrow = self.array.hdd_mut().read(at, log_pos, 1);
+                self.note_device(at, crate::health::DEV_HDD, narrow.is_ok());
+                match narrow {
                     Ok(t) => t,
                     Err(_) => {
                         self.stats.unrecoverable_reads += 1;
@@ -1608,17 +1643,46 @@ impl StorageSystem for Icash {
         self.array.trace_request(req);
         match req.op {
             Op::Write => {
+                if self.hdd_is_failed() {
+                    // Fail fast with a typed error: with the home area and
+                    // the delta log both gone, accepting a write could
+                    // never make it durable. Reads keep serving from RAM
+                    // and SSD-resident state.
+                    let errors: Vec<BlockError> = req
+                        .lbas()
+                        .map(|lba| BlockError {
+                            lba,
+                            kind: IoErrorKind::DeviceFailed,
+                        })
+                        .collect();
+                    self.stats.failed_fast_writes += errors.len() as u64;
+                    self.array.trace_request_end(req.at);
+                    return Completion::at(req.at).with_errors(errors);
+                }
                 if req.blocks >= STREAM_WRITE_BLOCKS {
                     let done = self.stream_write_span(req, ctx);
                     self.array.trace_request_end(done);
                     return Completion::at(done);
                 }
                 let mut done = req.at;
+                let mut errors = Vec::new();
                 for (lba, buf) in req.lbas().zip(req.payload.iter()) {
+                    if let Some((queued, cap)) = self.staging_over_cap() {
+                        // Admission control: refuse the write with a typed
+                        // `Busy` and drain the pipeline so the host's retry
+                        // finds room.
+                        self.note_backpressure(req.at, lba, queued, cap);
+                        errors.push(BlockError {
+                            lba,
+                            kind: IoErrorKind::Busy,
+                        });
+                        done = done.max(self.flush_all(req.at, ctx));
+                        continue;
+                    }
                     done = done.max(self.write_block(lba, buf.clone(), req.at, ctx));
                 }
                 self.array.trace_request_end(done);
-                Completion::at(done)
+                Completion::at(done).with_errors(errors)
             }
             Op::Read => {
                 let mut done = req.at;
@@ -1681,6 +1745,7 @@ impl StorageSystem for Icash {
             bytes: self.stats.group_commit_bytes,
             staged_high_water: self.stats.staging_high_water,
         });
+        report.health = self.health_report();
         report
     }
 }

@@ -1,0 +1,515 @@
+//! Device health, degraded-mode service, and online rebuild.
+//!
+//! When [`crate::IcashConfig::health`] is set, the controller runs one
+//! [`HealthMonitor`] per device, fed every SSD/HDD operation outcome. The
+//! monitors walk the `Healthy → Degraded → Failed → Rebuilding` machine on
+//! deterministic error-budget accounting (consecutive-failure streaks plus
+//! an error-rate EWMA), and the controller adapts service to the state:
+//!
+//! * **SSD `Failed`** — reads of SSD-pinned content are served from the
+//!   HDD home copy (checksum-verified against the slot directory's CRC),
+//!   and writes bypass the delta machinery entirely: the block is detached
+//!   from its reference/slot state and written to its home location.
+//! * **HDD `Failed`** — writes are failed fast with a typed
+//!   [`IoErrorKind::DeviceFailed`] error (no hardware is touched); reads
+//!   keep serving from RAM and SSD-resident state.
+//! * **Online rebuild** — [`Icash::replace_ssd`] swaps in a fresh device
+//!   and starts a rate-limited background task that repopulates every SSD
+//!   slot from its HDD home copy under live traffic
+//!   ([`Icash::rebuild_tick`], run from the per-I/O maintenance hook).
+//!   Reads of not-yet-rebuilt slots stay on the degraded path.
+//! * **Retry backoff** — the fixed retry ladders are replaced by budgeted
+//!   exponential backoff with seeded jitter (deterministic: the jitter
+//!   stream is `fault_roll` over a dedicated salt and a draw counter).
+//! * **Backpressure** — when `staging_cap > 0`, writes arriving with the
+//!   staging buffer at capacity are refused with a typed
+//!   [`IoErrorKind::Busy`] error and the pipeline is drained, so the host
+//!   sees admission control instead of unbounded buffering.
+//!
+//! With `health: None` every hook in this module is a single `Option`
+//! check; fault-free and health-free runs stay byte-identical to a
+//! controller built before this module existed.
+
+use crate::controller::{BlockRead, Icash};
+use crate::table::VbId;
+use crate::virtual_block::Role;
+use icash_delta::signature::BlockSignature;
+use icash_storage::block::{BlockBuf, Lba};
+use icash_storage::fault::{crc32, fault_roll, HealthMonitor, HealthPolicy, HealthState};
+use icash_storage::hdd::HddError;
+use icash_storage::request::IoErrorKind;
+use icash_storage::ssd::{Ssd, SsdError};
+use icash_storage::system::{HealthReport, IoCtx};
+use icash_storage::time::Ns;
+use icash_storage::trace::{TraceEvent, TraceKind};
+use std::collections::{HashSet, VecDeque};
+
+/// Salt of the backoff-jitter draw stream (disjoint from the injector
+/// salts: SSD reads use 1, HDD spindles use 16+i, torn writes their own).
+const BACKOFF_SALT: u64 = 0xBAC0;
+
+/// Device ids used in [`TraceKind::HealthTransition`] events.
+pub(crate) const DEV_SSD: u8 = 0;
+pub(crate) const DEV_HDD: u8 = 1;
+
+/// The controller-side health state: one monitor per device, the active
+/// rebuild task (if any), and the jitter draw counter.
+#[derive(Debug)]
+pub(crate) struct HealthCore {
+    /// The armed policy (thresholds, budgets, rates).
+    pub policy: HealthPolicy,
+    /// SSD health monitor.
+    pub ssd: HealthMonitor,
+    /// HDD health monitor.
+    pub hdd: HealthMonitor,
+    /// The in-flight online rebuild, if a replacement SSD is being
+    /// repopulated.
+    pub rebuild: Option<RebuildTask>,
+    /// Monotonic jitter draw counter (deterministic backoff stream).
+    pub retry_draws: u64,
+}
+
+impl HealthCore {
+    /// Fresh monitors under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthCore {
+            policy,
+            ssd: HealthMonitor::new(policy),
+            hdd: HealthMonitor::new(policy),
+            rebuild: None,
+            retry_draws: 0,
+        }
+    }
+}
+
+/// The online-rebuild work list: SSD slots to repopulate from their HDD
+/// home copies, processed `rebuild_rate` slots per host I/O.
+#[derive(Debug)]
+pub(crate) struct RebuildTask {
+    /// `(lba, slot)` pairs still to rebuild, in ascending LBA order.
+    pub pending: VecDeque<(Lba, u64)>,
+    /// The slots in `pending` (reads of these stay on the degraded path).
+    pub pending_slots: HashSet<u64>,
+    /// Slots processed so far.
+    pub done: u64,
+    /// Total slots the task started with.
+    pub total: u64,
+}
+
+impl Icash {
+    /// Whether the SSD is in the `Failed` state (degraded service).
+    pub(crate) fn ssd_is_failed(&self) -> bool {
+        self.health.as_ref().is_some_and(|h| h.ssd.is_failed())
+    }
+
+    /// Whether the HDD is in the `Failed` state (writes fail fast).
+    pub(crate) fn hdd_is_failed(&self) -> bool {
+        self.health.as_ref().is_some_and(|h| h.hdd.is_failed())
+    }
+
+    /// Whether reads of `slot` must avoid the SSD: the device is failed, or
+    /// a rebuild is running and this slot has not been repopulated yet.
+    pub(crate) fn slot_unavailable(&self, slot: u64) -> bool {
+        let Some(h) = &self.health else { return false };
+        match h.ssd.state() {
+            HealthState::Failed => true,
+            HealthState::Rebuilding => h
+                .rebuild
+                .as_ref()
+                .is_some_and(|t| t.pending_slots.contains(&slot)),
+            _ => false,
+        }
+    }
+
+    /// Feeds one device-operation outcome to the owning monitor, tracing
+    /// and counting the health transition if the state machine moved.
+    /// A single `Option` check when health is off.
+    pub(crate) fn note_device(&mut self, at: Ns, device: u8, ok: bool) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        let monitor = if device == DEV_SSD {
+            &mut h.ssd
+        } else {
+            &mut h.hdd
+        };
+        if let Some((from, to)) = monitor.note(ok) {
+            self.note_transition(at, device, from, to);
+        }
+    }
+
+    /// Traces and counts one health-state transition.
+    pub(crate) fn note_transition(
+        &mut self,
+        at: Ns,
+        device: u8,
+        from: HealthState,
+        to: HealthState,
+    ) {
+        self.stats.health_transitions += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::HealthTransition { device, from, to },
+        });
+    }
+
+    /// SSD read feeding the health monitor. Identical to the raw device
+    /// call when health is off.
+    pub(crate) fn ssd_read_op(&mut self, at: Ns, slot: u64) -> Result<Ns, SsdError> {
+        let res = self.array.ssd_mut().read(at, slot);
+        self.note_device(at, DEV_SSD, res.is_ok());
+        res
+    }
+
+    /// SSD program feeding the health monitor. Identical to the raw device
+    /// call when health is off.
+    pub(crate) fn ssd_write_op(&mut self, at: Ns, slot: u64) -> Result<Ns, SsdError> {
+        let res = self.array.ssd_mut().write(at, slot);
+        self.note_device(at, DEV_SSD, res.is_ok());
+        res
+    }
+
+    /// The backpressure admission check: `Some((queued, cap))` when the
+    /// staging buffer is at capacity and the write must be refused.
+    pub(crate) fn staging_over_cap(&self) -> Option<(u64, u64)> {
+        let h = self.health.as_ref()?;
+        let cap = h.policy.staging_cap;
+        let queued = self.staging.live() as u64;
+        (cap > 0 && queued >= cap).then_some((queued, cap))
+    }
+
+    /// Refuses one write at admission: traces the event and counts the
+    /// rejection. The caller reports [`IoErrorKind::Busy`] and drains.
+    pub(crate) fn note_backpressure(&mut self, at: Ns, lba: Lba, queued: u64, cap: u64) {
+        self.stats.busy_rejections += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::Backpressure {
+                lba: lba.raw(),
+                queued,
+                cap,
+            },
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Retry with exponential backoff (replaces the fixed ladders)
+    // ------------------------------------------------------------------
+
+    /// The next backoff delay in nanoseconds: `base << (attempt-1)` plus a
+    /// seeded jitter drawn from the plan's `fault_roll` stream (own salt,
+    /// monotonic draw counter — deterministic and replayable).
+    fn backoff_delay(&mut self, attempt: u32, addr: u64) -> u64 {
+        let h = self.health.as_mut().expect("backoff requires health");
+        let base = h.policy.retry_base_ns << (attempt - 1).min(16);
+        let draw = h.retry_draws;
+        h.retry_draws += 1;
+        let jitter = fault_roll(self.fault_plan.seed, BACKOFF_SALT, draw, addr) % base.max(1);
+        base + jitter
+    }
+
+    /// Traces and counts one backoff retry, returning the delayed instant.
+    fn note_backoff(&mut self, at: Ns, addr: u64, attempt: u32, write: bool) -> Ns {
+        let delay = self.backoff_delay(attempt, addr);
+        self.stats.retry_backoffs += 1;
+        self.array.tracer().emit(|| TraceEvent {
+            at,
+            kind: TraceKind::RetryBackoff {
+                lba: addr,
+                attempt,
+                delay,
+                write,
+            },
+        });
+        at + Ns::from_ns(delay)
+    }
+
+    /// HDD read under health: budgeted retries with exponential backoff,
+    /// every outcome fed to the HDD monitor. Fails fast when the HDD is
+    /// already declared dead.
+    pub(crate) fn hdd_read_backoff(
+        &mut self,
+        at: Ns,
+        pos: u64,
+        blocks: u32,
+    ) -> Result<Ns, HddError> {
+        if self.hdd_is_failed() {
+            return Err(HddError::LatentSector { lba: pos });
+        }
+        let budget = self
+            .health
+            .as_ref()
+            .map_or(1, |h| h.policy.retry_budget.max(1));
+        let mut t = at;
+        let mut last = self.array.hdd_mut().read(t, pos, blocks);
+        self.note_device(t, DEV_HDD, last.is_ok());
+        let mut attempt = 0u32;
+        while last.is_err() && attempt < budget && !self.hdd_is_failed() {
+            attempt += 1;
+            t = self.note_backoff(t, pos, attempt, false);
+            last = self.array.hdd_mut().read(t, pos, blocks);
+            self.note_device(t, DEV_HDD, last.is_ok());
+        }
+        last
+    }
+
+    /// HDD write under health: budgeted retries with exponential backoff,
+    /// every outcome fed to the HDD monitor. Fails fast when the HDD is
+    /// already declared dead.
+    pub(crate) fn hdd_write_backoff(
+        &mut self,
+        at: Ns,
+        pos: u64,
+        blocks: u32,
+    ) -> Result<Ns, HddError> {
+        if self.hdd_is_failed() {
+            return Err(HddError::WriteFault { lba: pos });
+        }
+        let budget = self
+            .health
+            .as_ref()
+            .map_or(1, |h| h.policy.retry_budget.max(1));
+        let mut t = at;
+        let mut last = self.array.hdd_mut().write(t, pos, blocks);
+        self.note_device(t, DEV_HDD, last.is_ok());
+        let mut attempt = 0u32;
+        while last.is_err() && attempt < budget && !self.hdd_is_failed() {
+            attempt += 1;
+            t = self.note_backoff(t, pos, attempt, true);
+            last = self.array.hdd_mut().write(t, pos, blocks);
+            self.note_device(t, DEV_HDD, last.is_ok());
+        }
+        last
+    }
+
+    // ------------------------------------------------------------------
+    // Degraded-mode service
+    // ------------------------------------------------------------------
+
+    /// Serves SSD-pinned content for `lba` from its HDD home copy (the
+    /// hardened redundant copy), verified against the slot directory's
+    /// CRC. Used while the SSD is failed or the slot awaits rebuild; never
+    /// touches the flash device.
+    pub(crate) fn degraded_slot_read(
+        &mut self,
+        lba: Lba,
+        slot: u64,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> BlockRead {
+        let pos = self.home_pos(lba);
+        let t = match self.hdd_read_retry(at, pos, 1) {
+            Ok(t) => t,
+            Err(_) => {
+                self.stats.unrecoverable_reads += 1;
+                return (at, Err(IoErrorKind::SsdMedia));
+            }
+        };
+        let content = self
+            .home_overlay
+            .get(&lba)
+            .cloned()
+            .unwrap_or_else(|| ctx.backing.initial_content(lba));
+        if self.slot_sums.get(&slot) != Some(&crc32(content.as_slice())) {
+            // The home copy does not match what the slot held: serving it
+            // would be a silent splice. Report the loss instead.
+            self.stats.unrecoverable_reads += 1;
+            return (t, Err(IoErrorKind::SsdMedia));
+        }
+        self.stats.degraded_reads += 1;
+        (t, Ok(content))
+    }
+
+    /// The degraded write path (SSD failed): detach the block from every
+    /// reference/slot/delta relationship and write it straight to its HDD
+    /// home location — no delta encode, no flash program. The block
+    /// continues life as a home-resident independent.
+    pub(crate) fn write_degraded(
+        &mut self,
+        id: VbId,
+        lba: Lba,
+        content: BlockBuf,
+        sig: BlockSignature,
+        at: Ns,
+        ctx: &mut IoCtx<'_>,
+    ) -> Ns {
+        self.stats.degraded_writes += 1;
+        // Detach: the old delta/log/slot state describes superseded bytes.
+        self.unbind(id);
+        self.drop_delta(id);
+        self.unstage(id);
+        if let Some(loc) = self.table.get_mut(id).log_loc.take() {
+            self.log.mark_stale(loc);
+        }
+        if self.table.get(id).role == Role::Reference {
+            let sig_old = self.table.get(id).sig;
+            self.ref_index.remove(lba, &sig_old);
+        }
+        if let Some(slot) = self.table.get(id).ssd_slot {
+            // The slot content is unreachable on the dead device; release
+            // the mapping so a rebuilt device starts from live state only.
+            self.ssd_discard(slot);
+            self.free_slots.push(slot);
+            self.slot_dir.remove(&lba);
+            self.table.get_mut(id).ssd_slot = None;
+        }
+        self.table.set_role(id, Role::Independent);
+        let pos = self.home_pos(lba);
+        let t = self.hdd_write_retry(at, pos, 1).unwrap_or(at);
+        self.home_overlay.insert(lba, content.clone());
+        {
+            let vb = self.table.get_mut(id);
+            vb.reference = None;
+            vb.dirty_data = false;
+            vb.sig = sig;
+        }
+        self.cache_data(id, content, at, ctx);
+        self.table.touch(id);
+        self.after_io(at, ctx);
+        self.staging.progress.reserve();
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Device replacement and online rebuild
+    // ------------------------------------------------------------------
+
+    /// Replaces the failed SSD with a fresh device and starts the online
+    /// rebuild: a rate-limited background task ([`Icash::rebuild_tick`])
+    /// repopulates every directory-tracked slot from its HDD home copy
+    /// under live traffic. Until a slot is rebuilt, reads of it stay on
+    /// the degraded (home-copy) path.
+    ///
+    /// Works without health armed too: the device is swapped and reads
+    /// self-heal through the repair-from-home path, with no background
+    /// task.
+    pub fn replace_ssd(&mut self, at: Ns) {
+        let ssd = Ssd::new(self.cfg.ssd_config());
+        let plan = self.fault_plan.clone();
+        self.array.replace_ssd(ssd, &plan);
+        // The controller-side plan mirrors the array: the replacement has
+        // no death trigger armed.
+        self.fault_plan.ssd_death_op = None;
+        if self.health.is_none() {
+            return;
+        }
+        let mut pending: Vec<(Lba, u64)> =
+            self.slot_dir.iter().map(|(&l, r)| (l, r.slot)).collect();
+        pending.sort_by_key(|&(l, _)| l.raw());
+        let pending_slots: HashSet<u64> = pending.iter().map(|&(_, s)| s).collect();
+        let total = pending.len() as u64;
+        let h = self.health.as_mut().expect("checked above");
+        h.rebuild = Some(RebuildTask {
+            pending: pending.into_iter().collect(),
+            pending_slots,
+            done: 0,
+            total,
+        });
+        if let Some((from, to)) = h.ssd.begin_rebuild() {
+            self.note_transition(at, DEV_SSD, from, to);
+        }
+        // An empty directory completes immediately.
+        self.rebuild_tick(at);
+    }
+
+    /// One rebuild step, run from the per-I/O maintenance hook: repopulate
+    /// up to `rebuild_rate` pending slots from their HDD home copies (CRC
+    /// verified; an unverifiable slot is skipped rather than repopulated
+    /// with wrong bytes). Completes the `Rebuilding → Healthy` edge when
+    /// the work list drains.
+    pub(crate) fn rebuild_tick(&mut self, at: Ns) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        if h.rebuild.is_none() || h.ssd.state() != HealthState::Rebuilding {
+            return;
+        }
+        let rate = h.policy.rebuild_rate.max(1);
+        let batch: Vec<(Lba, u64)> = {
+            let task = h.rebuild.as_mut().expect("checked above");
+            (0..rate).filter_map(|_| task.pending.pop_front()).collect()
+        };
+        if !batch.is_empty() {
+            let mut restored = 0u32;
+            let mut t = at;
+            for &(lba, slot) in &batch {
+                t = self.rebuild_slot(lba, slot, t);
+                restored += 1;
+            }
+            let h = self.health.as_mut().expect("still armed");
+            let Some(task) = h.rebuild.as_mut() else {
+                return;
+            };
+            for &(_, slot) in &batch {
+                task.pending_slots.remove(&slot);
+            }
+            task.done += batch.len() as u64;
+            let (done, total) = (task.done, task.total);
+            self.stats.rebuild_chunks += 1;
+            self.stats.rebuilt_slots += u64::from(restored);
+            self.array.tracer().emit(|| TraceEvent {
+                at: t,
+                kind: TraceKind::RebuildChunk {
+                    slots: restored,
+                    done,
+                    total,
+                },
+            });
+        }
+        let h = self.health.as_mut().expect("still armed");
+        let finished = h
+            .rebuild
+            .as_ref()
+            .is_some_and(|task| task.pending.is_empty());
+        if finished {
+            h.rebuild = None;
+            if let Some((from, to)) = h.ssd.rebuild_complete() {
+                self.note_transition(at, DEV_SSD, from, to);
+            }
+        }
+    }
+
+    /// Repopulates one slot on the replacement device from its HDD home
+    /// copy. A home copy that fails to read or verify leaves the slot
+    /// unprogrammed — the read path's repair ladder (or a later host
+    /// write) deals with it; wrong bytes are never installed.
+    fn rebuild_slot(&mut self, lba: Lba, slot: u64, at: Ns) -> Ns {
+        let pos = self.home_pos(lba);
+        let t = match self.hdd_read_retry(at, pos, 1) {
+            Ok(t) => t,
+            Err(_) => return at,
+        };
+        let content = match self.home_overlay.get(&lba) {
+            Some(c) => c,
+            None => return t, // never hardened: nothing trustworthy to install
+        };
+        if self.slot_sums.get(&slot) != Some(&crc32(content.as_slice())) {
+            return t;
+        }
+        match self.ssd_write_op(t, slot) {
+            Ok(t2) => t2,
+            Err(_) => t,
+        }
+    }
+
+    /// The health section of the system report.
+    pub(crate) fn health_report(&self) -> Option<HealthReport> {
+        let h = self.health.as_ref()?;
+        let (rebuild_done, rebuild_total) = match &h.rebuild {
+            Some(t) => (t.done, t.total),
+            None => (0, 0),
+        };
+        Some(HealthReport {
+            ssd: h.ssd.state(),
+            hdd: h.hdd.state(),
+            transitions: self.stats.health_transitions,
+            rebuild_done,
+            rebuild_total,
+            rebuild_chunks: self.stats.rebuild_chunks,
+            degraded_reads: self.stats.degraded_reads,
+            degraded_writes: self.stats.degraded_writes,
+            busy_rejections: self.stats.busy_rejections,
+            retry_backoffs: self.stats.retry_backoffs,
+        })
+    }
+}

@@ -16,6 +16,9 @@ impl Icash {
     /// Per-I/O bookkeeping: counts toward the flush interval and the scan
     /// interval, running either phase when due.
     pub(crate) fn after_io(&mut self, at: Ns, ctx: &mut IoCtx<'_>) {
+        // The online rebuild rides the host I/O stream: each I/O funds one
+        // rate-limited chunk of slot repopulation (no-op unless rebuilding).
+        self.rebuild_tick(at);
         self.ios_since_flush += 1;
         self.ios_since_scan += 1;
         if self.ios_since_flush >= self.cfg.flush_interval
@@ -446,7 +449,7 @@ impl Icash {
                     .data
                     .clone()
                     .expect("promotion needs data");
-                if self.array.ssd_mut().write(now, s).is_err() {
+                if self.ssd_write_op(now, s).is_err() {
                     // Flash refused the program: skip this promotion.
                     self.free_slots.push(s);
                     self.stats.degraded_writes += 1;

@@ -211,6 +211,9 @@ impl Icash {
             }
         }
 
+        // Health monitors are controller RAM: the restart begins with fresh
+        // error budgets (and no rebuild task) under the configured policy.
+        let health = cfg.health.map(crate::health::HealthCore::new);
         Icash {
             pool: SegmentPool::new(cfg.ram_budget(), cfg.segment_bytes),
             heatmap: Heatmap::standard(),
@@ -243,6 +246,7 @@ impl Icash {
             free_slots,
             home_overlay,
             max_virtual_blocks,
+            health,
         }
     }
 }

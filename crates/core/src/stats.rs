@@ -89,6 +89,21 @@ pub struct IcashStats {
     pub barrier_waits: u64,
     /// Durability barriers already satisfied by the completed watermark.
     pub barrier_noops: u64,
+    /// Device health-state transitions (both devices).
+    pub health_transitions: u64,
+    /// Reads served from the HDD home copy because the SSD was failed (or
+    /// the slot not yet rebuilt).
+    pub degraded_reads: u64,
+    /// Writes refused admission by staging-buffer backpressure.
+    pub busy_rejections: u64,
+    /// Writes failed fast because the HDD was in the `Failed` state.
+    pub failed_fast_writes: u64,
+    /// Exponential-backoff retries of faulted device ops (health mode).
+    pub retry_backoffs: u64,
+    /// Online-rebuild chunks processed after a device replacement.
+    pub rebuild_chunks: u64,
+    /// SSD slots repopulated by the online rebuild.
+    pub rebuilt_slots: u64,
 }
 
 impl IcashStats {

@@ -204,6 +204,16 @@ pub struct TraceProfile {
     pub fault_retries: u64,
     /// Recovery events (truncate + replay).
     pub recovery_events: u64,
+    /// Device health-state transitions.
+    pub health_transitions: u64,
+    /// Online-rebuild chunks processed.
+    pub rebuild_chunks: u64,
+    /// SSD slots repopulated by those chunks.
+    pub rebuild_slots: u64,
+    /// Writes refused admission by staging backpressure.
+    pub backpressure_rejects: u64,
+    /// Exponential-backoff retries of faulted device ops.
+    pub retry_backoffs: u64,
     open_span: Option<Ns>,
 }
 
@@ -295,6 +305,13 @@ impl TraceProfile {
             TraceKind::RecoveryTruncate { .. } | TraceKind::RecoveryReplay { .. } => {
                 self.recovery_events += 1;
             }
+            TraceKind::HealthTransition { .. } => self.health_transitions += 1,
+            TraceKind::RebuildChunk { slots, .. } => {
+                self.rebuild_chunks += 1;
+                self.rebuild_slots += slots as u64;
+            }
+            TraceKind::Backpressure { .. } => self.backpressure_rejects += 1,
+            TraceKind::RetryBackoff { .. } => self.retry_backoffs += 1,
         }
     }
 
@@ -329,7 +346,7 @@ impl TraceProfile {
         row("SSD programs", self.ssd_programs, self.ssd_program_time);
         row("HDD reads", self.hdd_reads, self.hdd_read_time);
         row("HDD writes", self.hdd_writes, self.hdd_write_time);
-        let counts: [(&str, u64); 16] = [
+        let counts: [(&str, u64); 21] = [
             ("SSD erases", self.ssd_erases),
             ("RAM hits", self.ram_hits),
             ("Signature probes", self.sig_probes),
@@ -346,6 +363,11 @@ impl TraceProfile {
             ("Injected faults", self.faults),
             ("Retries/repairs", self.fault_retries + self.slot_repairs),
             ("Scrub passes", self.scrubs),
+            ("Health transitions", self.health_transitions),
+            ("Rebuild chunks", self.rebuild_chunks),
+            ("  slots rebuilt", self.rebuild_slots),
+            ("Backpressure rejects", self.backpressure_rejects),
+            ("Backoff retries", self.retry_backoffs),
         ];
         for (phase, events) in counts {
             if events > 0 {

@@ -171,11 +171,32 @@ impl DeviceArray {
             return;
         }
         if let Some(ssd) = self.ssd.as_mut() {
-            ssd.install_faults(FaultInjector::new(plan.clone(), 1));
+            ssd.install_faults(FaultInjector::new(plan.clone(), 1).with_death(plan.ssd_death_op));
         }
         for (i, hdd) in self.hdds.iter_mut().enumerate() {
-            hdd.install_faults(FaultInjector::new(plan.clone(), 16 + i as u64));
+            hdd.install_faults(
+                FaultInjector::new(plan.clone(), 16 + i as u64).with_death(plan.hdd_death_op),
+            );
         }
+    }
+
+    /// Swaps in a replacement SSD (the `replace_device` maintenance action).
+    /// The fresh drive lives under the same plan minus the death trigger
+    /// that killed its predecessor, keeps the same injector salt so its
+    /// probabilistic draws stay on the plan's stream, and inherits the
+    /// array's tracer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has no SSD bay.
+    pub fn replace_ssd(&mut self, mut ssd: Ssd, plan: &FaultPlan) {
+        assert!(self.ssd.is_some(), "array has no SSD");
+        let healthy = plan.without_ssd_death();
+        if healthy.is_enabled() {
+            ssd.install_faults(FaultInjector::new(healthy, 1).with_death(None));
+        }
+        ssd.set_tracer(self.tracer.clone());
+        self.ssd = Some(ssd);
     }
 
     /// Installs `tracer` on the array and every device it owns (and, via
@@ -289,6 +310,7 @@ impl DeviceArray {
             device_energy: self.device_energy(elapsed),
             faults: self.fault_stats(),
             group_commit: None,
+            health: None,
         }
     }
 }

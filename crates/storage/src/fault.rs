@@ -17,6 +17,8 @@
 //! zero-cost*: devices skip the injector entirely and behave bit-identically
 //! to a build without the fault layer.
 
+use crate::block::{BlockBuf, Lba};
+use crate::request::{BlockError, IoErrorKind};
 use crate::time::Ns;
 use crate::trace::{FaultKind, TraceEvent, TraceKind, Tracer};
 use serde::{Deserialize, Serialize};
@@ -150,6 +152,12 @@ pub struct FaultPlan {
     pub scrub_interval: u64,
     /// Exact-operation triggers, applied on top of the rates.
     pub triggers: Vec<FaultTrigger>,
+    /// Whole-device SSD death: once the SSD's total operation count
+    /// (reads + writes) reaches this index, every subsequent operation
+    /// fails until the device is replaced.
+    pub ssd_death_op: Option<u64>,
+    /// Whole-device HDD death, counted the same way per spindle.
+    pub hdd_death_op: Option<u64>,
 }
 
 impl FaultPlan {
@@ -165,6 +173,8 @@ impl FaultPlan {
             torn_writes: false,
             scrub_interval: 0,
             triggers: Vec::new(),
+            ssd_death_op: None,
+            hdd_death_op: None,
         }
     }
 
@@ -220,6 +230,29 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the SSD outright at its `op`-th device operation (reads and
+    /// writes counted together): that operation and every later one fail
+    /// until the device is replaced.
+    pub fn ssd_dies_at(mut self, op: u64) -> Self {
+        self.ssd_death_op = Some(op);
+        self
+    }
+
+    /// Kills each HDD outright at its `op`-th device operation.
+    pub fn hdd_dies_at(mut self, op: u64) -> Self {
+        self.hdd_death_op = Some(op);
+        self
+    }
+
+    /// A copy of this plan with the SSD death trigger cleared — the plan a
+    /// freshly installed replacement SSD lives under.
+    pub fn without_ssd_death(&self) -> FaultPlan {
+        FaultPlan {
+            ssd_death_op: None,
+            ..self.clone()
+        }
+    }
+
     /// Whether this plan can inject anything at all. Disabled plans are
     /// skipped entirely by the devices (zero-cost guarantee).
     pub fn is_enabled(&self) -> bool {
@@ -230,6 +263,8 @@ impl FaultPlan {
             || self.torn_writes
             || self.scrub_interval > 0
             || !self.triggers.is_empty()
+            || self.ssd_death_op.is_some()
+            || self.hdd_death_op.is_some()
     }
 }
 
@@ -253,6 +288,9 @@ pub struct FaultStats {
     pub wearout_errors: u64,
     /// Bad sectors/pages cleared by a successful rewrite (drive remap).
     pub sectors_remapped: u64,
+    /// Operations refused because the whole device had died
+    /// ([`FaultPlan::ssd_dies_at`] / [`FaultPlan::hdd_dies_at`]).
+    pub dead_device_errors: u64,
 }
 
 impl FaultStats {
@@ -263,6 +301,7 @@ impl FaultStats {
         self.ssd_read_errors += other.ssd_read_errors;
         self.wearout_errors += other.wearout_errors;
         self.sectors_remapped += other.sectors_remapped;
+        self.dead_device_errors += other.dead_device_errors;
     }
 }
 
@@ -295,6 +334,8 @@ pub struct FaultInjector {
     bad: HashSet<u64>,
     stats: FaultStats,
     tracer: Tracer,
+    /// Total-operation index at which the whole device dies, if ever.
+    death_op: Option<u64>,
 }
 
 impl FaultInjector {
@@ -309,7 +350,23 @@ impl FaultInjector {
             bad: HashSet::new(),
             stats: FaultStats::default(),
             tracer: Tracer::disabled(),
+            death_op: None,
         }
+    }
+
+    /// Arms (or clears) the whole-device death trigger: once the device's
+    /// total operation count reaches `op`, every operation fails until the
+    /// device is replaced. The array installer wires this from
+    /// [`FaultPlan::ssd_death_op`] / [`FaultPlan::hdd_death_op`].
+    pub fn with_death(mut self, op: Option<u64>) -> Self {
+        self.death_op = op;
+        self
+    }
+
+    /// Whether the device has died (reached its death operation).
+    pub fn is_dead(&self) -> bool {
+        self.death_op
+            .is_some_and(|d| self.read_ops + self.write_ops >= d)
     }
 
     /// Fault counters accumulated so far.
@@ -344,6 +401,12 @@ impl FaultInjector {
     /// failing block address, if any. A failing sector joins the bad set
     /// and keeps failing until rewritten.
     pub fn hdd_read(&mut self, at: Ns, lba: u64, blocks: u32) -> Option<u64> {
+        if self.is_dead() {
+            self.read_ops += 1;
+            self.stats.dead_device_errors += 1;
+            self.note(at, FaultKind::DeviceDead, lba);
+            return Some(lba);
+        }
         let op = self.read_ops;
         self.read_ops += 1;
         if self.triggered(0, op) {
@@ -376,6 +439,12 @@ impl FaultInjector {
     /// failing block address for a transient write fault; on success the
     /// written sectors are remapped (cleared from the bad set).
     pub fn hdd_write(&mut self, at: Ns, lba: u64, blocks: u32) -> Option<u64> {
+        if self.is_dead() {
+            self.write_ops += 1;
+            self.stats.dead_device_errors += 1;
+            self.note(at, FaultKind::DeviceDead, lba);
+            return Some(lba);
+        }
         let op = self.write_ops;
         self.write_ops += 1;
         if self.triggered(1, op) {
@@ -406,6 +475,12 @@ impl FaultInjector {
     /// Returns `true` if the read is uncorrectable; the page stays bad
     /// until reprogrammed or trimmed.
     pub fn ssd_read(&mut self, at: Ns, lpn: u64, life_used: f64) -> bool {
+        if self.is_dead() {
+            self.read_ops += 1;
+            self.stats.dead_device_errors += 1;
+            self.note(at, FaultKind::DeviceDead, lpn);
+            return true;
+        }
         let op = self.read_ops;
         self.read_ops += 1;
         if self.triggered(2, op) {
@@ -450,6 +525,318 @@ impl FaultInjector {
             self.stats.sectors_remapped += 1;
             self.note(at, FaultKind::Remap, lpn);
         }
+    }
+
+    /// Checks whether a pending SSD program must be refused because the
+    /// device has died. Counts and traces the refusal; a live device is
+    /// untouched (the later [`FaultInjector::ssd_write`] counts the op).
+    pub fn ssd_program_refused(&mut self, at: Ns, lpn: u64) -> bool {
+        if !self.is_dead() {
+            return false;
+        }
+        self.write_ops += 1;
+        self.stats.dead_device_errors += 1;
+        self.note(at, FaultKind::DeviceDead, lpn);
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device health
+// ---------------------------------------------------------------------
+
+/// The health of one device, as judged by deterministic error-budget
+/// accounting over its observed operation outcomes.
+///
+/// The machine moves `Healthy → Degraded → Failed → Rebuilding → Healthy`:
+/// consecutive failures or a high error-rate EWMA degrade and then fail the
+/// device; `Failed` is sticky until the device is physically replaced, at
+/// which point the rebuild task owns the `Rebuilding → Healthy` edge.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Operating normally.
+    #[default]
+    Healthy,
+    /// Error budget partially consumed; service continues with caution.
+    Degraded,
+    /// The device is considered dead; no further service is attempted.
+    Failed,
+    /// A replacement device is being repopulated under live traffic.
+    Rebuilding,
+}
+
+impl HealthState {
+    /// Stable lowercase name (used in trace JSON and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Failed => "failed",
+            HealthState::Rebuilding => "rebuilding",
+        }
+    }
+
+    /// Parses [`HealthState::as_str`] output.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "healthy" => HealthState::Healthy,
+            "degraded" => HealthState::Degraded,
+            "failed" => HealthState::Failed,
+            "rebuilding" => HealthState::Rebuilding,
+            _ => return None,
+        })
+    }
+
+    /// Severity rank for merging shard reports: the merged state is the
+    /// worst any shard reports. `Healthy < Degraded < Rebuilding < Failed`.
+    pub fn severity(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Rebuilding => 2,
+            HealthState::Failed => 3,
+        }
+    }
+
+    /// The worse of two states by [`HealthState::severity`].
+    pub fn worst(self, other: HealthState) -> HealthState {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Thresholds and budgets of the health subsystem. All accounting is in
+/// virtual time and operation counts, so verdicts are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// Consecutive failed operations that degrade a healthy device.
+    pub consecutive_degraded: u32,
+    /// Consecutive failed operations that fail the device outright.
+    pub consecutive_failed: u32,
+    /// EWMA smoothing factor for the per-operation error rate.
+    pub ewma_alpha: f64,
+    /// EWMA error rate at which a healthy device degrades.
+    pub ewma_degraded: f64,
+    /// EWMA error rate at which a degraded device fails.
+    pub ewma_failed: f64,
+    /// Consecutive successes (with the EWMA back under the degrade
+    /// threshold) that return a degraded device to healthy.
+    pub recover_successes: u32,
+    /// Device-op retry attempts budgeted per host request.
+    pub retry_budget: u32,
+    /// Base backoff delay; attempt `n` waits up to `base << n` plus jitter.
+    pub retry_base_ns: u64,
+    /// SSD slots repopulated per host I/O while rebuilding (rate limit).
+    pub rebuild_rate: u32,
+    /// Staging-buffer admission cap in buffered entries (0 = unbounded).
+    pub staging_cap: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            consecutive_degraded: 3,
+            consecutive_failed: 8,
+            ewma_alpha: 0.125,
+            ewma_degraded: 0.5,
+            ewma_failed: 0.875,
+            recover_successes: 16,
+            retry_budget: 4,
+            retry_base_ns: 50_000,
+            rebuild_rate: 4,
+            staging_cap: 0,
+        }
+    }
+}
+
+/// Error-budget accounting for one device: feed it every operation outcome
+/// via [`HealthMonitor::note`] and it walks the [`HealthState`] machine.
+///
+/// # Examples
+///
+/// ```
+/// use icash_storage::fault::{HealthMonitor, HealthPolicy, HealthState};
+///
+/// let mut m = HealthMonitor::new(HealthPolicy::default());
+/// assert_eq!(m.state(), HealthState::Healthy);
+/// for _ in 0..8 {
+///     m.note(false);
+/// }
+/// assert_eq!(m.state(), HealthState::Failed);
+/// let t = m.begin_rebuild().expect("replacement accepted");
+/// assert_eq!(t, (HealthState::Failed, HealthState::Rebuilding));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    state: HealthState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    ewma: f64,
+    /// Health transitions taken so far (edges, not notes).
+    transitions: u64,
+}
+
+impl HealthMonitor {
+    /// A healthy monitor under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthMonitor {
+            policy,
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            ewma: 0.0,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether the device is considered dead (no service attempted).
+    pub fn is_failed(&self) -> bool {
+        self.state == HealthState::Failed
+    }
+
+    /// Transitions taken so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Smoothed per-operation error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Feeds one operation outcome; returns the `(from, to)` edge if the
+    /// state changed. A `Failed` device ignores further outcomes — only
+    /// [`HealthMonitor::begin_rebuild`] (device replacement) revives it.
+    pub fn note(&mut self, ok: bool) -> Option<(HealthState, HealthState)> {
+        if self.state == HealthState::Failed {
+            return None;
+        }
+        if ok {
+            self.consecutive_failures = 0;
+            self.consecutive_successes += 1;
+        } else {
+            self.consecutive_successes = 0;
+            self.consecutive_failures += 1;
+        }
+        let err = if ok { 0.0 } else { 1.0 };
+        self.ewma = self.policy.ewma_alpha * err + (1.0 - self.policy.ewma_alpha) * self.ewma;
+
+        let p = &self.policy;
+        let to = match self.state {
+            HealthState::Healthy | HealthState::Degraded => {
+                if self.consecutive_failures >= p.consecutive_failed || self.ewma >= p.ewma_failed {
+                    HealthState::Failed
+                } else if self.consecutive_failures >= p.consecutive_degraded
+                    || self.ewma >= p.ewma_degraded
+                {
+                    HealthState::Degraded
+                } else if self.state == HealthState::Degraded
+                    && self.consecutive_successes >= p.recover_successes
+                    && self.ewma < p.ewma_degraded
+                {
+                    HealthState::Healthy
+                } else {
+                    self.state
+                }
+            }
+            HealthState::Rebuilding => {
+                // A replacement that itself starts failing hard is declared
+                // dead again; the rebuild task stops against it.
+                if self.consecutive_failures >= p.consecutive_failed {
+                    HealthState::Failed
+                } else {
+                    self.state
+                }
+            }
+            HealthState::Failed => unreachable!("handled above"),
+        };
+        self.transition(to)
+    }
+
+    /// Accepts a replacement device: `Failed → Rebuilding`. Returns the
+    /// edge, or `None` if the device had not failed.
+    pub fn begin_rebuild(&mut self) -> Option<(HealthState, HealthState)> {
+        if self.state != HealthState::Failed {
+            return None;
+        }
+        self.reset_counters();
+        self.transition(HealthState::Rebuilding)
+    }
+
+    /// Finishes a rebuild: `Rebuilding → Healthy`. Returns the edge, or
+    /// `None` if the device was not rebuilding.
+    pub fn rebuild_complete(&mut self) -> Option<(HealthState, HealthState)> {
+        if self.state != HealthState::Rebuilding {
+            return None;
+        }
+        self.reset_counters();
+        self.transition(HealthState::Healthy)
+    }
+
+    fn reset_counters(&mut self) {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = 0;
+        self.ewma = 0.0;
+    }
+
+    fn transition(&mut self, to: HealthState) -> Option<(HealthState, HealthState)> {
+        if to == self.state {
+            return None;
+        }
+        let from = self.state;
+        self.state = to;
+        self.transitions += 1;
+        Some((from, to))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared repair-ladder helpers
+// ---------------------------------------------------------------------
+
+/// Retries a failed device read exactly once (the classic baseline ladder:
+/// the injector advances its op counter, so the retry re-rolls). Mirrors
+/// what `pipeline::WriteThrough` did for tickets: one shared helper instead
+/// of per-baseline copies.
+pub fn read_with_retry<T, E>(mut op: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+    op().or_else(|_| op())
+}
+
+/// Retries a failed device write up to three times (four attempts total —
+/// write faults are transient, so the ladder almost always clears them).
+pub fn write_with_retry<T, E>(mut op: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+    let mut last = op();
+    for _ in 0..3 {
+        if last.is_ok() {
+            return last;
+        }
+        last = op();
+    }
+    last
+}
+
+/// Reports a block the repair ladder could not serve: records the typed
+/// error and, when the run materialises data, pushes the placeholder buffer
+/// that keeps `Completion::data` index-aligned with the request.
+pub fn report_lost(
+    errors: &mut Vec<BlockError>,
+    data: &mut Vec<BlockBuf>,
+    collect_data: bool,
+    lba: Lba,
+    kind: IoErrorKind,
+) {
+    errors.push(BlockError { lba, kind });
+    if collect_data {
+        data.push(BlockBuf::zeroed());
     }
 }
 
@@ -569,5 +956,174 @@ mod tests {
             );
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn death_trigger_enables_plan_and_kills_every_op() {
+        let plan = FaultPlan::seeded(1).hdd_dies_at(2);
+        assert!(plan.is_enabled());
+        assert!(FaultPlan::seeded(1).ssd_dies_at(0).is_enabled());
+        let mut inj = FaultInjector::new(plan.clone(), 16).with_death(plan.hdd_death_op);
+        assert!(inj.hdd_read(Ns::ZERO, 0, 1).is_none());
+        assert!(inj.hdd_write(Ns::ZERO, 1, 1).is_none());
+        assert!(inj.is_dead(), "two ops spent: the device is gone");
+        assert_eq!(inj.hdd_read(Ns::ZERO, 5, 1), Some(5));
+        assert_eq!(inj.hdd_write(Ns::ZERO, 6, 1), Some(6));
+        assert_eq!(inj.stats().dead_device_errors, 2);
+        // A rewrite cannot remap a dead device back to life.
+        assert_eq!(inj.hdd_read(Ns::ZERO, 5, 1), Some(5));
+    }
+
+    #[test]
+    fn dead_ssd_refuses_reads_and_programs() {
+        let plan = FaultPlan::seeded(2).ssd_dies_at(0);
+        let mut inj = FaultInjector::new(plan.clone(), 1).with_death(plan.ssd_death_op);
+        assert!(inj.ssd_read(Ns::ZERO, 3, 0.0));
+        assert!(inj.ssd_program_refused(Ns::ZERO, 4));
+        assert_eq!(inj.stats().dead_device_errors, 2);
+        // Clearing the trigger (replacement device) restores service.
+        let fresh = FaultInjector::new(plan.without_ssd_death(), 1).with_death(None);
+        let mut fresh = fresh;
+        assert!(!fresh.ssd_read(Ns::ZERO, 3, 0.0));
+        assert!(!fresh.ssd_program_refused(Ns::ZERO, 4));
+    }
+
+    #[test]
+    fn health_monitor_walks_the_machine() {
+        let mut m = HealthMonitor::new(HealthPolicy::default());
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.note(true), None);
+        // Three consecutive failures degrade.
+        m.note(false);
+        m.note(false);
+        assert_eq!(
+            m.note(false),
+            Some((HealthState::Healthy, HealthState::Degraded))
+        );
+        // Recovery needs a clean streak with the EWMA drained.
+        let mut recovered = None;
+        for _ in 0..64 {
+            if let Some(edge) = m.note(true) {
+                recovered = Some(edge);
+                break;
+            }
+        }
+        assert_eq!(
+            recovered,
+            Some((HealthState::Degraded, HealthState::Healthy))
+        );
+        // Eight consecutive failures kill it outright.
+        let mut edges = Vec::new();
+        for _ in 0..8 {
+            edges.extend(m.note(false));
+        }
+        assert_eq!(m.state(), HealthState::Failed);
+        assert_eq!(edges.last().map(|&(_, to)| to), Some(HealthState::Failed));
+        // Failed is sticky: outcomes are ignored until replacement.
+        assert_eq!(m.note(true), None);
+        assert_eq!(m.rebuild_complete(), None);
+        assert_eq!(
+            m.begin_rebuild(),
+            Some((HealthState::Failed, HealthState::Rebuilding))
+        );
+        assert_eq!(
+            m.rebuild_complete(),
+            Some((HealthState::Rebuilding, HealthState::Healthy))
+        );
+        assert!(m.transitions() >= 5);
+    }
+
+    #[test]
+    fn rebuilding_replacement_can_fail_again() {
+        let mut m = HealthMonitor::new(HealthPolicy::default());
+        for _ in 0..8 {
+            m.note(false);
+        }
+        m.begin_rebuild().expect("failed -> rebuilding");
+        for _ in 0..8 {
+            m.note(false);
+        }
+        assert_eq!(m.state(), HealthState::Failed);
+    }
+
+    #[test]
+    fn health_state_names_round_trip() {
+        for s in [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Failed,
+            HealthState::Rebuilding,
+        ] {
+            assert_eq!(HealthState::from_name(s.as_str()), Some(s));
+        }
+        assert_eq!(HealthState::from_name("zombie"), None);
+        assert_eq!(
+            HealthState::Healthy.worst(HealthState::Rebuilding),
+            HealthState::Rebuilding
+        );
+        assert_eq!(
+            HealthState::Failed.worst(HealthState::Degraded),
+            HealthState::Failed
+        );
+    }
+
+    #[test]
+    fn retry_helpers_match_the_classic_ladders() {
+        // Read ladder: one retry, so the second attempt's success lands.
+        let mut calls = 0;
+        let r: Result<u32, ()> = read_with_retry(|| {
+            calls += 1;
+            if calls < 2 {
+                Err(())
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!((r, calls), (Ok(7), 2));
+        let mut calls = 0;
+        let r: Result<u32, ()> = read_with_retry(|| {
+            calls += 1;
+            Err(())
+        });
+        assert_eq!((r, calls), (Err(()), 2));
+        // Write ladder: four attempts total.
+        let mut calls = 0;
+        let r: Result<u32, ()> = write_with_retry(|| {
+            calls += 1;
+            if calls < 4 {
+                Err(())
+            } else {
+                Ok(9)
+            }
+        });
+        assert_eq!((r, calls), (Ok(9), 4));
+        let mut calls = 0;
+        let r: Result<u32, ()> = write_with_retry(|| {
+            calls += 1;
+            Err(())
+        });
+        assert_eq!((r, calls), (Err(()), 4));
+    }
+
+    #[test]
+    fn report_lost_keeps_data_aligned() {
+        let mut errors = Vec::new();
+        let mut data = Vec::new();
+        report_lost(
+            &mut errors,
+            &mut data,
+            true,
+            Lba::new(4),
+            IoErrorKind::SsdMedia,
+        );
+        report_lost(
+            &mut errors,
+            &mut data,
+            false,
+            Lba::new(5),
+            IoErrorKind::HddMedia,
+        );
+        assert_eq!(errors.len(), 2);
+        assert_eq!(data.len(), 1, "timing-only runs push no placeholder");
     }
 }

@@ -115,6 +115,12 @@ pub enum IoErrorKind {
     SsdSpace,
     /// Controller metadata inconsistency detected and contained.
     Metadata,
+    /// Admission refused: the staging buffer hit its backpressure cap.
+    /// Transient — the host may resubmit once buffered state drains.
+    Busy,
+    /// A required device is in the `Failed` health state; the operation
+    /// was failed fast without touching hardware.
+    DeviceFailed,
 }
 
 /// One block of a request that could not be served correctly.
@@ -139,6 +145,8 @@ impl core::fmt::Display for BlockError {
             IoErrorKind::SsdMedia => "SSD media error",
             IoErrorKind::SsdSpace => "SSD out of space",
             IoErrorKind::Metadata => "metadata inconsistency",
+            IoErrorKind::Busy => "staging buffer full (busy)",
+            IoErrorKind::DeviceFailed => "device failed",
         };
         write!(f, "{kind} at block {}", self.lba)
     }

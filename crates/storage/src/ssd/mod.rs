@@ -42,6 +42,9 @@ pub enum SsdError {
         /// The uncorrectable logical page.
         lpn: u64,
     },
+    /// The whole device has died (a `ssd_dies_at` fault trigger fired);
+    /// every operation fails until the device is replaced.
+    DeviceDead,
 }
 
 impl core::fmt::Display for SsdError {
@@ -53,6 +56,7 @@ impl core::fmt::Display for SsdError {
             SsdError::Uncorrectable { lpn } => {
                 write!(f, "uncorrectable bit errors reading logical page {lpn}")
             }
+            SsdError::DeviceDead => write!(f, "flash device failed"),
         }
     }
 }
@@ -231,6 +235,13 @@ impl Ssd {
     /// Returns [`SsdError::Full`] or [`SsdError::WornOut`] when space cannot
     /// be allocated.
     pub fn write(&mut self, at: Ns, lpn: u64) -> Result<Ns, SsdError> {
+        if let Some(f) = self.faults.as_mut() {
+            // A dead device refuses the program before the FTL moves: the
+            // mapping must not advance on a write the flash never took.
+            if f.ssd_program_refused(at, lpn) {
+                return Err(SsdError::DeviceDead);
+            }
+        }
         let ops = self.ftl.write(lpn)?;
         let (queued, service, done) = self.charge(at, &ops);
         self.stats.record_write(BLOCK_SIZE, queued, service);

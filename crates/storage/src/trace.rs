@@ -60,6 +60,9 @@ pub enum FaultKind {
     Wearout,
     /// A bad sector/page was cleared by a successful rewrite (drive remap).
     Remap,
+    /// An operation was refused because the whole device had died
+    /// (a `ssd_dies_at`/`hdd_dies_at` trigger fired).
+    DeviceDead,
 }
 
 impl FaultKind {
@@ -70,6 +73,7 @@ impl FaultKind {
             FaultKind::SsdRead => "ssd_read",
             FaultKind::Wearout => "wearout",
             FaultKind::Remap => "remap",
+            FaultKind::DeviceDead => "device_dead",
         }
     }
 
@@ -80,6 +84,7 @@ impl FaultKind {
             "ssd_read" => FaultKind::SsdRead,
             "wearout" => FaultKind::Wearout,
             "remap" => FaultKind::Remap,
+            "device_dead" => FaultKind::DeviceDead,
             _ => return None,
         })
     }
@@ -281,6 +286,44 @@ pub enum TraceKind {
         /// Stale frames refused during replay.
         stale: u64,
     },
+    /// A device's health state machine took an edge.
+    HealthTransition {
+        /// Device index: 0 = SSD, 1+ = HDD spindles.
+        device: u8,
+        /// State left.
+        from: crate::fault::HealthState,
+        /// State entered.
+        to: crate::fault::HealthState,
+    },
+    /// One rate-limited chunk of an online rebuild repopulated SSD slots.
+    RebuildChunk {
+        /// Slots repopulated by this chunk.
+        slots: u32,
+        /// Slots done so far (including this chunk).
+        done: u64,
+        /// Slots the rebuild set out to restore.
+        total: u64,
+    },
+    /// A write was refused admission because the staging buffer was full.
+    Backpressure {
+        /// Block refused.
+        lba: u64,
+        /// Entries buffered at refusal time.
+        queued: u64,
+        /// The admission cap.
+        cap: u64,
+    },
+    /// One deterministic exponential-backoff retry of a faulted device op.
+    RetryBackoff {
+        /// Block address retried.
+        lba: u64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff delay charged before the retry, in virtual ns.
+        delay: u64,
+        /// True for a write retry, false for a read retry.
+        write: bool,
+    },
 }
 
 /// One trace event: a virtual timestamp plus what happened.
@@ -438,6 +481,29 @@ impl TraceEvent {
                 "{{\"at\":{at},\"kind\":\"recovery_replay\",\"entries\":{entries},\
                  \"stale\":{stale}}}"
             ),
+            TraceKind::HealthTransition { device, from, to } => format!(
+                "{{\"at\":{at},\"kind\":\"health_transition\",\"device\":{device},\
+                 \"from\":\"{}\",\"to\":\"{}\"}}",
+                from.as_str(),
+                to.as_str()
+            ),
+            TraceKind::RebuildChunk { slots, done, total } => format!(
+                "{{\"at\":{at},\"kind\":\"rebuild_chunk\",\"slots\":{slots},\
+                 \"done\":{done},\"total\":{total}}}"
+            ),
+            TraceKind::Backpressure { lba, queued, cap } => format!(
+                "{{\"at\":{at},\"kind\":\"backpressure\",\"lba\":{lba},\
+                 \"queued\":{queued},\"cap\":{cap}}}"
+            ),
+            TraceKind::RetryBackoff {
+                lba,
+                attempt,
+                delay,
+                write,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"retry_backoff\",\"lba\":{lba},\
+                 \"attempt\":{attempt},\"delay\":{delay},\"write\":{write}}}"
+            ),
         }
     }
 
@@ -562,6 +628,27 @@ impl TraceEvent {
             "recovery_replay" => TraceKind::RecoveryReplay {
                 entries: field_u64(line, "entries")?,
                 stale: field_u64(line, "stale")?,
+            },
+            "health_transition" => TraceKind::HealthTransition {
+                device: field_u64(line, "device")? as u8,
+                from: crate::fault::HealthState::from_name(field_str(line, "from")?)?,
+                to: crate::fault::HealthState::from_name(field_str(line, "to")?)?,
+            },
+            "rebuild_chunk" => TraceKind::RebuildChunk {
+                slots: field_u64(line, "slots")? as u32,
+                done: field_u64(line, "done")?,
+                total: field_u64(line, "total")?,
+            },
+            "backpressure" => TraceKind::Backpressure {
+                lba: field_u64(line, "lba")?,
+                queued: field_u64(line, "queued")?,
+                cap: field_u64(line, "cap")?,
+            },
+            "retry_backoff" => TraceKind::RetryBackoff {
+                lba: field_u64(line, "lba")?,
+                attempt: field_u64(line, "attempt")? as u32,
+                delay: field_u64(line, "delay")?,
+                write: field_bool(line, "write")?,
             },
             _ => return None,
         };
@@ -749,6 +836,18 @@ pub struct TraceStats {
     pub faults_wearout: u64,
     /// Bad sectors/pages cleared by rewrites.
     pub faults_remapped: u64,
+    /// Operations refused by a dead device.
+    pub faults_dead_device: u64,
+    /// Device health-state transitions.
+    pub health_transitions: u64,
+    /// Online-rebuild chunks processed.
+    pub rebuild_chunks: u64,
+    /// SSD slots repopulated by those chunks.
+    pub rebuild_slots: u64,
+    /// Writes refused admission by staging backpressure.
+    pub backpressure_rejects: u64,
+    /// Exponential-backoff retries of faulted device ops.
+    pub retry_backoffs: u64,
     open_span: Option<Ns>,
 }
 
@@ -789,6 +888,7 @@ impl TraceSink for TraceStats {
                 FaultKind::SsdRead => self.faults_ssd_read += 1,
                 FaultKind::Wearout => self.faults_wearout += 1,
                 FaultKind::Remap => self.faults_remapped += 1,
+                FaultKind::DeviceDead => self.faults_dead_device += 1,
             },
             TraceKind::RamHit { .. } => self.ram_hits += 1,
             TraceKind::SigProbe { bound, .. } => {
@@ -833,6 +933,13 @@ impl TraceSink for TraceStats {
             TraceKind::Scrub { .. } => self.scrubs += 1,
             TraceKind::SlotRepair { .. } => self.slot_repairs += 1,
             TraceKind::FaultRetry { .. } => self.fault_retries += 1,
+            TraceKind::HealthTransition { .. } => self.health_transitions += 1,
+            TraceKind::RebuildChunk { slots, .. } => {
+                self.rebuild_chunks += 1;
+                self.rebuild_slots += slots as u64;
+            }
+            TraceKind::Backpressure { .. } => self.backpressure_rejects += 1,
+            TraceKind::RetryBackoff { .. } => self.retry_backoffs += 1,
             TraceKind::RecoveryTruncate { .. } | TraceKind::RecoveryReplay { .. } => {}
         }
     }
@@ -1020,6 +1127,31 @@ mod tests {
                 entries: 40,
                 stale: 2,
             }),
+            e(TraceKind::FaultInjected {
+                kind: FaultKind::DeviceDead,
+                addr: 12,
+            }),
+            e(TraceKind::HealthTransition {
+                device: 0,
+                from: crate::fault::HealthState::Healthy,
+                to: crate::fault::HealthState::Degraded,
+            }),
+            e(TraceKind::RebuildChunk {
+                slots: 4,
+                done: 12,
+                total: 64,
+            }),
+            e(TraceKind::Backpressure {
+                lba: 33,
+                queued: 128,
+                cap: 128,
+            }),
+            e(TraceKind::RetryBackoff {
+                lba: 21,
+                attempt: 2,
+                delay: 100_000,
+                write: true,
+            }),
         ]
     }
 
@@ -1109,6 +1241,12 @@ mod tests {
         assert_eq!(s.scrubs, 1);
         assert_eq!(s.slot_repairs, 1);
         assert_eq!(s.fault_retries, 1);
+        assert_eq!(s.faults_dead_device, 1);
+        assert_eq!(s.health_transitions, 1);
+        assert_eq!(s.rebuild_chunks, 1);
+        assert_eq!(s.rebuild_slots, 4);
+        assert_eq!(s.backpressure_rejects, 1);
+        assert_eq!(s.retry_backoffs, 1);
     }
 
     #[test]

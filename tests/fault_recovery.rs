@@ -6,7 +6,8 @@
 
 use icash::core::{Icash, IcashConfig};
 use icash::storage::cpu::CpuModel;
-use icash::storage::fault::FaultPlan;
+use icash::storage::fault::{fault_roll, FaultPlan, HealthPolicy, HealthState};
+use icash::storage::request::IoErrorKind;
 use icash::storage::shard::ShardRouter;
 use icash::storage::{BlockBuf, IoCtx, Lba, Ns, Request, StorageSystem, ZeroSource};
 use proptest::prelude::*;
@@ -384,5 +385,226 @@ proptest! {
                 ),
             }
         }
+    }
+}
+
+/// Valid-or-typed oracle for the death properties: a read is acceptable if
+/// it failed with a typed error, returned pre-history zeroes, or returned
+/// any version the block legitimately acknowledged.
+fn acceptable(versions: &HashMap<u64, Vec<BlockBuf>>, lba: u64, got: &BlockBuf) -> bool {
+    *got == BlockBuf::zeroed() || versions.get(&lba).is_some_and(|held| held.contains(got))
+}
+
+/// Address span for the death-driving traffic. Deliberately wider than the
+/// RAM delta buffer (unlike the scripted history's `SPAN`, which fits):
+/// cold misses must keep touching the home disk, or an armed HDD death at
+/// a given *device*-op count would take thousands of host ops to land.
+const DRIVE_SPAN: u64 = 512;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-device death at an arbitrary device-op in an arbitrary
+    /// history — optionally followed by a crash mid-rebuild — is
+    /// survivable. Every read during degraded service is a version the
+    /// block legitimately held or a typed error; an HDD death fails
+    /// writes fast with [`IoErrorKind::DeviceFailed`]; a replaced SSD
+    /// rebuilds back to `Healthy` under live traffic and then serves
+    /// fresh writes exactly; and the surviving controller passes full
+    /// internal validation.
+    #[test]
+    fn device_death_anywhere_is_survivable(
+        ops in ops_strategy(),
+        death_at in 1u64..120,
+        kill_hdd in any::<bool>(),
+        crash_mid_rebuild in any::<bool>(),
+        seed in 0u64..1000,
+        depth_pick in 0usize..3,
+    ) {
+        let mut cfg = base_config(DEPTHS[depth_pick]);
+        cfg.health = Some(HealthPolicy::default());
+        let plan = if kill_hdd {
+            FaultPlan::seeded(seed).hdd_dies_at(death_at)
+        } else {
+            FaultPlan::seeded(seed).ssd_dies_at(death_at)
+        };
+        let mut system = Icash::new(cfg).with_fault_plan(plan);
+        let mut cpu = CpuModel::xeon();
+        let backing = ZeroSource;
+        let mut versions: HashMap<u64, Vec<BlockBuf>> = HashMap::new();
+        let mut now = Ns::ZERO;
+        for op in &ops {
+            let hdd_down = system
+                .report(now)
+                .health
+                .is_some_and(|h| h.hdd == HealthState::Failed);
+            match op {
+                SysOp::Write { lba, tag } => {
+                    let content = block_for(*tag);
+                    let req = Request::write(Lba::new(*lba), now, content.clone());
+                    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                    let completion = system.submit(&req, &mut ctx);
+                    now = completion.finished;
+                    // Only acknowledged writes join the history: a typed
+                    // refusal must leave the block on its old versions.
+                    if !completion.failed(Lba::new(*lba)) {
+                        versions.entry(*lba).or_default().push(content);
+                    }
+                }
+                SysOp::Read { lba } => {
+                    let req = Request::read(Lba::new(*lba), now);
+                    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                    let completion = system.submit(&req, &mut ctx);
+                    now = completion.finished;
+                    if !completion.failed(Lba::new(*lba)) {
+                        prop_assert!(
+                            acceptable(&versions, *lba, &completion.data[0]),
+                            "lba {}: degraded read returned a value it never held",
+                            lba
+                        );
+                    }
+                }
+                // A barrier against a failed home disk is a liveness
+                // question, not this property's (safety) contract: skip.
+                SysOp::Flush if !hdd_down => {
+                    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                    now = system.flush(now, &mut ctx);
+                }
+                SysOp::Barrier if !hdd_down => {
+                    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                    now = system.sync(now, &mut ctx);
+                }
+                SysOp::Flush | SysOp::Barrier => {}
+            }
+        }
+        // Keep traffic flowing until the armed death lands and the monitor
+        // walks its ladder to `Failed` (the device-op clock only advances
+        // on actual device accesses, so the bound is generous).
+        let mut reached = false;
+        for extra in 0..2_500u64 {
+            let lba = fault_roll(seed, 0xD1E5, extra, 0) % DRIVE_SPAN;
+            if fault_roll(seed, 0xD1E6, extra, lba) % 5 < 3 {
+                let content = block_for((extra ^ lba) as u8);
+                let req = Request::write(Lba::new(lba), now, content.clone());
+                let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                let completion = system.submit(&req, &mut ctx);
+                now = completion.finished;
+                if !completion.failed(Lba::new(lba)) {
+                    versions.entry(lba).or_default().push(content);
+                }
+            } else {
+                let req = Request::read(Lba::new(lba), now);
+                let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                let completion = system.submit(&req, &mut ctx);
+                now = completion.finished;
+                if !completion.failed(Lba::new(lba)) {
+                    prop_assert!(
+                        acceptable(&versions, lba, &completion.data[0]),
+                        "lba {}: read under failing device returned foreign data",
+                        lba
+                    );
+                }
+            }
+            let health = system.report(now).health.expect("health enabled");
+            let state = if kill_hdd { health.hdd } else { health.ssd };
+            if state == HealthState::Failed {
+                reached = true;
+                break;
+            }
+        }
+        prop_assert!(reached, "armed death at device-op {} never reached Failed", death_at);
+
+        if kill_hdd {
+            // Fail-fast contract: with the home disk gone, every probe
+            // write must bounce with a typed DeviceFailed error.
+            for probe in 0..10u64 {
+                let lba = fault_roll(seed, 0xDEAD, probe, 1) % SPAN;
+                let req = Request::write(Lba::new(lba), now, block_for(probe as u8));
+                let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                let completion = system.submit(&req, &mut ctx);
+                now = completion.finished;
+                prop_assert!(
+                    completion
+                        .errors
+                        .iter()
+                        .any(|e| e.lba == Lba::new(lba) && e.kind == IoErrorKind::DeviceFailed),
+                    "lba {}: write against a failed HDD was not refused",
+                    lba
+                );
+            }
+        } else {
+            system.replace_ssd(now);
+            if crash_mid_rebuild {
+                // A little rebuild traffic, then the plug is pulled with
+                // repopulation still pending.
+                for extra in 0..20u64 {
+                    let lba = fault_roll(seed, 0xC0A5, extra, 0) % DRIVE_SPAN;
+                    let req = Request::read(Lba::new(lba), now);
+                    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                    now = system.submit(&req, &mut ctx).finished;
+                }
+                system = system.crash_and_recover();
+            }
+            // Rebuild rides host I/O: drive until the monitor reports the
+            // replacement healthy again.
+            let mut healthy = false;
+            for extra in 0..2_500u64 {
+                let lba = fault_roll(seed, 0x4EA1, extra, 0) % DRIVE_SPAN;
+                let req = Request::read(Lba::new(lba), now);
+                let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                let completion = system.submit(&req, &mut ctx);
+                now = completion.finished;
+                if !completion.failed(Lba::new(lba)) {
+                    prop_assert!(
+                        acceptable(&versions, lba, &completion.data[0]),
+                        "lba {}: read during rebuild returned foreign data",
+                        lba
+                    );
+                }
+                let health = system.report(now).health.expect("health enabled");
+                if health.ssd == HealthState::Healthy {
+                    healthy = true;
+                    break;
+                }
+            }
+            prop_assert!(healthy, "replacement SSD never rebuilt to Healthy");
+            // Fresh service on the rebuilt array is exact, not merely
+            // valid: the death must leave no lasting wound.
+            for probe in 0..8u64 {
+                let lba = fault_roll(seed, 0xF4E5, probe, 2) % SPAN;
+                let content = block_for(probe.wrapping_mul(37) as u8);
+                let w = Request::write(Lba::new(lba), now, content.clone());
+                let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+                let completion = system.submit(&w, &mut ctx);
+                now = completion.finished;
+                prop_assert!(!completion.failed(Lba::new(lba)), "healthy write refused");
+                versions.entry(lba).or_default().push(content.clone());
+                let r = Request::read(Lba::new(lba), now);
+                let completion = system.submit(&r, &mut ctx);
+                now = completion.finished;
+                prop_assert!(!completion.failed(Lba::new(lba)), "healthy read failed");
+                prop_assert_eq!(
+                    &completion.data[0],
+                    &content,
+                    "post-rebuild readback was stale"
+                );
+            }
+        }
+        // Final sweep over everything ever acknowledged: valid-or-typed,
+        // and the controller's internal structures still cross-check.
+        for (&lba, _) in &versions {
+            let req = Request::read(Lba::new(lba), now);
+            let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+            let completion = system.submit(&req, &mut ctx);
+            now = completion.finished;
+            if !completion.failed(Lba::new(lba)) {
+                prop_assert!(
+                    acceptable(&versions, lba, &completion.data[0]),
+                    "lba {}: final sweep read a value never held",
+                    lba
+                );
+            }
+        }
+        system.debug_validate();
     }
 }
