@@ -26,6 +26,14 @@
 #                   worker counts, and run_scale vs BENCH_scale.json (the
 #                   4x 8-vs-1-shard wall-speedup assert turns on only on
 #                   hosts with >= 8 workers)
+#   ./ci.sh queue   device command-queue gate: queue=off byte-identity
+#                   (run_all trace JSONL + run_faults stdout vs the same
+#                   pinned goldens — the default build must not change by
+#                   a byte), the queue-free/queued differential suite, the
+#                   HDD position-model and scheduler proptests, the queue
+#                   trace oracle, the ablation depth trajectory vs
+#                   BENCH_queue.json (virtual-time figures, exact), and
+#                   the run_scale queue-on > queue-off throughput assert
 #   ./ci.sh chaos   device-health gate: health=off byte-identity (run_all
 #                   trace vs the same pinned sha256), the health-free and
 #                   device-death differential/property suites, and the
@@ -145,6 +153,41 @@ if [[ "${1:-}" == "chaos" ]]; then
   diff target/run_chaos_a.txt target/run_chaos_b.txt
   cat target/run_chaos_a.txt | tail -3
   echo "CHAOS OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "queue" ]]; then
+  echo "==> queue-free differential: no queue, no counters, no events, identical bytes"
+  cargo test -q -p icash --test queue_free
+  echo "==> queue trace oracle: queue-event totals vs device reports"
+  cargo test -q -p icash --test trace_oracle icash_queue
+  echo "==> HDD position-model + scheduler unit/property suite"
+  cargo test -q -p icash-storage hdd
+  cargo test -q -p icash-storage queue
+  echo "==> queue=off byte-identity: run_faults stdout vs golden"
+  cargo build -q --release -p icash-bench
+  ./target/release/run_faults > target/run_faults_queueoff.txt
+  diff target/run_faults_queueoff.txt ci/golden/run_faults_depth1.txt
+  echo "==> queue=off byte-identity: run_all trace JSONL vs pinned sha256"
+  ICASH_OPS=300 ICASH_THREADS=1 ./target/release/run_all target/run_all_queueoff.md \
+    --trace target/run_all_trace_queueoff.jsonl > /dev/null
+  {
+    sha256sum target/run_all_trace_queueoff.jsonl | cut -d' ' -f1
+    wc -l < target/run_all_trace_queueoff.jsonl
+  } > target/run_all_trace_queueoff.sha256
+  diff target/run_all_trace_queueoff.sha256 ci/golden/run_all_trace_depth1.sha256
+  echo "==> ablation depth trajectory vs BENCH_queue.json (+ trend assert)"
+  ICASH_OPS=8000 ICASH_QUEUE_TREND_ASSERT=1 \
+    CRITERION_JSON="$PWD/target/bench_queue_current.json" \
+    ./target/release/ablation_queue_depth > target/ablation_queue_depth.txt
+  cargo run -q --release -p icash-bench --bin bench_diff -- \
+    BENCH_queue.json \
+    target/bench_queue_current.json
+  echo "==> run_scale: queue-on must beat queue-off at 16 shards (virtual throughput)"
+  ICASH_OPS=4000 ICASH_SCALE_SHARDS=1,8,16 ICASH_SCALE_CLIENTS=4 \
+    ICASH_QUEUE_DEPTH=16 ICASH_QUEUE_ASSERT=1 \
+    ./target/release/run_scale > target/run_scale_queue.txt
+  echo "QUEUE OK"
   exit 0
 fi
 

@@ -91,6 +91,32 @@ const NOTES: &str = r#"
 * **Table 5 (TPC-C column)**: paper and measurement both show the four
   SSD-bearing systems within ~10 % of each other and RAID0 2.5-4x worse;
   the within-cluster winner differs (a near-tie).
+
+## Sensitivity to device command queueing (DESIGN.md §15)
+
+Every number above is a `queue = off` run — the default build is pinned
+byte-identical to the pre-queue engine (`./ci.sh queue` diffs the trace
+JSONL and `run_faults` stdout against the same goldens as the pipeline
+and scale gates), so nothing in this report moves unless
+`ICASH_QUEUE_DEPTH` is set. What moves when it is:
+
+* **HDD service time** is the sensitive quantity. `ablation_queue_depth`
+  (SysBench, 8000 ops) tracks virtual HDD service ns per thousand host
+  ops: 33 685 186 queue-off falling to 31 397 043 at NCQ depth 8, where
+  it saturates — once the whole group-commit cadence parks in the
+  write-behind cache and drains as one coalesced burst, extra depth has
+  nothing left to merge (`BENCH_queue.json` pins the trajectory).
+* **Throughput moves only where the HDD is on the critical path.** The
+  paper-exhibit cells are flash/RAM-bound after quick-mode scaling, so
+  their tx/s barely shift. The HDD-bound pressure variant
+  (`ICASH_ABL_SPEC=pressure`: delta-unfriendly writes, uniform access,
+  RAM/64) gains ~3 % tx/s at depth 32, and `run_scale` on the same spec
+  at 16 shards clears its queue-on > queue-off assert (3 971 vs
+  3 856 ops/s) — the gap the gate enforces.
+* **Invariants that do not move**: bytes returned by every read, bytes
+  reaching HDD media after a durability barrier, flash wear/erase
+  counts, and `stats.busy` on the SSD (queues reschedule time, they do
+  not invent it). `tests/queue_free.rs` holds the differential.
 "#;
 
 fn main() {

@@ -15,10 +15,14 @@
 //!
 //! Environment: `ICASH_OPS` (outer ops, default 6,000),
 //! `ICASH_SCALE_SHARDS` / `ICASH_SCALE_CLIENTS` (comma-separated sweep
-//! overrides), `ICASH_THREADS` (worker pool), and
+//! overrides), `ICASH_THREADS` (worker pool), `ICASH_QUEUE_DEPTH` /
+//! `ICASH_HDD_SCHED` (device command queues for every cell),
 //! `ICASH_SCALE_ASSERT=MINx` (e.g. `4x`) to fail the run unless the
 //! 8-vs-1-shard wall speedup reaches the bound — CI enables this only on
-//! hosts with at least 8 workers, where the sharded engine must deliver.
+//! hosts with at least 8 workers, where the sharded engine must deliver —
+//! and `ICASH_QUEUE_ASSERT=1` to fail the run unless queueing delivers
+//! higher aggregate *virtual* throughput than queue-off at 16 shards (a
+//! deterministic comparison, so CI can gate on it at any worker count).
 
 use icash_bench::scale;
 use icash_bench::{cli, harness};
@@ -29,16 +33,18 @@ fn main() {
     let seed = 0x1CA5_4001u64;
     let shard_sweep = scale::sweep_from_env("ICASH_SCALE_SHARDS", &scale::SHARD_SWEEP);
     let client_sweep = scale::sweep_from_env("ICASH_SCALE_CLIENTS", &scale::CLIENT_SWEEP);
+    let queue = cli::queue_from_env();
     let spec = sysbench::spec().scaled_to_ops(ops);
     eprintln!(
-        "run_scale: SysBench, {} ops, shards {:?} x clients {:?}, {} workers",
+        "run_scale: SysBench, {} ops, shards {:?} x clients {:?}, {} workers, queue {:?}",
         ops,
         shard_sweep,
         client_sweep,
-        harness::worker_count(usize::MAX)
+        harness::worker_count(usize::MAX),
+        queue,
     );
 
-    let cells = scale::run_campaign(&spec, ops, seed, &shard_sweep, &client_sweep);
+    let cells = scale::run_campaign(&spec, ops, seed, &shard_sweep, &client_sweep, queue);
 
     let doc = scale::document(&spec, ops, seed, &cells);
     print!("{doc}");
@@ -71,5 +77,39 @@ fn main() {
             speedup >= min,
             "sharded engine scaled only {speedup:.2}x at 8 shards (required {min}x)"
         );
+    }
+
+    if let Ok(v) = std::env::var("ICASH_QUEUE_ASSERT") {
+        match v.as_str() {
+            "1" => {
+                let q = queue.unwrap_or_default();
+                let clients = *client_sweep.last().expect("sweep is never empty");
+                eprintln!(
+                    "run_scale: queue-on vs queue-off at 16 shards ({q:?}, {clients} clients)"
+                );
+                // The comparison cells run the HDD-pressure SysBench variant
+                // under a tight RAM budget: stock SysBench touches the
+                // mechanical disk a handful of times per shard (it is an
+                // SSD-friendly workload by design), which leaves the device
+                // queue nothing to schedule and the comparison a tie.
+                let mut pspec = sysbench::pressure_spec().scaled_to_ops(ops);
+                pspec.ram_bytes = (pspec.ram_bytes / 64).max(1 << 20);
+                pspec.ssd_bytes = (pspec.ssd_bytes / 4).max(1 << 20);
+                let on = scale::run_campaign(&pspec, ops, seed, &[16], &[clients], Some(q));
+                let off = scale::run_campaign(&pspec, ops, seed, &[16], &[clients], None);
+                let on_rate = on[0].merged.ops_per_sec();
+                let off_rate = off[0].merged.ops_per_sec();
+                eprintln!(
+                    "run_scale: aggregate virtual throughput {on_rate:.0} ops/s queued vs {off_rate:.0} ops/s unqueued"
+                );
+                assert!(
+                    on_rate > off_rate,
+                    "device queueing must raise aggregate virtual throughput at 16 shards: \
+                     {on_rate:.0} ops/s queued vs {off_rate:.0} ops/s unqueued"
+                );
+            }
+            "0" | "" => {}
+            other => panic!("invalid ICASH_QUEUE_ASSERT={other:?}: expected \"1\" or \"0\"/unset"),
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! invalidate the numbers it claims to reproduce.
 
 use icash_storage::fault::HealthPolicy;
+use icash_storage::queue::{QueueConfig, QueuePolicy};
 use std::path::PathBuf;
 
 /// The `--trace <path>` / `--trace=<path>` command-line flag, falling back
@@ -61,6 +62,24 @@ pub fn ops_from_env(default: u64) -> u64 {
             Err(_) => panic!(
                 "invalid ICASH_OPS={ops:?}: expected a positive integer number of operations"
             ),
+        },
+    }
+}
+
+/// A generic strict positive-integer environment override: `default` when
+/// the variable is unset, its parsed value otherwise.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a positive integer — silently
+/// falling back to the default would mask the typo.
+pub fn u64_from_env(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(v) => match v.parse::<u64>() {
+            Ok(0) => panic!("invalid {var}=0: expected a positive integer"),
+            Ok(n) => n,
+            Err(_) => panic!("invalid {var}={v:?}: expected a positive integer"),
         },
     }
 }
@@ -187,6 +206,50 @@ pub fn health_from_env() -> Option<HealthPolicy> {
     Some(policy)
 }
 
+/// The `ICASH_QUEUE_DEPTH` switch plus its scheduling knob: when set to a
+/// positive integer, harness I-CASH instances run with device command
+/// queues of that depth (HDD NCQ batch scheduling with coalescing, SSD
+/// per-channel erase deferral). `ICASH_HDD_SCHED` selects the HDD
+/// scheduling policy: `"sptf"` (shortest positioning time first, the
+/// default) or `"fifo"`. Unset means no queues — byte-identical to the
+/// pre-queue outputs.
+///
+/// # Panics
+///
+/// Panics when `ICASH_QUEUE_DEPTH` is set but zero or malformed, when
+/// `ICASH_HDD_SCHED` names an unknown policy, or when `ICASH_HDD_SCHED` is
+/// set while `ICASH_QUEUE_DEPTH` is unset — a knob that silently did
+/// nothing would invalidate the run it claims to describe.
+pub fn queue_from_env() -> Option<QueueConfig> {
+    let depth = match std::env::var("ICASH_QUEUE_DEPTH") {
+        Err(_) => {
+            if std::env::var("ICASH_HDD_SCHED").is_ok() {
+                panic!(
+                    "ICASH_HDD_SCHED is set but ICASH_QUEUE_DEPTH is not set: the knob would be silently ignored"
+                );
+            }
+            return None;
+        }
+        Ok(v) => match v.parse::<u32>() {
+            Ok(0) => panic!(
+                "invalid ICASH_QUEUE_DEPTH=0: a zero-slot queue could never admit a command; unset the variable to run without queues"
+            ),
+            Ok(n) => n,
+            Err(_) => panic!(
+                "invalid ICASH_QUEUE_DEPTH={v:?}: expected a positive integer queue depth"
+            ),
+        },
+    };
+    let sched = match std::env::var("ICASH_HDD_SCHED") {
+        Err(_) => QueuePolicy::Sptf,
+        Ok(v) => match QueuePolicy::parse(&v) {
+            Some(p) => p,
+            None => panic!("invalid ICASH_HDD_SCHED={v:?}: expected \"sptf\" or \"fifo\""),
+        },
+    };
+    Some(QueueConfig { depth, sched })
+}
+
 fn parse_positive_u32(name: &str, value: &str) -> u32 {
     match value.parse::<u32>() {
         Ok(0) => panic!("invalid {name}=0: expected a positive integer"),
@@ -224,6 +287,13 @@ mod tests {
     fn shards_default_is_unsharded() {
         std::env::remove_var("ICASH_SHARDS");
         assert_eq!(shards_from_env(), 1);
+    }
+
+    #[test]
+    fn queue_default_is_off() {
+        std::env::remove_var("ICASH_QUEUE_DEPTH");
+        std::env::remove_var("ICASH_HDD_SCHED");
+        assert!(queue_from_env().is_none());
     }
 
     #[test]

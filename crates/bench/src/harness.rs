@@ -31,6 +31,7 @@ use icash_metrics::summary::RunSummary;
 use icash_metrics::trace::JsonlSink;
 use icash_storage::cpu::CpuModel;
 use icash_storage::fault::HealthPolicy;
+use icash_storage::queue::QueueConfig;
 use icash_storage::shard::ShardRouter;
 use icash_storage::system::{IoCtx, StorageSystem, ZeroSource};
 use icash_storage::time::Ns;
@@ -83,18 +84,20 @@ impl SystemKind {
     /// depth does not apply to them). Depth 1 is the classic synchronous
     /// cycle.
     pub fn build_with_depth(self, spec: &WorkloadSpec, depth: u64) -> Box<dyn StorageSystem> {
-        self.build_with_options(spec, depth, None)
+        self.build_with_options(spec, depth, None, None)
     }
 
     /// [`build_with_depth`](SystemKind::build_with_depth) with an optional
-    /// device-health policy for the I-CASH controller (`ICASH_HEALTH`; the
-    /// baselines have no health machinery and ignore it). `None` builds the
-    /// health-free controller, byte-identical to pre-health outputs.
+    /// device-health policy and an optional device command-queue config for
+    /// the I-CASH controller (`ICASH_HEALTH` / `ICASH_QUEUE_DEPTH`; the
+    /// baselines have neither and ignore both). `None`/`None` builds the
+    /// plain controller, byte-identical to pre-health, pre-queue outputs.
     pub fn build_with_options(
         self,
         spec: &WorkloadSpec,
         depth: u64,
         health: Option<HealthPolicy>,
+        queue: Option<QueueConfig>,
     ) -> Box<dyn StorageSystem> {
         use icash_baselines::{DedupCache, LruCache, PureSsd, Raid0};
         match self {
@@ -112,6 +115,9 @@ impl SystemKind {
                         .group_commit_depth(depth);
                 if let Some(policy) = health {
                     builder = builder.health(policy);
+                }
+                if let Some(q) = queue {
+                    builder = builder.queue(q);
                 }
                 Box::new(Icash::new(builder.build()))
             }
@@ -131,12 +137,14 @@ impl SystemKind {
         depth: u64,
         shards: u32,
         health: Option<HealthPolicy>,
+        queue: Option<QueueConfig>,
     ) -> Box<dyn StorageSystem> {
         if shards <= 1 {
-            return self.build_with_options(spec, depth, health);
+            return self.build_with_options(spec, depth, health, queue);
         }
         // Each shard polices its share of the staging budget; divide the
         // global cap so the aggregate bound matches the unsharded build.
+        // The queue depth is per device, so every shard keeps it whole.
         let health = health.map(|mut policy| {
             if policy.staging_cap > 0 {
                 policy.staging_cap = (policy.staging_cap / shards as u64).max(1);
@@ -145,7 +153,7 @@ impl SystemKind {
         });
         let slice = spec.shard_slice(shards);
         let systems: Vec<Box<dyn StorageSystem>> = (0..shards)
-            .map(|_| self.build_with_options(&slice, depth, health))
+            .map(|_| self.build_with_options(&slice, depth, health, queue))
             .collect();
         Box::new(ShardRouter::new(systems))
     }
@@ -174,6 +182,10 @@ pub struct ExperimentConfig {
     /// tuning knobs). `None` — the default — builds the health-free
     /// controller, byte-identical to pre-health outputs.
     pub health: Option<HealthPolicy>,
+    /// Device command-queue config for I-CASH cells (`ICASH_QUEUE_DEPTH` /
+    /// `ICASH_HDD_SCHED`). `None` — the default — installs no queues,
+    /// byte-identical to pre-queue outputs.
+    pub queue: Option<QueueConfig>,
 }
 
 impl ExperimentConfig {
@@ -187,6 +199,7 @@ impl ExperimentConfig {
             flush_ticket: false,
             shards: 1,
             health: None,
+            queue: None,
         }
     }
 
@@ -233,6 +246,7 @@ impl ExperimentConfig {
         cfg.flush_ticket = crate::cli::flush_ticket_from_env();
         cfg.shards = crate::cli::shards_from_env();
         cfg.health = crate::cli::health_from_env();
+        cfg.queue = crate::cli::queue_from_env();
         cfg
     }
 }
@@ -389,6 +403,7 @@ fn run_cell_inner(
         prep.cfg.group_commit_depth,
         prep.cfg.shards,
         prep.cfg.health,
+        prep.cfg.queue,
     );
     let sink = if traced {
         Some(attach_jsonl(system.as_mut()))
@@ -689,6 +704,7 @@ mod tests {
             flush_ticket: false,
             shards: 1,
             health: None,
+            queue: None,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {
@@ -721,6 +737,7 @@ mod tests {
             flush_ticket: false,
             shards: 4,
             health: None,
+            queue: None,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {

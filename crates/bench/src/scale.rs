@@ -31,6 +31,7 @@ use icash_core::{Icash, IcashConfig};
 use icash_metrics::histogram::LatencyHistogram;
 use icash_metrics::summary::RunSummary;
 use icash_storage::block::Lba;
+use icash_storage::queue::QueueConfig;
 use icash_storage::shard::merge_streams;
 use icash_storage::system::SystemReport;
 use icash_storage::time::Ns;
@@ -206,13 +207,16 @@ pub fn run_cell(
     shards: u32,
     clients: u32,
     seed: u64,
+    queue: Option<QueueConfig>,
 ) -> ScaleCell {
     let wall_start = Instant::now();
     let parts = partition_trace(trace, shards);
     let slice_spec = spec.shard_slice(shards);
-    let slice_cfg = IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes)
-        .build()
-        .shard_slice(shards);
+    let mut builder = IcashConfig::builder(spec.ssd_bytes, spec.ram_bytes, spec.data_bytes);
+    if let Some(q) = queue {
+        builder = builder.queue(q);
+    }
+    let slice_cfg = builder.build().shard_slice(shards);
     let jobs: Vec<_> = parts
         .into_iter()
         .enumerate()
@@ -255,6 +259,7 @@ pub fn run_campaign(
     seed: u64,
     shard_sweep: &[u32],
     client_sweep: &[u32],
+    queue: Option<QueueConfig>,
 ) -> Vec<ScaleCell> {
     let mut source = icash_workloads::MixedWorkload::new(spec.clone(), seed);
     let universe = icash_workloads::workload::Workload::address_universe(&source);
@@ -263,7 +268,9 @@ pub fn run_campaign(
     for &shards in shard_sweep {
         for &clients in client_sweep {
             eprintln!("run_scale: shards={shards} clients={clients} ({ops} ops)");
-            cells.push(run_cell(spec, &trace, &universe, shards, clients, seed));
+            cells.push(run_cell(
+                spec, &trace, &universe, shards, clients, seed, queue,
+            ));
         }
     }
     cells
@@ -466,7 +473,7 @@ mod tests {
         let mut wl = icash_workloads::MixedWorkload::new(spec.clone(), 5);
         let universe = icash_workloads::workload::Workload::address_universe(&wl);
         let trace = Trace::record(&mut wl, 400);
-        let cell = run_cell(&spec, &trace, &universe, 1, 4, 5);
+        let cell = run_cell(&spec, &trace, &universe, 1, 4, 5, None);
         assert_eq!(cell.per_shard.len(), 1);
         assert_eq!(cell.finish_order, vec![0]);
         // The merged summary IS the single shard's summary.
@@ -480,8 +487,8 @@ mod tests {
         let mut wl = icash_workloads::MixedWorkload::new(spec.clone(), 5);
         let universe = icash_workloads::workload::Workload::address_universe(&wl);
         let trace = Trace::record(&mut wl, 400);
-        let a = run_cell(&spec, &trace, &universe, 4, 2, 5);
-        let b = run_cell(&spec, &trace, &universe, 4, 2, 5);
+        let a = run_cell(&spec, &trace, &universe, 4, 2, 5, None);
+        let b = run_cell(&spec, &trace, &universe, 4, 2, 5, None);
         assert_eq!(a.to_json(), b.to_json(), "cells replay bit-identically");
         assert_eq!(a.per_shard.len(), 4);
         assert_eq!(a.finish_order.len(), 4);
@@ -495,7 +502,7 @@ mod tests {
     #[test]
     fn document_excludes_wall_clock() {
         let spec = small_spec();
-        let cells = run_campaign(&spec, 120, 9, &[1, 2], &[2]);
+        let cells = run_campaign(&spec, 120, 9, &[1, 2], &[2], None);
         let doc = document(&spec, 120, 9, &cells);
         assert!(doc.starts_with("{\"schema\":\"icash-scale-v1\""));
         assert_eq!(doc.lines().count(), 3, "header + one line per cell");

@@ -28,8 +28,19 @@ const SEED: u64 = 0x1CA5_4001;
 fn campaign_with_threads(threads: &str) -> String {
     std::env::set_var("ICASH_THREADS", threads);
     let spec = small_spec();
-    let cells = scale::run_campaign(&spec, OPS, SEED, &[1, 2, 8], &[2, 4]);
-    scale::document(&spec, OPS, SEED, &cells)
+    let cells = scale::run_campaign(&spec, OPS, SEED, &[1, 2, 8], &[2, 4], None);
+    let mut doc = scale::document(&spec, OPS, SEED, &cells);
+    // The queued engine must be exactly as deterministic as the bare one.
+    let queued = scale::run_campaign(
+        &spec,
+        OPS,
+        SEED,
+        &[1, 8],
+        &[4],
+        Some(icash_storage::queue::QueueConfig::depth(8)),
+    );
+    doc.push_str(&scale::document(&spec, OPS, SEED, &queued));
+    doc
 }
 
 #[test]
@@ -45,6 +56,7 @@ fn campaign_document_is_independent_of_worker_count() {
         sequential, parallel,
         "worker count changed the campaign document"
     );
-    // Six cells plus the schema header.
-    assert_eq!(sequential.lines().count(), 7);
+    // Six cells plus the schema header, then the queued campaign's two
+    // cells plus its header.
+    assert_eq!(sequential.lines().count(), 10);
 }

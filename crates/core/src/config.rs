@@ -3,6 +3,7 @@
 use icash_storage::block::BLOCK_SIZE;
 use icash_storage::fault::HealthPolicy;
 use icash_storage::hdd::HddConfig;
+use icash_storage::queue::QueueConfig;
 use icash_storage::ssd::SsdConfig;
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +62,14 @@ pub struct IcashConfig {
     /// installs nothing: runs stay byte-identical to a health-free build.
     #[serde(default)]
     pub health: Option<HealthPolicy>,
+    /// Device command queueing: when `Some`, the HDD services batched
+    /// submissions through an NCQ-style seek-aware scheduler with request
+    /// coalescing, and the SSD defers background erases behind host traffic
+    /// on per-channel queues. `None` (the default) installs no queues:
+    /// every device services strictly in submission order, byte-identical
+    /// to the pre-queue controller.
+    #[serde(default)]
+    pub queue: Option<QueueConfig>,
 }
 
 impl IcashConfig {
@@ -82,6 +91,7 @@ impl IcashConfig {
                 log_blocks: 1 << 20, // 4 GB of log space
                 group_commit_depth: 1,
                 health: None,
+                queue: None,
             },
         }
     }
@@ -101,15 +111,21 @@ impl IcashConfig {
         self.ram_bytes as usize
     }
 
-    /// The SSD device configuration for this controller.
+    /// The SSD device configuration for this controller. A configured
+    /// command queue becomes per-channel erase deferral on the flash.
     pub fn ssd_config(&self) -> SsdConfig {
-        SsdConfig::fusion_io(self.ssd_bytes)
+        let mut cfg = SsdConfig::fusion_io(self.ssd_bytes);
+        cfg.flash.queue = self.queue;
+        cfg
     }
 
     /// The HDD device configuration: home area for the data set plus the
-    /// sequential delta-log region.
+    /// sequential delta-log region. A configured command queue becomes
+    /// NCQ-style batch scheduling on the spindle.
     pub fn hdd_config(&self) -> HddConfig {
-        HddConfig::seagate_sata(self.data_blocks() + self.log_blocks)
+        let mut cfg = HddConfig::seagate_sata(self.data_blocks() + self.log_blocks);
+        cfg.queue = self.queue;
+        cfg
     }
 
     /// First HDD block of the delta-log region (home area precedes it).
@@ -181,6 +197,9 @@ impl IcashConfig {
             assert!(h.retry_base_ns > 0, "retry backoff base must be nonzero");
             assert!(h.rebuild_rate > 0, "rebuild rate must be nonzero");
         }
+        if let Some(q) = &self.queue {
+            q.validate();
+        }
     }
 }
 
@@ -244,6 +263,13 @@ impl IcashConfigBuilder {
     /// degraded mode, online rebuild, retry backoff, backpressure).
     pub fn health(mut self, policy: HealthPolicy) -> Self {
         self.cfg.health = Some(policy);
+        self
+    }
+
+    /// Switches on device command queueing (HDD NCQ batch scheduling with
+    /// coalescing, SSD per-channel erase deferral).
+    pub fn queue(mut self, queue: QueueConfig) -> Self {
+        self.cfg.queue = Some(queue);
         self
     }
 
@@ -317,5 +343,29 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _ = IcashConfig::builder(0, 1, 1).build();
+    }
+
+    #[test]
+    fn queue_knob_threads_into_both_device_configs() {
+        let cfg = IcashConfig::builder(1 << 20, 1 << 20, 8 << 20)
+            .queue(QueueConfig::depth(8))
+            .build();
+        assert_eq!(cfg.hdd_config().queue, Some(QueueConfig::depth(8)));
+        assert_eq!(cfg.ssd_config().flash.queue, Some(QueueConfig::depth(8)));
+        assert_eq!(cfg.shard_slice(4).queue, cfg.queue, "slices keep the queue");
+        let off = IcashConfig::builder(1 << 20, 1 << 20, 8 << 20).build();
+        assert_eq!(off.hdd_config().queue, None);
+        assert_eq!(off.ssd_config().flash.queue, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_rejected() {
+        let _ = IcashConfig::builder(1, 1, 1)
+            .queue(QueueConfig {
+                depth: 0,
+                sched: icash_storage::queue::QueuePolicy::Sptf,
+            })
+            .build();
     }
 }

@@ -140,6 +140,10 @@ pub struct Icash {
     pub(crate) free_slots: Vec<u64>,
     /// Independent content written back to the HDD home area.
     pub(crate) home_overlay: HashMap<Lba, BlockBuf>,
+    /// Content fetched by a span's batched home-read prefetch, consumed by
+    /// the per-block resolution that immediately follows and cleared at the
+    /// end of the request. Never populated without a device queue.
+    pub(crate) span_prefetch: HashMap<Lba, BlockBuf>,
     /// Evicted virtual blocks whose content is *not* in the home area.
     pub(crate) evicted: HashMap<Lba, EvictedState>,
     /// Virtual blocks with unflushed deltas.
@@ -192,6 +196,7 @@ impl Icash {
             next_slot: 0,
             free_slots: Vec::new(),
             home_overlay: HashMap::new(),
+            span_prefetch: HashMap::new(),
             evicted: HashMap::new(),
             dirty: HashSet::new(),
             dirty_bytes: 0,
@@ -367,6 +372,115 @@ impl Icash {
             last = self.array.hdd_mut().write(at, pos, blocks);
         }
         last
+    }
+
+    /// Batched HDD writes through the device command queue. A media fault
+    /// aborts the batch, so on error this falls back to the sequential
+    /// per-request retry path — one bad sector cannot wedge a whole spill.
+    pub(crate) fn hdd_write_batch_retry(&mut self, at: Ns, reqs: &[(u64, u32)]) -> Ns {
+        if reqs.is_empty() {
+            return at;
+        }
+        match self.array.hdd_mut().write_batch(at, reqs) {
+            Ok(t) => t,
+            Err(_) => {
+                self.note_retry(at, reqs[0].0, true);
+                let mut t = at;
+                for &(pos, blocks) in reqs {
+                    t = self.hdd_write_retry(t, pos, blocks).unwrap_or(t);
+                }
+                t
+            }
+        }
+    }
+
+    /// A delta-log append. With a device queue configured (and the health
+    /// machinery off, whose backoff owns per-op pacing) the append parks in
+    /// the drive's write-behind cache and the host continues immediately —
+    /// the cached appends later drain as one seek-saving burst instead of
+    /// paying a full home→log head trip per group commit. Otherwise (no
+    /// queue, faults armed, or health on) this is the classic synchronous
+    /// retried write.
+    pub(crate) fn hdd_log_append(&mut self, at: Ns, pos: u64, blocks: u32) -> Ns {
+        if self.health.is_none() && self.array.hdd().write_cache_enabled() {
+            // The cache is fault-free by construction, so the park (or the
+            // depth-triggered drain it runs) cannot fail.
+            return self
+                .array
+                .hdd_mut()
+                .write_behind(at, pos, blocks)
+                .unwrap_or(at);
+        }
+        self.hdd_write_retry(at, pos, blocks).unwrap_or(at)
+    }
+
+    /// Whether resolving `id` right now would fall through to a mechanical
+    /// home-area read — the final arm of
+    /// [`content_of`](Icash::content_of): an independent block with no
+    /// resident data, no SSD slot, and no delta in RAM, log, or staging.
+    /// Keep in sync with that arm.
+    fn needs_home_read(&self, id: VbId) -> bool {
+        let vb = self.table.get(id);
+        vb.role == Role::Independent
+            && vb.data.is_none()
+            && vb.ssd_slot.is_none()
+            && vb.delta.is_none()
+            && vb.log_loc.is_none()
+            && !vb.staged
+    }
+
+    /// Queue-on fast path for multi-block reads: the span's home-area
+    /// misses are submitted to the HDD as one NCQ batch — adjacent home
+    /// positions coalesce into a single transfer, the rest dispatch in
+    /// positioning order — and the fetched content is parked in the data
+    /// cache so the per-block resolution that follows finds it resident.
+    /// Returns the batch completion instant (`req.at` when nothing ran).
+    ///
+    /// Without a configured queue — or with the health machinery on, whose
+    /// backoff owns per-op pacing — this is a no-op and the per-block path
+    /// stays bit-identical to the pre-queue controller.
+    fn prefetch_span_homes(&mut self, req: &Request, ctx: &mut IoCtx<'_>) -> Ns {
+        if self.cfg.queue.is_none() || self.health.is_some() || req.blocks < 2 {
+            return req.at;
+        }
+        let mut pending: Vec<(VbId, Lba)> = Vec::new();
+        for lba in req.lbas() {
+            let id = self.materialize_vb(lba, req.at, ctx);
+            if self.needs_home_read(id) {
+                pending.push((id, lba));
+            }
+        }
+        // Materializing a later block can evict an earlier one under an
+        // undersized table; drop any entry whose id no longer maps.
+        pending.retain(|&(id, lba)| self.table.lookup(lba) == Some(id));
+        if pending.len() < 2 {
+            return req.at;
+        }
+        let reqs: Vec<(u64, u32)> = pending
+            .iter()
+            .map(|&(_, lba)| (self.home_pos(lba), 1))
+            .collect();
+        let t = match self.array.hdd_mut().read_batch(req.at, &reqs) {
+            Ok(t) => t,
+            // A media error inside the batch: fall back to the per-block
+            // path, which owns retry and repair for each individual read.
+            Err(_) => return req.at,
+        };
+        for (_, lba) in pending {
+            let content = self
+                .home_overlay
+                .get(&lba)
+                .cloned()
+                .unwrap_or_else(|| ctx.backing.initial_content(lba));
+            self.stats.home_reads += 1;
+            // Parked in a side channel rather than the data cache: under a
+            // tight RAM budget caching block N could evict block N+1's
+            // prefetched copy before its turn, forcing a second (now
+            // single-block) mechanical read of what the batch already
+            // fetched.
+            self.span_prefetch.insert(lba, content);
+        }
+        t
     }
 
     /// With faults armed, a freshly installed slot's content is also written
@@ -1017,6 +1131,11 @@ impl Icash {
                     let zero = BlockBuf::zeroed();
                     self.decode_resident(id, &zero, t)
                 } else {
+                    // A span prefetch may have already paid this block's
+                    // mechanical read as part of one batched NCQ submission.
+                    if let Some(content) = self.span_prefetch.remove(&lba) {
+                        return (at, Ok(content));
+                    }
                     // Fall through to the mechanical home area. A latent
                     // sector error here is unrecoverable: the home copy is
                     // the only copy, so the failure is reported rather than
@@ -1599,6 +1718,12 @@ impl Icash {
     /// completed watermark already covers the ticket; otherwise the whole
     /// pipeline drains (staged group commits *and* dirty independent data).
     pub fn await_flush(&mut self, ticket: Ticket, now: Ns, ctx: &mut IoCtx<'_>) -> Ns {
+        // A durability barrier forces cached log appends onto the media
+        // even when the ticket watermark is already satisfied — completion
+        // watermarks advance when the append is accepted, not when the
+        // drive's write-behind cache drains. Free with no queue (the cache
+        // is always empty).
+        let now = now.max(self.array.hdd_mut().flush_cache(now));
         if self.staging.progress.is_completed(ticket) {
             self.stats.barrier_noops += 1;
             self.array.tracer().emit(|| TraceEvent {
@@ -1686,6 +1811,9 @@ impl StorageSystem for Icash {
             }
             Op::Read => {
                 let mut done = req.at;
+                // The span's home-area misses go through the device queue
+                // as one batch (a no-op without a configured queue).
+                done = done.max(self.prefetch_span_homes(req, ctx));
                 let mut data = Vec::new();
                 let mut errors = Vec::new();
                 for lba in req.lbas() {
@@ -1707,6 +1835,9 @@ impl StorageSystem for Icash {
                         }
                     }
                 }
+                // Any prefetched block the resolution did not consume (its
+                // state changed mid-span) must not leak into later requests.
+                self.span_prefetch.clear();
                 self.array.trace_request_end(done);
                 Completion::with_data(done, data).with_errors(errors)
             }

@@ -114,14 +114,14 @@ impl Icash {
         let report = self.log.append(entries);
         // A transient write fault clears on retry; should every retry fail,
         // the packed blocks are still buffered and the drive remaps on the
-        // next sequential append, so the flush proceeds either way.
-        let t = self
-            .hdd_write_retry(
-                now,
-                self.cfg.log_start() + report.first_block,
-                report.blocks_written,
-            )
-            .unwrap_or(now);
+        // next sequential append, so the flush proceeds either way. With a
+        // device queue the append parks in the drive's write-behind cache
+        // instead (see [`Icash::hdd_log_append`]).
+        let t = self.hdd_log_append(
+            now,
+            self.cfg.log_start() + report.first_block,
+            report.blocks_written,
+        );
         for (id, &loc) in flushed.iter().zip(report.entry_locs.iter()) {
             let vb = self.table.get_mut(*id);
             vb.dirty_delta = false;
@@ -221,13 +221,11 @@ impl Icash {
         let n_entries = entries.len() as u32;
         let lbas: Vec<Lba> = entries.iter().map(|e| e.lba).collect();
         let report = self.log.append(entries);
-        let t = self
-            .hdd_write_retry(
-                now,
-                self.cfg.log_start() + report.first_block,
-                report.blocks_written,
-            )
-            .unwrap_or(now);
+        let t = self.hdd_log_append(
+            now,
+            self.cfg.log_start() + report.first_block,
+            report.blocks_written,
+        );
         for (lba, &loc) in lbas.iter().zip(report.entry_locs.iter()) {
             if let Some(id) = self.table.lookup(*lba) {
                 let vb = self.table.get_mut(id);
@@ -270,6 +268,11 @@ impl Icash {
     /// Compacts the delta log, dropping superseded entries, and rewrites
     /// the survivors sequentially from the start of the log region.
     pub(crate) fn clean_log(&mut self, now: Ns) {
+        // The compaction rewrites the log region from the start, so any
+        // appends still parked in the drive's write-behind cache must land
+        // first — they hold positions the rewrite supersedes. Free without
+        // a queue (the cache is always empty).
+        let now = now.max(self.array.hdd_mut().flush_cache(now));
         // One LRU walk serves both the liveness census and the remap below:
         // neither `log.clean` nor the HDD write touches the table, so the
         // id set cannot go stale in between.
@@ -327,10 +330,38 @@ impl Icash {
             .filter(|&id| self.table.get(id).dirty_data && self.table.get(id).data.is_some())
             .collect();
         dirty_data.sort_by_key(|&id| self.home_pos(self.table.get(id).lba));
-        for id in dirty_data {
-            t = self.write_home(id, t);
-        }
+        t = self.write_home_batch(&dirty_data, t);
+        // Durability: cached log appends must reach the media before the
+        // flush reports completion. Free without a queue (cache is empty).
+        t = t.max(self.array.hdd_mut().flush_cache(t));
         t
+    }
+
+    /// Writes a batch of dirty blocks to their HDD home positions. With a
+    /// command queue configured (and the health machinery off — backoff
+    /// owns per-op retry pacing), the whole batch goes through the NCQ
+    /// scheduler so adjacent home positions coalesce into sequential
+    /// transfers; otherwise this is exactly the classic per-block loop.
+    pub(crate) fn write_home_batch(&mut self, ids: &[VbId], now: Ns) -> Ns {
+        if self.cfg.queue.is_none() || self.health.is_some() {
+            let mut t = now;
+            for &id in ids {
+                t = self.write_home(id, t);
+            }
+            return t;
+        }
+        let mut reqs = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let (lba, content) = {
+                let vb = self.table.get_mut(id);
+                let content = vb.data.clone().expect("home write needs resident data");
+                vb.dirty_data = false;
+                (vb.lba, content)
+            };
+            reqs.push((self.home_pos(lba), 1u32));
+            self.home_overlay.insert(lba, content);
+        }
+        self.hdd_write_batch_retry(now, &reqs)
     }
 
     /// Writes `id`'s cached data to its HDD home position and records it in
@@ -664,9 +695,8 @@ impl Icash {
         // Write the spill batch in home-position order: the writeback
         // stream becomes near-sequential instead of head-thrashing.
         spills.sort_by_key(|&id| self.home_pos(self.table.get(id).lba));
-        let mut t = at;
+        self.write_home_batch(&spills, at);
         for id in spills {
-            t = self.write_home(id, t);
             self.drop_data(id);
         }
         self.pool.available() >= needed

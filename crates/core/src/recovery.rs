@@ -64,6 +64,9 @@ impl Icash {
             max_virtual_blocks,
             ..
         } = self;
+        // A crash loses whatever sat in the drive's volatile write-behind
+        // cache — but `crash_and_recover` consumes the device state as-is,
+        // and the log tear below already models the in-flight append loss.
 
         let mut stats = IcashStats::default();
 
@@ -245,6 +248,9 @@ impl Icash {
             next_slot,
             free_slots,
             home_overlay,
+            // Prefetch parking is RAM scoped to a single request; the
+            // restart begins empty like any request boundary.
+            span_prefetch: HashMap::new(),
             max_virtual_blocks,
             health,
         }

@@ -214,7 +214,90 @@ pub struct TraceProfile {
     pub backpressure_rejects: u64,
     /// Exponential-backoff retries of faulted device ops.
     pub retry_backoffs: u64,
+    /// Command-queue activity on the SSD (`dev` 0 in queue events).
+    pub ssd_queue: QueueProfile,
+    /// Command-queue activity on the HDD (`dev` ≥ 1 in queue events).
+    pub hdd_queue: QueueProfile,
     open_span: Option<Ns>,
+}
+
+/// Command-queue activity of one device class, accumulated from
+/// `QueueAdmit` / `QueueReorder` / `Coalesce` events.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QueueProfile {
+    /// Commands admitted to the queue.
+    pub admits: u64,
+    /// Summed queue occupancy at admission (mean = `depth_sum / admits`).
+    pub depth_sum: u64,
+    /// Highest occupancy observed at admission.
+    pub depth_max: u64,
+    /// Commands dispatched out of arrival order.
+    pub reorders: u64,
+    /// Coalesced sequential transfers issued.
+    pub coalesces: u64,
+    /// Commands absorbed into those transfers (beyond the first).
+    pub coalesced_commands: u64,
+    /// Histogram of coalesced-span sizes: 2, 3–4, 5–8, and 9+ commands.
+    pub span_hist: [u64; 4],
+}
+
+impl QueueProfile {
+    fn admit(&mut self, depth: u32) {
+        self.admits += 1;
+        self.depth_sum += depth as u64;
+        self.depth_max = self.depth_max.max(depth as u64);
+    }
+
+    fn coalesce(&mut self, spans: u32) {
+        self.coalesces += 1;
+        self.coalesced_commands += spans.saturating_sub(1) as u64;
+        let bucket = match spans {
+            0..=2 => 0,
+            3..=4 => 1,
+            5..=8 => 2,
+            _ => 3,
+        };
+        self.span_hist[bucket] += 1;
+    }
+
+    /// Mean queue occupancy at admission.
+    pub fn mean_depth(&self) -> f64 {
+        if self.admits == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.admits as f64
+        }
+    }
+
+    /// Whether any queue event was observed.
+    pub fn is_active(&self) -> bool {
+        self.admits > 0 || self.reorders > 0 || self.coalesces > 0
+    }
+
+    fn render_line(&self, name: &str, out: &mut String) {
+        if !self.is_active() {
+            return;
+        }
+        out.push_str(&format!(
+            "  {name}: {} admits (mean depth {:.2}, max {}), {} reorders",
+            self.admits,
+            self.mean_depth(),
+            self.depth_max,
+            self.reorders
+        ));
+        if self.coalesces > 0 {
+            out.push_str(&format!(
+                ", {} coalesced transfers absorbing {} commands (spans 2:{} 3-4:{} 5-8:{} 9+:{})",
+                self.coalesces,
+                self.coalesced_commands,
+                self.span_hist[0],
+                self.span_hist[1],
+                self.span_hist[2],
+                self.span_hist[3]
+            ));
+        }
+        out.push('\n');
+    }
 }
 
 impl TraceProfile {
@@ -312,6 +395,19 @@ impl TraceProfile {
             }
             TraceKind::Backpressure { .. } => self.backpressure_rejects += 1,
             TraceKind::RetryBackoff { .. } => self.retry_backoffs += 1,
+            TraceKind::QueueAdmit { dev, depth, .. } => self.queue_mut(dev).admit(depth),
+            TraceKind::QueueReorder { dev, .. } => self.queue_mut(dev).reorders += 1,
+            TraceKind::Coalesce { dev, spans, .. } => self.queue_mut(dev).coalesce(spans),
+        }
+    }
+
+    /// The queue profile for a queue event's device tag (0 = SSD, ≥1 = HDD
+    /// spindles).
+    fn queue_mut(&mut self, dev: u8) -> &mut QueueProfile {
+        if dev == 0 {
+            &mut self.ssd_queue
+        } else {
+            &mut self.hdd_queue
         }
     }
 
@@ -373,6 +469,11 @@ impl TraceProfile {
             if events > 0 {
                 out.push_str(&format!("| {phase} | {events} | - | - |\n"));
             }
+        }
+        if self.ssd_queue.is_active() || self.hdd_queue.is_active() {
+            out.push_str("\nDevice command queues:\n");
+            self.ssd_queue.render_line("SSD", &mut out);
+            self.hdd_queue.render_line("HDD", &mut out);
         }
         out
     }
@@ -486,6 +587,85 @@ mod tests {
         for (_, doc) in &shards {
             assert_eq!(parse_jsonl(doc).expect("each splits cleanly").len(), 1);
         }
+    }
+
+    #[test]
+    fn queue_events_build_the_per_device_section() {
+        let events = vec![
+            e(
+                Ns::from_us(1),
+                TraceKind::QueueAdmit {
+                    dev: 0,
+                    lba: 3,
+                    blocks: 64,
+                    depth: 2,
+                },
+            ),
+            e(
+                Ns::from_us(2),
+                TraceKind::QueueAdmit {
+                    dev: 0,
+                    lba: 4,
+                    blocks: 64,
+                    depth: 4,
+                },
+            ),
+            e(
+                Ns::from_us(3),
+                TraceKind::QueueReorder {
+                    dev: 0,
+                    lba: 9,
+                    jumped: 2,
+                },
+            ),
+            e(
+                Ns::from_us(4),
+                TraceKind::QueueAdmit {
+                    dev: 1,
+                    lba: 70,
+                    blocks: 1,
+                    depth: 1,
+                },
+            ),
+            e(
+                Ns::from_us(5),
+                TraceKind::Coalesce {
+                    dev: 1,
+                    lba: 70,
+                    spans: 3,
+                    blocks: 3,
+                },
+            ),
+            e(
+                Ns::from_us(6),
+                TraceKind::Coalesce {
+                    dev: 1,
+                    lba: 80,
+                    spans: 9,
+                    blocks: 9,
+                },
+            ),
+        ];
+        let p = TraceProfile::from_events(&events);
+        assert_eq!(p.ssd_queue.admits, 2);
+        assert!((p.ssd_queue.mean_depth() - 3.0).abs() < 1e-9);
+        assert_eq!(p.ssd_queue.depth_max, 4);
+        assert_eq!(p.ssd_queue.reorders, 1);
+        assert_eq!(p.hdd_queue.admits, 1);
+        assert_eq!(p.hdd_queue.coalesces, 2);
+        assert_eq!(p.hdd_queue.coalesced_commands, 2 + 8);
+        assert_eq!(p.hdd_queue.span_hist, [0, 1, 0, 1]);
+        let table = p.render();
+        assert!(table.contains("Device command queues"), "table: {table}");
+        assert!(table.contains("SSD: 2 admits (mean depth 3.00, max 4), 1 reorders"));
+        assert!(table.contains("spans 2:0 3-4:1 5-8:0 9+:1"));
+    }
+
+    #[test]
+    fn queue_free_profile_has_no_queue_section() {
+        let p = TraceProfile::from_events(&[e(Ns::ZERO, TraceKind::RamHit { lba: 1 })]);
+        assert!(!p.ssd_queue.is_active() && !p.hdd_queue.is_active());
+        assert!(!p.render().contains("Device command queues"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::block::BLOCK_SIZE;
 use crate::energy::{EnergyMeter, MicroJoules};
 use crate::fault::{FaultInjector, FaultStats};
+use crate::queue::{CommandQueue, QueueConfig};
 use crate::stats::DeviceStats;
 use crate::time::Ns;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
@@ -71,6 +72,14 @@ pub struct HddConfig {
     pub idle_watts: f64,
     /// Additional power while seeking/transferring in Watts.
     pub active_watts: f64,
+    /// Native command queue, `None` by default: batched submissions are
+    /// serviced strictly in order and the drive behaves exactly as it did
+    /// before the queue layer existed. With `Some`, [`Hdd::write_batch`] /
+    /// [`Hdd::read_batch`] admit commands against the configured depth and
+    /// dispatch them by the configured scheduler, coalescing LBA-adjacent
+    /// commands into single sequential transfers.
+    #[serde(default)]
+    pub queue: Option<QueueConfig>,
 }
 
 impl HddConfig {
@@ -88,6 +97,7 @@ impl HddConfig {
             transfer_bps: 110 * 1024 * 1024,
             idle_watts: 8.0,
             active_watts: 7.0,
+            queue: None,
         }
     }
 
@@ -129,6 +139,10 @@ pub struct Hdd {
     tracer: Tracer,
     /// Index of this spindle within its array, stamped into trace events.
     trace_disk: u8,
+    /// The drive's write-behind cache (queue mode only): log appends parked
+    /// by [`Hdd::write_behind`], drained as one seek-saving burst when the
+    /// cache fills or a barrier ([`Hdd::flush_cache`]) arrives.
+    wq: Vec<(u64, u32)>,
 }
 
 impl Hdd {
@@ -150,6 +164,7 @@ impl Hdd {
             faults: None,
             tracer: Tracer::disabled(),
             trace_disk: 0,
+            wq: Vec::new(),
         }
     }
 
@@ -205,6 +220,9 @@ impl Hdd {
     ///
     /// Panics if the access runs past the end of the disk.
     pub fn read(&mut self, at: Ns, lba: u64, blocks: u32) -> Result<Ns, HddError> {
+        if !self.wq.is_empty() {
+            self.note_cache_overtake(at, lba);
+        }
         let (queued, service, done) = self.access(at, lba, blocks);
         self.stats
             .record_read(blocks as usize * BLOCK_SIZE, queued, service);
@@ -238,6 +256,9 @@ impl Hdd {
     ///
     /// Panics if the access runs past the end of the disk.
     pub fn write(&mut self, at: Ns, lba: u64, blocks: u32) -> Result<Ns, HddError> {
+        if !self.wq.is_empty() {
+            self.note_cache_overtake(at, lba);
+        }
         let (queued, service, done) = self.access(at, lba, blocks);
         self.stats
             .record_write(blocks as usize * BLOCK_SIZE, queued, service);
@@ -261,6 +282,203 @@ impl Hdd {
             Some(bad) => Err(HddError::WriteFault { lba: bad }),
             None => Ok(done),
         }
+    }
+
+    /// The seek + rotational cost the head would pay to start an access at
+    /// `lba` at instant `now` (zero for a sequential continuation) — the
+    /// SPTF scheduler's cost function.
+    pub fn positioning_cost(&self, now: Ns, lba: u64) -> Ns {
+        if lba == self.head {
+            Ns::ZERO
+        } else {
+            self.seek_time(lba) + self.rotational_delay(now, lba)
+        }
+    }
+
+    /// Submits a batch of reads (`(lba, blocks)` pairs) arriving together
+    /// at `at`, through the native command queue when one is configured.
+    /// Returns the completion instant of the last command, or the first
+    /// media error hit (remaining commands are abandoned; callers retry the
+    /// batch). Without a queue the batch is serviced strictly in
+    /// submission order — bit-identical to the caller issuing the loop.
+    pub fn read_batch(&mut self, at: Ns, reqs: &[(u64, u32)]) -> Result<Ns, HddError> {
+        self.batch(at, reqs, false)
+    }
+
+    /// Submits a batch of writes arriving together at `at`; see
+    /// [`Hdd::read_batch`] for queueing and error semantics.
+    pub fn write_batch(&mut self, at: Ns, reqs: &[(u64, u32)]) -> Result<Ns, HddError> {
+        self.batch(at, reqs, true)
+    }
+
+    /// How many writes currently sit parked in the write-behind cache.
+    /// Zero after any durability barrier ([`Hdd::flush_cache`]).
+    pub fn cached_writes(&self) -> usize {
+        self.wq.len()
+    }
+
+    /// Whether [`Hdd::write_behind`] will actually park writes: requires a
+    /// command queue and no fault injector (faults must surface on the
+    /// access that caused them, so fault runs stay synchronous).
+    pub fn write_cache_enabled(&self) -> bool {
+        self.cfg.queue.is_some() && self.faults.is_none()
+    }
+
+    /// Parks a write in the drive's write-behind cache and returns `at`
+    /// immediately — the host does not wait for the media. The cache
+    /// drains as one scheduled burst when it reaches the configured queue
+    /// depth or a barrier calls [`Hdd::flush_cache`]. With the cache
+    /// disabled (no queue, or fault injection armed) this is a plain
+    /// synchronous [`Hdd::write`].
+    pub fn write_behind(&mut self, at: Ns, lba: u64, blocks: u32) -> Result<Ns, HddError> {
+        if !self.write_cache_enabled() {
+            return self.write(at, lba, blocks);
+        }
+        let qcfg = self.cfg.queue.expect("write cache requires a queue");
+        self.wq.push((lba, blocks));
+        let depth = self.wq.len() as u32;
+        self.stats.record_queue_admit(depth);
+        let dev = self.trace_disk.saturating_add(1);
+        self.tracer.emit(|| TraceEvent {
+            at,
+            kind: TraceKind::QueueAdmit {
+                dev,
+                lba,
+                blocks,
+                depth,
+            },
+        });
+        if depth >= qcfg.depth {
+            self.flush_cache(at);
+        }
+        Ok(at)
+    }
+
+    /// Drains the write-behind cache as one scheduled burst (seek-aware
+    /// order, adjacent appends coalesced) and returns the instant the
+    /// media goes idle again — `at` itself when the cache was empty.
+    pub fn flush_cache(&mut self, at: Ns) -> Ns {
+        if self.wq.is_empty() {
+            return at;
+        }
+        let reqs = std::mem::take(&mut self.wq);
+        // The cache never holds writes while faults are armed
+        // (`write_behind` degrades to synchronous writes), so the burst
+        // cannot fail.
+        self.batch_inner(at, &reqs, true, false).unwrap_or(at)
+    }
+
+    /// A foreground command issued while the write-behind cache holds
+    /// parked writes overtakes all of them — the out-of-order completion
+    /// the cache exists to permit.
+    fn note_cache_overtake(&mut self, at: Ns, lba: u64) {
+        let jumped = self.wq.len() as u32;
+        self.stats.record_queue_reorder();
+        let dev = self.trace_disk.saturating_add(1);
+        self.tracer.emit(|| TraceEvent {
+            at,
+            kind: TraceKind::QueueReorder { dev, lba, jumped },
+        });
+    }
+
+    /// The shared batch path: admit → schedule → coalesce → service.
+    fn batch(&mut self, at: Ns, reqs: &[(u64, u32)], write: bool) -> Result<Ns, HddError> {
+        self.batch_inner(at, reqs, write, true)
+    }
+
+    /// Batch machinery behind both foreground batches and the write-cache
+    /// drain; `count_admits` is false for the drain, whose commands were
+    /// already admitted (counted and traced) by [`Hdd::write_behind`].
+    fn batch_inner(
+        &mut self,
+        at: Ns,
+        reqs: &[(u64, u32)],
+        write: bool,
+        count_admits: bool,
+    ) -> Result<Ns, HddError> {
+        let one = |hdd: &mut Hdd, t, lba, blocks| {
+            if write {
+                hdd.write(t, lba, blocks)
+            } else {
+                hdd.read(t, lba, blocks)
+            }
+        };
+        let Some(qcfg) = self.cfg.queue else {
+            // No queue installed: strict submission order, exactly the
+            // loop every call site ran before this layer existed.
+            let mut t = at;
+            for &(lba, blocks) in reqs {
+                t = one(self, t, lba, blocks)?;
+            }
+            return Ok(t);
+        };
+        let dev = self.trace_disk.saturating_add(1);
+        let mut q = CommandQueue::new(qcfg);
+        let mut t = at;
+        let mut source = reqs.iter().copied();
+        // A command the full queue refused, waiting for the next free tag.
+        let mut refused: Option<(u64, u32)> = None;
+        loop {
+            // Admission: fill the tag set until backpressure pushes back.
+            while let Some((lba, blocks)) = refused.take().or_else(|| source.next()) {
+                match q.admit(t, lba, blocks, write) {
+                    Ok(depth) => {
+                        if count_admits {
+                            self.stats.record_queue_admit(depth);
+                            self.tracer.emit(|| TraceEvent {
+                                at: t,
+                                kind: TraceKind::QueueAdmit {
+                                    dev,
+                                    lba,
+                                    blocks,
+                                    depth,
+                                },
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        refused = Some((lba, blocks));
+                        break;
+                    }
+                }
+            }
+            // Dispatch: cheapest positioning first (or FIFO), aging-bounded.
+            let now = t.max(self.busy_until);
+            let Some(d) = q.dispatch(|lba, _| self.positioning_cost(now, lba)) else {
+                break;
+            };
+            if d.jumped > 0 {
+                self.stats.record_queue_reorder();
+                let (lba, jumped) = (d.cmd.lba, d.jumped);
+                self.tracer.emit(|| TraceEvent {
+                    at: t,
+                    kind: TraceKind::QueueReorder { dev, lba, jumped },
+                });
+            }
+            // Coalesce: pull LBA-adjacent same-direction commands so the
+            // run becomes one sequential media transfer.
+            let mut blocks = d.cmd.blocks;
+            let mut spans = 1u32;
+            while let Some(next) = q.take_adjacent(d.cmd.lba + blocks as u64, write) {
+                blocks += next.blocks;
+                spans += 1;
+            }
+            if spans > 1 {
+                self.stats.record_queue_coalesce(spans - 1);
+                let lba = d.cmd.lba;
+                self.tracer.emit(|| TraceEvent {
+                    at: t,
+                    kind: TraceKind::Coalesce {
+                        dev,
+                        lba,
+                        spans,
+                        blocks,
+                    },
+                });
+            }
+            t = one(self, t, d.cmd.lba, blocks)?;
+        }
+        Ok(t)
     }
 
     /// Positioning + transfer cost shared by reads and writes.
@@ -448,6 +666,291 @@ mod tests {
             for lba in [0u64, 17, 255, 4096] {
                 let w = d.rotational_delay(Ns::from_ns(t), lba);
                 assert!(w < d.config().revolution());
+            }
+        }
+    }
+
+    fn ncq_disk(depth: u32) -> Hdd {
+        let mut cfg = HddConfig::seagate_sata(10_000_000);
+        cfg.queue = Some(QueueConfig {
+            depth,
+            sched: crate::queue::QueuePolicy::Sptf,
+        });
+        Hdd::new(cfg)
+    }
+
+    #[test]
+    fn unqueued_batch_is_bit_identical_to_a_caller_loop() {
+        let reqs: Vec<(u64, u32)> = vec![(9_000_000, 1), (4, 2), (512_000, 1), (5, 1)];
+        let mut looped = disk();
+        let mut t = Ns::from_us(3);
+        for &(lba, blocks) in &reqs {
+            t = looped.write(t, lba, blocks).unwrap();
+        }
+        let mut batched = disk();
+        let done = batched.write_batch(Ns::from_us(3), &reqs).unwrap();
+        assert_eq!(done, t);
+        assert_eq!(batched.stats(), looped.stats());
+        assert_eq!(batched.stats().queue_admits, 0, "no queue, no admissions");
+    }
+
+    #[test]
+    fn queued_batch_coalesces_adjacent_writes() {
+        // Four adjacent single-block writes far from the head, admitted
+        // together: the queue merges them into one 4-block transfer.
+        let mut d = ncq_disk(8);
+        let reqs: Vec<(u64, u32)> = (0..4).map(|i| (6_000_000 + i, 1)).collect();
+        let done = d.write_batch(Ns::ZERO, &reqs).unwrap();
+        assert_eq!(d.stats().writes, 1, "one media transfer, not four");
+        assert_eq!(d.stats().write_bytes, 4 * BLOCK_SIZE as u64);
+        assert_eq!(d.stats().queue_admits, 4);
+        assert_eq!(d.stats().queue_coalesced, 3);
+        // One positioning cost + four block transfers bounds the service.
+        let mut solo = disk();
+        let one = solo.write(Ns::ZERO, 6_000_000, 4).unwrap();
+        assert_eq!(done, one, "coalesced batch equals one sequential span");
+    }
+
+    #[test]
+    fn sptf_batch_services_nearest_first_and_counts_reorders() {
+        // Head starts at 0: a distant command admitted first is overtaken
+        // by a near one.
+        let mut d = ncq_disk(4);
+        let (tracer, ring) = Tracer::ring(32);
+        d.set_tracer(tracer, 0);
+        d.write_batch(Ns::ZERO, &[(9_000_000, 1), (100, 1)])
+            .unwrap();
+        assert_eq!(d.stats().queue_reorders, 1);
+        assert_eq!(d.stats().queue_depth_max, 2);
+        let ring = ring.lock().expect("ring");
+        let lbas: Vec<u64> = ring
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::HddWrite { lba, .. } => Some(lba),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lbas, vec![100, 9_000_000], "near command serviced first");
+        assert!(ring.events().iter().any(|e| matches!(
+            e.kind,
+            TraceKind::QueueReorder {
+                dev: 1,
+                jumped: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn queued_batch_never_beats_physics() {
+        // Whatever the schedule, total service can't drop below the media
+        // transfer time of all blocks.
+        let mut d = ncq_disk(16);
+        let reqs: Vec<(u64, u32)> = (0..20).map(|i| (i * 97_003, 1)).collect();
+        let done = d.write_batch(Ns::ZERO, &reqs).unwrap();
+        assert!(done >= d.config().block_transfer() * 20);
+        assert_eq!(d.stats().write_bytes, 20 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn depth_one_queue_degenerates_to_fifo_timing() {
+        let reqs: Vec<(u64, u32)> = vec![(7_000_000, 1), (12, 1), (900_000, 2)];
+        let mut plain = disk();
+        let base = plain.write_batch(Ns::ZERO, &reqs).unwrap();
+        let mut d = ncq_disk(1);
+        let done = d.write_batch(Ns::ZERO, &reqs).unwrap();
+        assert_eq!(done, base, "depth 1 admits one command at a time");
+        assert_eq!(d.stats().queue_reorders, 0);
+        assert_eq!(d.stats().queue_coalesced, 0);
+    }
+
+    #[test]
+    fn write_behind_parks_and_returns_immediately() {
+        let mut d = ncq_disk(8);
+        let done = d.write_behind(Ns::from_us(5), 6_000_000, 1).unwrap();
+        assert_eq!(done, Ns::from_us(5), "the host does not wait");
+        assert_eq!(d.stats().writes, 0, "nothing hit the media yet");
+        assert_eq!(d.stats().queue_admits, 1);
+        // The barrier pays the mechanical cost.
+        let t = d.flush_cache(Ns::from_us(5));
+        assert!(t > Ns::from_ms(1), "drain paid the seek: {t}");
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().queue_admits, 1, "the drain re-admits nothing");
+    }
+
+    #[test]
+    fn write_behind_drains_at_depth_and_coalesces_appends() {
+        let mut d = ncq_disk(4);
+        for i in 0..4u64 {
+            let done = d.write_behind(Ns::ZERO, 6_000_000 + i, 1).unwrap();
+            assert_eq!(done, Ns::ZERO);
+        }
+        // Hitting the configured depth drained the cache as one burst, and
+        // the four adjacent appends coalesced into a single transfer.
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().write_bytes, 4 * BLOCK_SIZE as u64);
+        assert_eq!(d.stats().queue_coalesced, 3);
+        assert_eq!(d.flush_cache(Ns::ZERO), Ns::ZERO, "cache already empty");
+        let mut solo = disk();
+        let one = solo.write(Ns::ZERO, 6_000_000, 4).unwrap();
+        assert_eq!(d.busy_until(), one, "burst equals one sequential span");
+    }
+
+    #[test]
+    fn foreground_read_overtakes_cached_writes() {
+        let mut d = ncq_disk(8);
+        let (tracer, ring) = Tracer::ring(16);
+        d.set_tracer(tracer, 0);
+        d.write_behind(Ns::ZERO, 6_000_000, 1).unwrap();
+        d.write_behind(Ns::ZERO, 6_000_001, 1).unwrap();
+        let read_done = d.read(Ns::ZERO, 100, 1).unwrap();
+        assert_eq!(d.stats().queue_reorders, 1);
+        {
+            let ring = ring.lock().expect("ring");
+            assert!(ring.events().iter().any(|e| matches!(
+                e.kind,
+                TraceKind::QueueReorder {
+                    dev: 1,
+                    jumped: 2,
+                    ..
+                }
+            )));
+        }
+        // The read completed without waiting behind the parked appends...
+        let mut solo = disk();
+        assert_eq!(read_done, solo.read(Ns::ZERO, 100, 1).unwrap());
+        // ...which are still parked until the barrier.
+        assert_eq!(d.stats().writes, 0);
+        let t = d.flush_cache(read_done);
+        assert!(t > read_done);
+        assert_eq!(d.stats().writes, 1, "two adjacent appends, one transfer");
+    }
+
+    #[test]
+    fn write_behind_without_queue_is_a_synchronous_write() {
+        let mut plain = disk();
+        let expected = plain.write(Ns::ZERO, 6_000_000, 2).unwrap();
+        let mut d = disk();
+        assert!(!d.write_cache_enabled());
+        let done = d.write_behind(Ns::ZERO, 6_000_000, 2).unwrap();
+        assert_eq!(done, expected);
+        assert_eq!(d.stats(), plain.stats());
+        assert_eq!(d.flush_cache(done), done, "nothing cached");
+    }
+
+    #[test]
+    fn write_behind_with_faults_armed_degrades_to_synchronous() {
+        let mut d = ncq_disk(8);
+        d.install_faults(FaultInjector::new(
+            FaultPlan::seeded(5).trigger(FaultTrigger::HddWrite { op: 0 }),
+            0,
+        ));
+        assert!(!d.write_cache_enabled());
+        // The fault surfaces on the access that caused it, not at a drain.
+        let err = d.write_behind(Ns::ZERO, 7, 1).unwrap_err();
+        assert_eq!(err, HddError::WriteFault { lba: 7 });
+        assert!(d.write_behind(Ns::from_ms(1), 7, 1).is_ok());
+        assert_eq!(d.stats().queue_admits, 0);
+    }
+
+    #[test]
+    fn batch_surfaces_media_errors() {
+        let mut d = ncq_disk(4);
+        d.install_faults(FaultInjector::new(
+            FaultPlan::seeded(5).trigger(FaultTrigger::HddWrite { op: 0 }),
+            0,
+        ));
+        let err = d.write_batch(Ns::ZERO, &[(10, 1), (11, 1)]).unwrap_err();
+        assert!(matches!(err, HddError::WriteFault { .. }));
+    }
+
+    mod position_properties {
+        use super::*;
+        use crate::queue::{QueuePolicy, AGING_BOUND};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// `seek_time` is monotone in track distance and, for any
+            /// cross-track move, bounded by `[min_seek, max_seek]`.
+            #[test]
+            fn seek_time_is_monotone_and_bounded(
+                tracks in prop::collection::vec(0u64..39_000, 2..24)
+            ) {
+                let d = disk(); // head on track 0
+                let mut costs: Vec<(u64, Ns)> = tracks
+                    .iter()
+                    .map(|&track| (track, d.seek_time(track * d.cfg.blocks_per_track)))
+                    .collect();
+                costs.sort_by_key(|&(track, _)| track);
+                let mut prev: Option<(u64, Ns)> = None;
+                for (track, cost) in costs {
+                    if track == 0 {
+                        prop_assert_eq!(cost, Ns::ZERO, "same track: no seek");
+                    } else {
+                        prop_assert!(cost >= d.cfg.min_seek, "below single-track floor");
+                        prop_assert!(cost <= d.cfg.max_seek, "above full-stroke ceiling");
+                    }
+                    if let Some((pt, pc)) = prev {
+                        if pt < track {
+                            prop_assert!(pc <= cost, "farther track {track} cheaper than {pt}");
+                        }
+                    }
+                    prev = Some((track, cost));
+                }
+            }
+
+            /// Rotational delay is always strictly less than one revolution,
+            /// for any phase and any sector.
+            #[test]
+            fn rotational_delay_is_under_one_revolution(
+                now in 0u64..60_000_000_000,
+                lba in 0u64..10_000_000,
+            ) {
+                let d = disk();
+                prop_assert!(d.rotational_delay(Ns::from_ns(now), lba) < d.cfg.revolution());
+            }
+
+            /// Scheduler aging bounds every queued command's wait: under an
+            /// arbitrary admission stream scored by the real positioning
+            /// model, a command is dispatched within `AGING_BOUND + depth`
+            /// dispatches of its admission — no starvation.
+            #[test]
+            fn sptf_aging_prevents_starvation(
+                depth in 1u32..32,
+                lbas in prop::collection::vec(0u64..10_000_000, 1..160),
+            ) {
+                let mut d = disk();
+                let mut q = CommandQueue::new(QueueConfig { depth, sched: QueuePolicy::Sptf });
+                let bound = (AGING_BOUND + depth) as u64;
+                let mut dispatches = 0u64;
+                let mut admitted_at: Vec<u64> = Vec::new(); // seq → dispatch count
+                fn service(
+                    d: &mut Hdd,
+                    q: &mut CommandQueue,
+                    dispatches: &mut u64,
+                    admitted_at: &[u64],
+                ) -> u64 {
+                    let pick = q
+                        .dispatch(|lba, _| d.positioning_cost(Ns::ZERO, lba))
+                        .expect("queue was full");
+                    *dispatches += 1;
+                    d.head = pick.cmd.lba + pick.cmd.blocks as u64;
+                    *dispatches - admitted_at[pick.cmd.seq as usize]
+                }
+                for &lba in &lbas {
+                    while q.admit(Ns::ZERO, lba, 1, true).is_err() {
+                        let waited = service(&mut d, &mut q, &mut dispatches, &admitted_at);
+                        prop_assert!(waited <= bound, "waited {waited}, bound {bound}");
+                    }
+                    admitted_at.push(dispatches);
+                }
+                while !q.is_empty() {
+                    let waited = service(&mut d, &mut q, &mut dispatches, &admitted_at);
+                    prop_assert!(waited <= bound, "waited {waited}, bound {bound}");
+                }
             }
         }
     }

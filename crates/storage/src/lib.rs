@@ -21,6 +21,10 @@
 //!   [`pipeline::FlushProgress`], write-through bookkeeping in
 //!   [`pipeline::WriteThrough`]) that let any architecture expose
 //!   group-commit durability watermarks and barriers.
+//! * [`queue`] — bounded device command queues ([`queue::CommandQueue`]):
+//!   NCQ-style seek-aware scheduling with starvation-bounded aging and
+//!   request coalescing for the HDD, depth-bounded per-channel erase
+//!   deferral for the SSD, typed [`queue::QueueFull`] backpressure.
 //! * [`system`] — the [`system::StorageSystem`] trait every architecture
 //!   (I-CASH and the baselines) implements.
 //! * [`shard`] — the sharded multi-controller engine:
@@ -66,6 +70,7 @@ pub mod fault;
 pub mod hdd;
 pub mod lru;
 pub mod pipeline;
+pub mod queue;
 pub mod request;
 pub mod shard;
 pub mod ssd;
@@ -78,6 +83,7 @@ pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
 pub use fault::{FaultPlan, FaultStats, FaultTrigger};
 pub use pipeline::{FlushProgress, Ticket, WriteThrough};
+pub use queue::{CommandQueue, QueueConfig, QueueFull, QueuePolicy};
 pub use request::{BlockError, Completion, IoErrorKind, Op, Request};
 pub use shard::ShardRouter;
 pub use system::{

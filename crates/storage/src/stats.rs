@@ -24,6 +24,19 @@ pub struct DeviceStats {
     pub busy: Ns,
     /// Total time requests waited in the device queue before service began.
     pub queued: Ns,
+    /// Commands admitted through the device command queue (zero while no
+    /// queue is configured — the default).
+    #[serde(default)]
+    pub queue_admits: u64,
+    /// Highest command-queue occupancy observed at admission.
+    #[serde(default)]
+    pub queue_depth_max: u64,
+    /// Commands dispatched out of arrival order by the queue scheduler.
+    #[serde(default)]
+    pub queue_reorders: u64,
+    /// Commands absorbed into an adjacent neighbor's sequential transfer.
+    #[serde(default)]
+    pub queue_coalesced: u64,
 }
 
 impl DeviceStats {
@@ -54,6 +67,22 @@ impl DeviceStats {
         self.busy += service;
     }
 
+    /// Records a command-queue admission that left `depth` commands queued.
+    pub fn record_queue_admit(&mut self, depth: u32) {
+        self.queue_admits += 1;
+        self.queue_depth_max = self.queue_depth_max.max(depth as u64);
+    }
+
+    /// Records an out-of-arrival-order dispatch.
+    pub fn record_queue_reorder(&mut self) {
+        self.queue_reorders += 1;
+    }
+
+    /// Records `commands` being coalesced into a neighbor's transfer.
+    pub fn record_queue_coalesce(&mut self, commands: u32) {
+        self.queue_coalesced += commands as u64;
+    }
+
     /// Total completed operations (reads + writes + erases).
     pub fn ops(&self) -> u64 {
         self.reads + self.writes + self.erases
@@ -77,6 +106,10 @@ impl DeviceStats {
         self.write_bytes += other.write_bytes;
         self.busy += other.busy;
         self.queued += other.queued;
+        self.queue_admits += other.queue_admits;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.queue_reorders += other.queue_reorders;
+        self.queue_coalesced += other.queue_coalesced;
     }
 }
 
@@ -117,5 +150,24 @@ mod tests {
         assert_eq!(a.read_bytes, 100);
         assert_eq!(a.write_bytes, 200);
         assert_eq!(a.queued, Ns::from_us(2));
+    }
+
+    #[test]
+    fn queue_counters_accumulate_and_merge() {
+        let mut a = DeviceStats::new();
+        a.record_queue_admit(3);
+        a.record_queue_admit(7);
+        a.record_queue_reorder();
+        a.record_queue_coalesce(2);
+        assert_eq!(a.queue_admits, 2);
+        assert_eq!(a.queue_depth_max, 7);
+        let mut b = DeviceStats::new();
+        b.record_queue_admit(5);
+        b.record_queue_coalesce(4);
+        a.merge(&b);
+        assert_eq!(a.queue_admits, 3);
+        assert_eq!(a.queue_depth_max, 7, "high-water merges as max");
+        assert_eq!(a.queue_reorders, 1);
+        assert_eq!(a.queue_coalesced, 6);
     }
 }

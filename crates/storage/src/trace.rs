@@ -324,6 +324,40 @@ pub enum TraceKind {
         /// True for a write retry, false for a read retry.
         write: bool,
     },
+    /// A command was admitted into a device command queue.
+    QueueAdmit {
+        /// Device index: 0 = SSD, 1 + spindle index = HDD.
+        dev: u8,
+        /// First block (HDD) or erase-block id (SSD) of the command.
+        lba: u64,
+        /// Command length in blocks.
+        blocks: u32,
+        /// Queue occupancy right after admission (the depth sample the
+        /// profile's mean/max queue-depth numbers are built from).
+        depth: u32,
+    },
+    /// A queued command was dispatched out of arrival order (HDD SPTF pick,
+    /// or an SSD read/program overtaking deferred erases on its channel).
+    QueueReorder {
+        /// Device index: 0 = SSD, 1 + spindle index = HDD.
+        dev: u8,
+        /// First block of the dispatched command.
+        lba: u64,
+        /// Earlier-arrived commands it overtook.
+        jumped: u32,
+    },
+    /// LBA-adjacent queued commands were merged into one sequential media
+    /// transfer.
+    Coalesce {
+        /// Device index: 0 = SSD, 1 + spindle index = HDD.
+        dev: u8,
+        /// First block of the merged transfer.
+        lba: u64,
+        /// Commands merged into the transfer (always ≥ 2).
+        spans: u32,
+        /// Total blocks of the merged transfer.
+        blocks: u32,
+    },
 }
 
 /// One trace event: a virtual timestamp plus what happened.
@@ -504,6 +538,28 @@ impl TraceEvent {
                 "{{\"at\":{at},\"kind\":\"retry_backoff\",\"lba\":{lba},\
                  \"attempt\":{attempt},\"delay\":{delay},\"write\":{write}}}"
             ),
+            TraceKind::QueueAdmit {
+                dev,
+                lba,
+                blocks,
+                depth,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"queue_admit\",\"dev\":{dev},\
+                 \"lba\":{lba},\"blocks\":{blocks},\"depth\":{depth}}}"
+            ),
+            TraceKind::QueueReorder { dev, lba, jumped } => format!(
+                "{{\"at\":{at},\"kind\":\"queue_reorder\",\"dev\":{dev},\
+                 \"lba\":{lba},\"jumped\":{jumped}}}"
+            ),
+            TraceKind::Coalesce {
+                dev,
+                lba,
+                spans,
+                blocks,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"coalesce\",\"dev\":{dev},\
+                 \"lba\":{lba},\"spans\":{spans},\"blocks\":{blocks}}}"
+            ),
         }
     }
 
@@ -649,6 +705,23 @@ impl TraceEvent {
                 attempt: field_u64(line, "attempt")? as u32,
                 delay: field_u64(line, "delay")?,
                 write: field_bool(line, "write")?,
+            },
+            "queue_admit" => TraceKind::QueueAdmit {
+                dev: field_u64(line, "dev")? as u8,
+                lba: field_u64(line, "lba")?,
+                blocks: field_u64(line, "blocks")? as u32,
+                depth: field_u64(line, "depth")? as u32,
+            },
+            "queue_reorder" => TraceKind::QueueReorder {
+                dev: field_u64(line, "dev")? as u8,
+                lba: field_u64(line, "lba")?,
+                jumped: field_u64(line, "jumped")? as u32,
+            },
+            "coalesce" => TraceKind::Coalesce {
+                dev: field_u64(line, "dev")? as u8,
+                lba: field_u64(line, "lba")?,
+                spans: field_u64(line, "spans")? as u32,
+                blocks: field_u64(line, "blocks")? as u32,
             },
             _ => return None,
         };
@@ -848,6 +921,17 @@ pub struct TraceStats {
     pub backpressure_rejects: u64,
     /// Exponential-backoff retries of faulted device ops.
     pub retry_backoffs: u64,
+    /// Commands admitted into device command queues.
+    pub queue_admits: u64,
+    /// Highest queue occupancy any admission observed.
+    pub queue_depth_max: u64,
+    /// Commands dispatched out of arrival order.
+    pub queue_reorders: u64,
+    /// Coalesce events (adjacent-command merges).
+    pub coalesces: u64,
+    /// Commands absorbed into a neighbor's transfer by those merges
+    /// (`spans - 1` per event).
+    pub coalesced_commands: u64,
     open_span: Option<Ns>,
 }
 
@@ -940,6 +1024,15 @@ impl TraceSink for TraceStats {
             }
             TraceKind::Backpressure { .. } => self.backpressure_rejects += 1,
             TraceKind::RetryBackoff { .. } => self.retry_backoffs += 1,
+            TraceKind::QueueAdmit { depth, .. } => {
+                self.queue_admits += 1;
+                self.queue_depth_max = self.queue_depth_max.max(depth as u64);
+            }
+            TraceKind::QueueReorder { .. } => self.queue_reorders += 1,
+            TraceKind::Coalesce { spans, .. } => {
+                self.coalesces += 1;
+                self.coalesced_commands += spans.saturating_sub(1) as u64;
+            }
             TraceKind::RecoveryTruncate { .. } | TraceKind::RecoveryReplay { .. } => {}
         }
     }
@@ -1152,6 +1245,23 @@ mod tests {
                 delay: 100_000,
                 write: true,
             }),
+            e(TraceKind::QueueAdmit {
+                dev: 1,
+                lba: 900,
+                blocks: 1,
+                depth: 5,
+            }),
+            e(TraceKind::QueueReorder {
+                dev: 1,
+                lba: 900,
+                jumped: 3,
+            }),
+            e(TraceKind::Coalesce {
+                dev: 1,
+                lba: 900,
+                spans: 4,
+                blocks: 4,
+            }),
         ]
     }
 
@@ -1247,6 +1357,11 @@ mod tests {
         assert_eq!(s.rebuild_slots, 4);
         assert_eq!(s.backpressure_rejects, 1);
         assert_eq!(s.retry_backoffs, 1);
+        assert_eq!(s.queue_admits, 1);
+        assert_eq!(s.queue_depth_max, 5);
+        assert_eq!(s.queue_reorders, 1);
+        assert_eq!(s.coalesces, 1);
+        assert_eq!(s.coalesced_commands, 3);
     }
 
     #[test]

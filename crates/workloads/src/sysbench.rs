@@ -43,6 +43,24 @@ pub fn workload(seed: u64) -> MixedWorkload {
     MixedWorkload::new(spec(), seed)
 }
 
+/// The HDD-pressure variant of SysBench used by the queue experiments:
+/// write-heavy, every block unique (no similarity detection, so writes
+/// become full-content log appends and evictions spill to the home area),
+/// large mutations, uniform addressing with no sequential runs. Together
+/// with a tightened RAM budget this keeps the mechanical disk on the
+/// critical path, which stock SysBench — by design an SSD-friendly,
+/// content-local workload — does not.
+pub fn pressure_spec() -> WorkloadSpec {
+    let mut s = spec();
+    s.table4_reads = 1;
+    s.table4_writes = 3;
+    s.profile.unique_permille = 1000;
+    s.profile.mutation_bytes = 3200;
+    s.zipf_exponent = 0.0;
+    s.sequential_prob = 0.0;
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -218,6 +218,73 @@ fn icash_controller_counters_match_trace() {
     assert!(trace.scrubs > 0, "no scrubs exercised");
 }
 
+/// The queue-event totals: a queued fault-free I-CASH run must emit
+/// exactly one `QueueAdmit` per counted admission and agree with the
+/// device reports on reorders, coalesces, and peak occupancy.
+#[test]
+fn icash_queue_counters_match_trace() {
+    let mut cfg = IcashConfig::builder(SSD, RAM, 8 << 20)
+        .scan_interval(50)
+        .scan_window(64)
+        .flush_interval(20)
+        .build();
+    cfg.queue = Some(icash::storage::queue::QueueConfig::depth(8));
+    let mut sys = Icash::new(cfg);
+    let (tracer, counts) = Tracer::counting();
+    sys.set_tracer(tracer);
+
+    let backing = ZeroSource;
+    let mut cpu = CpuModel::xeon();
+    let mut ctx = IoCtx::verifying(&backing, &mut cpu);
+    let space = 2048u64;
+    let mut t = Ns::ZERO;
+    for op in 0..2_000u64 {
+        let roll = fault_roll(SEED, 0x5EED, op, 0);
+        let lba = roll % space;
+        if roll % 5 < 3 {
+            let mut v = vec![0xA5u8; 4096];
+            v[..8].copy_from_slice(&roll.to_le_bytes());
+            let w = Request::write(Lba::new(lba), t, BlockBuf::from_vec(v));
+            t = sys.submit(&w, &mut ctx).finished;
+        } else {
+            let r = Request::read_span(Lba::new(lba.min(space - 4)), 4, t);
+            t = sys.submit(&r, &mut ctx).finished;
+        }
+    }
+    t = sys.flush(t, &mut ctx);
+    let report = sys.report(t);
+    drop(sys);
+    let trace = counts.lock().expect("counting sink").clone();
+
+    let hdd = report.hdd.expect("hdd stats");
+    let ssd = report.ssd.expect("ssd stats");
+    assert_eq!(
+        trace.queue_admits,
+        hdd.queue_admits + ssd.queue_admits,
+        "queue admissions"
+    );
+    assert_eq!(
+        trace.queue_reorders,
+        hdd.queue_reorders + ssd.queue_reorders,
+        "queue reorders"
+    );
+    assert_eq!(
+        trace.coalesced_commands,
+        hdd.queue_coalesced + ssd.queue_coalesced,
+        "coalesced commands"
+    );
+    assert_eq!(
+        trace.queue_depth_max,
+        hdd.queue_depth_max.max(ssd.queue_depth_max),
+        "peak queue occupancy"
+    );
+    // The run must actually have exercised the queue machinery, or the
+    // equalities above are vacuous.
+    assert!(trace.queue_admits > 0, "no admissions exercised");
+    assert!(trace.queue_reorders > 0, "no reorders exercised");
+    assert!(trace.coalesced_commands > 0, "no coalescing exercised");
+}
+
 /// The write-pipeline counters: at `group_commit_depth = 16`, every
 /// `StageEnter`/`GroupCommit`/`Barrier` event in the trace must reconcile
 /// field for field with [`IcashStats`] and the `group_commit` section of
