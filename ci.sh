@@ -40,6 +40,15 @@
 #                   run_chaos campaign (SSD/HDD death, double death, crash
 #                   mid-rebuild, backpressure) with its output asserted
 #                   identical across worker counts
+#   ./ci.sh scenarios  scenario-engine gate: scenario=off byte-identity
+#                   (run_all trace JSONL + run_faults stdout vs the same
+#                   pinned goldens), the replay-parser and arrival-process
+#                   property suites, the scenario-free differential, the
+#                   pinned golden MSR replay, the run_scenarios campaign
+#                   (replay grid, open-loop trace oracle, churn storm)
+#                   asserted identical across worker counts, and the
+#                   burst-vs-closed trace_profile contrast (the open-loop
+#                   run must show queued time; the closed loop must not)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -188,6 +197,52 @@ if [[ "${1:-}" == "queue" ]]; then
     ICASH_QUEUE_DEPTH=16 ICASH_QUEUE_ASSERT=1 \
     ./target/release/run_scale > target/run_scale_queue.txt
   echo "QUEUE OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "scenarios" ]]; then
+  echo "==> replay-parser + arrival-process property suites"
+  cargo test -q -p icash-workloads --test prop_replay
+  cargo test -q -p icash-workloads --test prop_arrivals
+  echo "==> scenario engine unit suite (parser, dispatcher, churn storm)"
+  cargo test -q -p icash-workloads replay
+  cargo test -q -p icash-workloads arrivals
+  cargo test -q -p icash-workloads scenario
+  echo "==> scenario-free differential: closed loop emits no open-loop events"
+  cargo test -q -p icash --test scenario_free
+  echo "==> golden MSR replay: pinned 64-row event stream through I-CASH"
+  cargo test -q -p icash --test golden_replay
+  echo "==> queue-latency histogram shard-merge property"
+  cargo test -q -p icash-metrics --test prop_histogram
+  echo "==> scenario=off byte-identity: run_faults stdout vs golden"
+  cargo build -q --release -p icash-bench
+  ./target/release/run_faults > target/run_faults_scenoff.txt
+  diff target/run_faults_scenoff.txt ci/golden/run_faults_depth1.txt
+  echo "==> scenario=off byte-identity: run_all trace JSONL vs pinned sha256"
+  ICASH_OPS=300 ICASH_THREADS=1 ./target/release/run_all target/run_all_scenoff.md \
+    --trace target/run_all_trace_scenoff.jsonl > /dev/null
+  {
+    sha256sum target/run_all_trace_scenoff.jsonl | cut -d' ' -f1
+    wc -l < target/run_all_trace_scenoff.jsonl
+  } > target/run_all_trace_scenoff.sha256
+  diff target/run_all_trace_scenoff.sha256 ci/golden/run_all_trace_depth1.sha256
+  echo "==> scenario campaign (run_scenarios): replay grid + open-loop oracle + churn"
+  ./target/release/run_scenarios > target/run_scenarios_a.txt
+  echo "==> scenario determinism: campaign output independent of ICASH_THREADS"
+  ICASH_THREADS=4 ./target/release/run_scenarios > target/run_scenarios_b.txt
+  diff target/run_scenarios_a.txt target/run_scenarios_b.txt
+  tail -2 target/run_scenarios_a.txt
+  echo "==> burst arrivals queue in trace_profile; the closed loop does not"
+  ICASH_OPS=300 ICASH_THREADS=1 ICASH_SCENARIO=open-loop ICASH_ARRIVAL=burst \
+    ./target/release/run_all target/run_all_burst.md \
+    --trace target/run_all_trace_burst.jsonl > /dev/null
+  ./target/release/trace_profile target/run_all_trace_burst.jsonl \
+    > target/trace_profile_burst.txt
+  grep -q "Open-loop queued" target/trace_profile_burst.txt
+  ./target/release/trace_profile target/run_all_trace_scenoff.jsonl \
+    > target/trace_profile_scenoff.txt
+  ! grep -q "Open-loop" target/trace_profile_scenoff.txt
+  echo "SCENARIOS OK"
   exit 0
 fi
 

@@ -9,6 +9,7 @@
 
 use icash_storage::fault::HealthPolicy;
 use icash_storage::queue::{QueueConfig, QueuePolicy};
+use icash_workloads::scenario::{ArrivalShape, ScenarioKind, ScenarioSpec};
 use std::path::PathBuf;
 
 /// The `--trace <path>` / `--trace=<path>` command-line flag, falling back
@@ -250,6 +251,60 @@ pub fn queue_from_env() -> Option<QueueConfig> {
     Some(QueueConfig { depth, sched })
 }
 
+/// The `ICASH_SCENARIO` switch plus its `ICASH_ARRIVAL` shape knob: when
+/// set, harness cells run the named scenario driver ("replay",
+/// "open-loop", or "churn") instead of the plain closed loop, and
+/// `ICASH_ARRIVAL` picks the open-loop arrival shape ("stationary",
+/// "diurnal", or "burst"; default diurnal). Unset or `"0"` means no
+/// scenario — byte-identical to the pre-scenario outputs.
+///
+/// # Panics
+///
+/// Panics when `ICASH_SCENARIO` names an unknown scenario, when
+/// `ICASH_ARRIVAL` names an unknown shape, or when `ICASH_ARRIVAL` is set
+/// while the scenario is off or not open-loop — a knob that silently did
+/// nothing would invalidate the run it claims to describe.
+pub fn scenario_from_env() -> Option<ScenarioSpec> {
+    let kind = match std::env::var("ICASH_SCENARIO") {
+        Err(_) => None,
+        Ok(v) => match v.as_str() {
+            "0" | "" => None,
+            s => match ScenarioKind::parse(s) {
+                Some(k) => Some(k),
+                None => panic!(
+                    "invalid ICASH_SCENARIO={s:?}: expected \"replay\", \"open-loop\", or \"churn\""
+                ),
+            },
+        },
+    };
+    let Some(kind) = kind else {
+        if std::env::var("ICASH_ARRIVAL").is_ok() {
+            panic!(
+                "ICASH_ARRIVAL is set but ICASH_SCENARIO is not: the knob would be silently ignored"
+            );
+        }
+        return None;
+    };
+    let arrival = match std::env::var("ICASH_ARRIVAL") {
+        Err(_) => ArrivalShape::Diurnal,
+        Ok(v) => {
+            if kind != ScenarioKind::OpenLoop {
+                panic!(
+                    "ICASH_ARRIVAL is set but ICASH_SCENARIO={:?} is not \"open-loop\": the knob would be silently ignored",
+                    kind.name()
+                );
+            }
+            match ArrivalShape::parse(&v) {
+                Some(a) => a,
+                None => panic!(
+                    "invalid ICASH_ARRIVAL={v:?}: expected \"stationary\", \"diurnal\", or \"burst\""
+                ),
+            }
+        }
+    };
+    Some(ScenarioSpec { kind, arrival })
+}
+
 fn parse_positive_u32(name: &str, value: &str) -> u32 {
     match value.parse::<u32>() {
         Ok(0) => panic!("invalid {name}=0: expected a positive integer"),
@@ -294,6 +349,13 @@ mod tests {
         std::env::remove_var("ICASH_QUEUE_DEPTH");
         std::env::remove_var("ICASH_HDD_SCHED");
         assert!(queue_from_env().is_none());
+    }
+
+    #[test]
+    fn scenario_default_is_off() {
+        std::env::remove_var("ICASH_SCENARIO");
+        std::env::remove_var("ICASH_ARRIVAL");
+        assert!(scenario_from_env().is_none());
     }
 
     #[test]

@@ -38,6 +38,10 @@ use icash_storage::time::Ns;
 use icash_storage::trace::{TraceSink, Tracer};
 use icash_workloads::content::ContentModel;
 use icash_workloads::driver::{run_benchmark, DriverConfig};
+use icash_workloads::replay::ReplayWorkload;
+use icash_workloads::scenario::{
+    churn_storm, run_open_loop, OpenLoopConfig, ScenarioKind, ScenarioSpec,
+};
 use icash_workloads::spec::WorkloadSpec;
 use icash_workloads::trace::{Trace, TracePlayer};
 use icash_workloads::vm::MultiVm;
@@ -186,6 +190,11 @@ pub struct ExperimentConfig {
     /// `ICASH_HDD_SCHED`). `None` — the default — installs no queues,
     /// byte-identical to pre-queue outputs.
     pub queue: Option<QueueConfig>,
+    /// Scenario driver for every cell (`ICASH_SCENARIO` / `ICASH_ARRIVAL`):
+    /// block-trace replay, open-loop arrivals, or a tenant-churn storm.
+    /// `None` — the default — runs the plain closed loop, byte-identical
+    /// to pre-scenario outputs.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl ExperimentConfig {
@@ -200,6 +209,7 @@ impl ExperimentConfig {
             shards: 1,
             health: None,
             queue: None,
+            scenario: None,
         }
     }
 
@@ -247,6 +257,7 @@ impl ExperimentConfig {
         cfg.shards = crate::cli::shards_from_env();
         cfg.health = crate::cli::health_from_env();
         cfg.queue = crate::cli::queue_from_env();
+        cfg.scenario = crate::cli::scenario_from_env();
         cfg
     }
 }
@@ -397,6 +408,9 @@ fn run_cell_inner(
     prep: &PreparedWorkload,
     traced: bool,
 ) -> (RunSummary, Option<String>) {
+    if let Some(sc) = prep.cfg.scenario {
+        return run_scenario_cell(kind, prep, traced, sc);
+    }
     let wall_start = Instant::now();
     let mut system = kind.build_sharded(
         &prep.spec,
@@ -439,6 +453,103 @@ fn run_cell_inner(
             summary.system
         );
     }
+    drop(system);
+    let text = sink.map(|s| s.lock().expect("trace sink").take_text());
+    (summary, text)
+}
+
+/// The in-repo MSR-Cambridge-style fixture `ICASH_SCENARIO=replay` cells
+/// replay (also the golden-replay test's input, so the harness and the
+/// test pin the same 64 events).
+pub const MSR_FIXTURE: &str = include_str!("../../workloads/tests/golden/msr_sample.csv");
+
+/// Mean inter-arrival gap of open-loop scenario cells. Chosen against the
+/// simulated device service times so the stationary shape stays mostly
+/// un-queued while the 16× flash-crowd bursts visibly overload the array —
+/// the contrast the scenario campaign asserts on.
+pub const OPEN_LOOP_BASE_GAP: Ns = Ns::from_us(200);
+
+/// Runs one cell under a scenario driver instead of the plain closed loop.
+/// The cell still owns its whole simulated world, so scenario cells keep
+/// the same any-thread / bit-identical contract as plain ones.
+fn run_scenario_cell(
+    kind: SystemKind,
+    prep: &PreparedWorkload,
+    traced: bool,
+    sc: ScenarioSpec,
+) -> (RunSummary, Option<String>) {
+    let wall_start = Instant::now();
+    // Pick the scenario workload and the spec the system is sized for:
+    // replay and open-loop reuse the prepared spec; a churn storm brings
+    // its own fleet-sized one.
+    let (mut workload, sys_spec): (Box<dyn Workload>, WorkloadSpec) = match sc.kind {
+        ScenarioKind::Replay => (
+            Box::new(
+                ReplayWorkload::from_csv(prep.spec.clone(), MSR_FIXTURE)
+                    .expect("in-repo MSR fixture parses"),
+            ),
+            prep.spec.clone(),
+        ),
+        ScenarioKind::OpenLoop => (
+            Box::new(
+                TracePlayer::new(prep.spec.clone(), prep.trace.clone())
+                    .with_universe(prep.universe.clone()),
+            ),
+            prep.spec.clone(),
+        ),
+        ScenarioKind::Churn => {
+            let storm = churn_storm(prep.cfg.seed, prep.cfg.ops);
+            let spec = storm.spec().clone();
+            (Box::new(storm), spec)
+        }
+    };
+    let mut system = kind.build_sharded(
+        &sys_spec,
+        prep.cfg.group_commit_depth,
+        prep.cfg.shards,
+        prep.cfg.health,
+        prep.cfg.queue,
+    );
+    let sink = if traced {
+        Some(attach_jsonl(system.as_mut()))
+    } else {
+        None
+    };
+    let mut model = ContentModel::new(prep.cfg.seed, sys_spec.profile.clone());
+    let mut summary = if sc.kind == ScenarioKind::OpenLoop {
+        // The dispatcher shares the cell's sink so `OpenLoopArrival`
+        // events land in the same JSONL stream as the device events.
+        let tracer = match &sink {
+            Some(s) => Tracer::to_sink(s.clone() as Arc<Mutex<dyn TraceSink + Send>>),
+            None => Tracer::disabled(),
+        };
+        let mut ocfg = OpenLoopConfig::new(
+            sc.arrival.config(OPEN_LOOP_BASE_GAP),
+            prep.cfg.ops,
+            prep.cfg.seed,
+        );
+        ocfg.clients = prep.cfg.clients;
+        ocfg.warmup_ops = prep.cfg.ops / 4;
+        run_open_loop(
+            system.as_mut(),
+            workload.as_mut(),
+            &mut model,
+            &ocfg,
+            &tracer,
+        )
+        .0
+    } else {
+        let driver = DriverConfig {
+            clients: prep.cfg.clients,
+            ops: prep.cfg.ops,
+            warmup_ops: prep.cfg.ops / 4,
+            verify: false,
+            guest_cache: false,
+            cpu: None,
+        };
+        run_benchmark(system.as_mut(), workload.as_mut(), &mut model, &driver)
+    };
+    summary.wall_ns = wall_start.elapsed().as_nanos() as u64;
     drop(system);
     let text = sink.map(|s| s.lock().expect("trace sink").take_text());
     (summary, text)
@@ -705,6 +816,7 @@ mod tests {
             shards: 1,
             health: None,
             queue: None,
+            scenario: None,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {
@@ -738,6 +850,7 @@ mod tests {
             shards: 4,
             health: None,
             queue: None,
+            scenario: None,
         };
         let spec_clone = spec.clone();
         let summaries = run_five_systems(&spec, &cfg, move |seed| {

@@ -218,6 +218,11 @@ pub struct TraceProfile {
     pub ssd_queue: QueueProfile,
     /// Command-queue activity on the HDD (`dev` ≥ 1 in queue events).
     pub hdd_queue: QueueProfile,
+    /// Open-loop arrivals released by the scenario engine's event queue.
+    pub open_loop_arrivals: u64,
+    /// Summed virtual time those arrivals waited for a free client before
+    /// service began — the open-loop queued share of request time.
+    pub open_loop_queued: Ns,
     open_span: Option<Ns>,
 }
 
@@ -398,6 +403,10 @@ impl TraceProfile {
             TraceKind::QueueAdmit { dev, depth, .. } => self.queue_mut(dev).admit(depth),
             TraceKind::QueueReorder { dev, .. } => self.queue_mut(dev).reorders += 1,
             TraceKind::Coalesce { dev, spans, .. } => self.queue_mut(dev).coalesce(spans),
+            TraceKind::OpenLoopArrival { queued, .. } => {
+                self.open_loop_arrivals += 1;
+                self.open_loop_queued += Ns::from_ns(queued);
+            }
         }
     }
 
@@ -442,6 +451,15 @@ impl TraceProfile {
         row("SSD programs", self.ssd_programs, self.ssd_program_time);
         row("HDD reads", self.hdd_reads, self.hdd_read_time);
         row("HDD writes", self.hdd_writes, self.hdd_write_time);
+        if self.open_loop_arrivals > 0 {
+            // Only open-loop runs have arrivals; closed-loop profiles keep
+            // their historical row set byte-for-byte.
+            row(
+                "Open-loop queued",
+                self.open_loop_arrivals,
+                self.open_loop_queued,
+            );
+        }
         let counts: [(&str, u64); 21] = [
             ("SSD erases", self.ssd_erases),
             ("RAM hits", self.ram_hits),

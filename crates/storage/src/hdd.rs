@@ -477,6 +477,9 @@ impl Hdd {
                 });
             }
             t = one(self, t, d.cmd.lba, blocks)?;
+            // Tagged-command latency: admission into the queue through media
+            // completion of the (possibly coalesced) transfer.
+            self.stats.record_queue_latency(t - d.cmd.arrival);
         }
         Ok(t)
     }

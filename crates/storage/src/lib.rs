@@ -14,6 +14,9 @@
 //! * [`cpu`] — CPU-time model for the computation I-CASH trades for I/O.
 //! * [`energy`] — component energy meters (Table 5's power-meter stand-in).
 //! * [`stats`] — per-device operation statistics (Table 6's counters).
+//! * [`histogram`] — log-bucketed latency histograms
+//!   ([`histogram::LatencyHistogram`]), embeddable in [`stats::DeviceStats`]
+//!   for the per-queue tagged-command latency split.
 //! * [`lru`] — the workspace's single LRU implementation ([`lru::LruList`]
 //!   and the keyed [`lru::LruMap`]), shared by the controller, the
 //!   baselines and the workload driver.
@@ -68,6 +71,7 @@ pub mod cpu;
 pub mod energy;
 pub mod fault;
 pub mod hdd;
+pub mod histogram;
 pub mod lru;
 pub mod pipeline;
 pub mod queue;
@@ -82,6 +86,7 @@ pub mod trace;
 pub use array::DeviceArray;
 pub use block::{BlockBuf, Lba, BLOCK_SIZE};
 pub use fault::{FaultPlan, FaultStats, FaultTrigger};
+pub use histogram::LatencyHistogram;
 pub use pipeline::{FlushProgress, Ticket, WriteThrough};
 pub use queue::{CommandQueue, QueueConfig, QueueFull, QueuePolicy};
 pub use request::{BlockError, Completion, IoErrorKind, Op, Request};

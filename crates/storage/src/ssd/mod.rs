@@ -107,6 +107,9 @@ pub struct Ssd {
     deferred: Vec<Ns>,
     /// Count of deferred erases per channel (queue occupancy).
     deferred_count: Vec<u32>,
+    /// Admission instant of each deferred erase per channel, so the burst
+    /// payment can record admission-to-completion latencies.
+    deferred_at: Vec<Vec<Ns>>,
     stats: DeviceStats,
     energy: EnergyMeter,
     /// Fault injection, absent by default (the common, zero-cost case).
@@ -125,6 +128,7 @@ impl Ssd {
             channel_busy: vec![Ns::ZERO; channels],
             deferred: vec![Ns::ZERO; channels],
             deferred_count: vec![0; channels],
+            deferred_at: vec![Vec::new(); channels],
             stats: DeviceStats::new(),
             energy,
             faults: None,
@@ -373,6 +377,7 @@ impl Ssd {
                     // the channel now; host traffic behind it overtakes.
                     self.deferred[ch] += latency;
                     self.deferred_count[ch] += 1;
+                    self.deferred_at[ch].push(at);
                     service_total += latency;
                     let depth = self.deferred_count[ch];
                     self.stats.record_queue_admit(depth);
@@ -390,6 +395,10 @@ impl Ssd {
                         // background burst on this channel.
                         let start = at.max(self.channel_busy[ch]);
                         self.channel_busy[ch] = start + self.deferred[ch];
+                        let completion = self.channel_busy[ch];
+                        for admitted in self.deferred_at[ch].drain(..) {
+                            self.stats.record_queue_latency(completion - admitted);
+                        }
                         self.deferred[ch] = Ns::ZERO;
                         self.deferred_count[ch] = 0;
                     }

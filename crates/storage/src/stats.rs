@@ -1,5 +1,6 @@
 //! Per-device operation statistics.
 
+use crate::histogram::LatencyHistogram;
 use crate::time::Ns;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,12 @@ pub struct DeviceStats {
     /// Commands absorbed into an adjacent neighbor's sequential transfer.
     #[serde(default)]
     pub queue_coalesced: u64,
+    /// Tagged-command latency through this device's queue: admission to
+    /// completion, one sample per dispatched command. `None` while no queue
+    /// is configured (the default), so queue-free reports stay byte-
+    /// identical to the pre-queue serialization.
+    #[serde(default)]
+    pub queue_latency: Option<LatencyHistogram>,
 }
 
 impl DeviceStats {
@@ -83,6 +90,14 @@ impl DeviceStats {
         self.queue_coalesced += commands as u64;
     }
 
+    /// Records one tagged command's admission-to-completion latency through
+    /// the device queue, materializing the histogram on first use.
+    pub fn record_queue_latency(&mut self, latency: Ns) {
+        self.queue_latency
+            .get_or_insert_with(LatencyHistogram::new)
+            .record(latency);
+    }
+
     /// Total completed operations (reads + writes + erases).
     pub fn ops(&self) -> u64 {
         self.reads + self.writes + self.erases
@@ -110,6 +125,11 @@ impl DeviceStats {
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.queue_reorders += other.queue_reorders;
         self.queue_coalesced += other.queue_coalesced;
+        if let Some(theirs) = &other.queue_latency {
+            self.queue_latency
+                .get_or_insert_with(LatencyHistogram::new)
+                .merge(theirs);
+        }
     }
 }
 
@@ -169,5 +189,25 @@ mod tests {
         assert_eq!(a.queue_depth_max, 7, "high-water merges as max");
         assert_eq!(a.queue_reorders, 1);
         assert_eq!(a.queue_coalesced, 6);
+    }
+
+    #[test]
+    fn queue_latency_is_lazy_and_merges() {
+        let mut a = DeviceStats::new();
+        assert!(
+            a.queue_latency.is_none(),
+            "queue-free stats stay histogram-free"
+        );
+        a.record_queue_latency(Ns::from_us(10));
+        let mut b = DeviceStats::new();
+        b.record_queue_latency(Ns::from_us(30));
+        a.merge(&b);
+        let h = a.queue_latency.expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Ns::from_us(20));
+        // Merging a histogram-free side leaves the other side intact.
+        let mut c = DeviceStats::new();
+        c.merge(&DeviceStats::new());
+        assert!(c.queue_latency.is_none());
     }
 }

@@ -358,6 +358,20 @@ pub enum TraceKind {
         /// Total blocks of the merged transfer.
         blocks: u32,
     },
+    /// An open-loop arrival: the scenario engine's virtual-time event queue
+    /// released an operation at its scheduled instant (`at`), independent of
+    /// whether the system was ready for it. `queued` is the time the arrival
+    /// waited for a free client before service began — the open-loop
+    /// queued/service split the closed-loop drivers can never show.
+    OpenLoopArrival {
+        /// Arrival sequence number (the event queue's tie-break id).
+        seq: u64,
+        /// First block of the arriving operation.
+        lba: u64,
+        /// Wait between the scheduled arrival and service start, in
+        /// virtual ns (zero when a client was already free).
+        queued: u64,
+    },
 }
 
 /// One trace event: a virtual timestamp plus what happened.
@@ -560,6 +574,10 @@ impl TraceEvent {
                 "{{\"at\":{at},\"kind\":\"coalesce\",\"dev\":{dev},\
                  \"lba\":{lba},\"spans\":{spans},\"blocks\":{blocks}}}"
             ),
+            TraceKind::OpenLoopArrival { seq, lba, queued } => format!(
+                "{{\"at\":{at},\"kind\":\"open_loop_arrival\",\"seq\":{seq},\
+                 \"lba\":{lba},\"queued\":{queued}}}"
+            ),
         }
     }
 
@@ -722,6 +740,11 @@ impl TraceEvent {
                 lba: field_u64(line, "lba")?,
                 spans: field_u64(line, "spans")? as u32,
                 blocks: field_u64(line, "blocks")? as u32,
+            },
+            "open_loop_arrival" => TraceKind::OpenLoopArrival {
+                seq: field_u64(line, "seq")?,
+                lba: field_u64(line, "lba")?,
+                queued: field_u64(line, "queued")?,
             },
             _ => return None,
         };
@@ -932,6 +955,10 @@ pub struct TraceStats {
     /// Commands absorbed into a neighbor's transfer by those merges
     /// (`spans - 1` per event).
     pub coalesced_commands: u64,
+    /// Open-loop arrivals released by the scenario engine's event queue.
+    pub open_loop_arrivals: u64,
+    /// Total virtual time open-loop arrivals waited for a free client.
+    pub open_loop_queued: Ns,
     open_span: Option<Ns>,
 }
 
@@ -1032,6 +1059,10 @@ impl TraceSink for TraceStats {
             TraceKind::Coalesce { spans, .. } => {
                 self.coalesces += 1;
                 self.coalesced_commands += spans.saturating_sub(1) as u64;
+            }
+            TraceKind::OpenLoopArrival { queued, .. } => {
+                self.open_loop_arrivals += 1;
+                self.open_loop_queued += Ns::from_ns(queued);
             }
             TraceKind::RecoveryTruncate { .. } | TraceKind::RecoveryReplay { .. } => {}
         }
@@ -1262,6 +1293,11 @@ mod tests {
                 spans: 4,
                 blocks: 4,
             }),
+            e(TraceKind::OpenLoopArrival {
+                seq: 17,
+                lba: 640,
+                queued: 2_500,
+            }),
         ]
     }
 
@@ -1362,6 +1398,8 @@ mod tests {
         assert_eq!(s.queue_reorders, 1);
         assert_eq!(s.coalesces, 1);
         assert_eq!(s.coalesced_commands, 3);
+        assert_eq!(s.open_loop_arrivals, 1);
+        assert_eq!(s.open_loop_queued, Ns::from_ns(2_500));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * [`trace`] — record/replay so every system sees an identical stream.
 //! * [`driver`] — the closed-loop driver emitting
 //!   [`icash_metrics::RunSummary`]s.
+//! * [`replay`] — strict MSR-Cambridge-style CSV block-trace parsing with
+//!   the seeded content overlay.
+//! * [`arrivals`] — seeded open-loop arrival schedules (diurnal,
+//!   flash-crowd bursts) on a deterministic virtual-time event queue.
+//! * [`scenario`] — the scenario engine: trace replay, open-loop
+//!   dispatch, and tenant-churn storms over [`vm`] fleets.
 //!
 //! ## Example: run SysBench ops against any storage system
 //!
@@ -35,11 +41,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrivals;
 pub mod content;
 pub mod driver;
 pub mod hadoop;
 pub mod loadsim;
+pub mod replay;
 pub mod rubis;
+pub mod scenario;
 pub mod spec;
 pub mod specsfs;
 pub mod sysbench;

@@ -75,6 +75,50 @@ impl MultiVm {
     pub fn vm_count(&self) -> usize {
         self.vms.len()
     }
+
+    /// Ids of the currently live VMs, in interleave order.
+    pub fn live_ids(&self) -> Vec<u8> {
+        self.vms.iter().map(|w| w.vm_id()).collect()
+    }
+
+    /// The lowest VM id in 1..=255 not currently live, if any.
+    fn free_id(&self) -> Option<u8> {
+        let live: std::collections::HashSet<u8> = self.vms.iter().map(|w| w.vm_id()).collect();
+        (1..=u8::MAX).find(|id| !live.contains(id))
+    }
+
+    /// Boots a fresh VM running `spec`, returning its id — or `None` when
+    /// all 255 id slots are live. Destroyed ids are reused lowest-first,
+    /// so churn over a bounded fleet stays within the 8-bit tag space.
+    pub fn create_vm(&mut self, spec: WorkloadSpec, seed: u64) -> Option<u8> {
+        let id = self.free_id()?;
+        self.vms
+            .push(MixedWorkload::new(spec, seed ^ (id as u64).wrapping_mul(0x9E37)).with_vm(id));
+        Some(id)
+    }
+
+    /// Clones VM `src` — same spec, fresh seed — returning the new id.
+    /// Cloned images share a spec and hence a content lineage, which is
+    /// exactly the cross-image redundancy I-CASH mines (paper §3.2).
+    pub fn clone_vm(&mut self, src: u8, seed: u64) -> Option<u8> {
+        let spec = self.vms.iter().find(|w| w.vm_id() == src)?.spec().clone();
+        self.create_vm(spec, seed)
+    }
+
+    /// Shuts down VM `id`. Returns false when the id is not live or when
+    /// it is the last VM — a fleet never drains to zero.
+    pub fn destroy_vm(&mut self, id: u8) -> bool {
+        if self.vms.len() <= 1 {
+            return false;
+        }
+        match self.vms.iter().position(|w| w.vm_id() == id) {
+            Some(i) => {
+                self.vms.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl Workload for MultiVm {
@@ -213,5 +257,22 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_vms_rejected() {
         let _ = MultiVm::homogeneous(0, 1, |_| (tpcc::spec(), 0));
+    }
+
+    #[test]
+    fn churn_reuses_ids_and_keeps_the_last_vm() {
+        let mut wl = five_vms();
+        assert_eq!(wl.live_ids(), vec![1, 2, 3, 4, 5]);
+        assert!(wl.destroy_vm(3));
+        assert!(!wl.destroy_vm(3), "id 3 already gone");
+        // Lowest free slot is reused, and a clone copies the source spec.
+        assert_eq!(wl.create_vm(tpcc::spec(), 99), Some(3));
+        assert_eq!(wl.clone_vm(5, 100), Some(6));
+        assert_eq!(wl.live_ids(), vec![1, 2, 4, 5, 3, 6]);
+        for id in [1, 2, 4, 5, 3] {
+            assert!(wl.destroy_vm(id));
+        }
+        assert!(!wl.destroy_vm(6), "last VM is protected");
+        assert_eq!(wl.vm_count(), 1);
     }
 }

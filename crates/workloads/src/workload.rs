@@ -97,6 +97,11 @@ impl MixedWorkload {
         self
     }
 
+    /// The VM id tagged into this generator's addresses (0 = untagged).
+    pub fn vm_id(&self) -> u8 {
+        self.vm
+    }
+
     /// Extents in the benchmark's active region.
     fn active_extents(spec: &WorkloadSpec) -> u64 {
         let blocks = (spec.data_blocks() as f64 * spec.active_fraction.clamp(0.01, 1.0)) as u64;

@@ -1,0 +1,141 @@
+//! Property tests for the MSR-style replay CSV parser: every valid record
+//! list survives a format→parse round trip unchanged, and every class of
+//! malformed row yields the right typed [`ReplayError`] — never a panic,
+//! never a silent skip.
+
+use icash_storage::time::Ns;
+use icash_workloads::replay::{format_csv, parse_csv, ReplayError, ReplayRecord};
+use proptest::prelude::*;
+
+/// Arbitrary valid record lists: non-decreasing timestamps, positive
+/// sizes, any LBA, either op.
+fn records() -> impl Strategy<Value = Vec<ReplayRecord>> {
+    prop::collection::vec(
+        (
+            0u64..1_000_000,
+            any::<u64>(),
+            1u64..(1u64 << 32),
+            any::<bool>(),
+        ),
+        1..64,
+    )
+    .prop_map(|rows| {
+        let mut t = 0u64;
+        rows.into_iter()
+            .map(|(gap, lba, bytes, write)| {
+                t += gap;
+                ReplayRecord {
+                    at: Ns::from_ns(t),
+                    lba,
+                    bytes,
+                    write,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Letters that can never spell a valid op or a number — `r` and `w` (the
+/// two accepted ops) are deliberately absent.
+const NON_OP_LETTERS: &[u8] = b"abcdefghijklmnopqstuvxyz";
+
+/// Arbitrary short words over an alphabet, as a strategy.
+fn word(alphabet: &'static [u8], max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..alphabet.len(), 1..max)
+        .prop_map(move |ix| ix.into_iter().map(|i| alphabet[i] as char).collect())
+}
+
+/// A single well-formed row rendered the way [`format_csv`] would.
+fn row(at: u64, lba: u64, bytes: i64, op: &str) -> String {
+    format!("{at},{lba},{bytes},{op}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn valid_records_round_trip(records in records()) {
+        let text = format_csv(&records);
+        prop_assert_eq!(parse_csv(&text), Ok(records));
+    }
+
+    #[test]
+    fn round_trip_survives_noise_rows(records in records()) {
+        // Blank lines, comments, and a second header are all skippable
+        // noise; the payload must come back identical.
+        let mut text = String::from("# captured on a test array\n\n");
+        text.push_str(&format_csv(&records));
+        text.push_str("\ntimestamp,lba,size,r/w\n# trailing comment\n");
+        prop_assert_eq!(parse_csv(&text), Ok(records));
+    }
+
+    #[test]
+    fn negative_or_zero_sizes_are_typed_errors(at in 0u64..1_000_000,
+                                               lba in any::<u64>(),
+                                               magnitude in 0u64..(1u64 << 40)) {
+        let bytes = -(magnitude as i64);
+        let text = row(at, lba, bytes, "R");
+        prop_assert_eq!(
+            parse_csv(&text),
+            Err(ReplayError::BadSize { line: 1, value: bytes.to_string() })
+        );
+    }
+
+    #[test]
+    fn backwards_timestamps_are_typed_errors(t0 in 1u64..1_000_000, back in 1u64..1_000) {
+        // back >= 1 guarantees t1 < t0.
+        let t1 = t0 - back.min(t0);
+        let text = format!("{}{}", row(t0, 1, 4096, "W"), row(t1, 2, 4096, "R"));
+        prop_assert_eq!(
+            parse_csv(&text),
+            Err(ReplayError::NonMonotonic { line: 2, prev: t0, now: t1 })
+        );
+    }
+
+    #[test]
+    fn bad_op_words_are_typed_errors(at in 0u64..1_000_000, op in word(NON_OP_LETTERS, 4)) {
+        let text = row(at, 1, 4096, &op);
+        prop_assert_eq!(
+            parse_csv(&text),
+            Err(ReplayError::BadOp { line: 1, value: op })
+        );
+    }
+
+    #[test]
+    fn truncated_rows_are_typed_errors(fields in 1usize..4) {
+        let text = format!("{}\n", vec!["1"; fields].join(","));
+        prop_assert_eq!(
+            parse_csv(&text),
+            Err(ReplayError::Truncated { line: 1, fields })
+        );
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever comes in, the parser returns Ok or a typed error whose
+        // Display names the problem — it must never panic.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(e) = parse_csv(&text) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_point_at_the_offender(good in records(),
+                                                bad_lba in word(b"abcdefghij", 8)) {
+        // Append one malformed row after N valid ones (plus the header):
+        // the reported line number must be N + 2.
+        let mut text = format_csv(&good);
+        text.push_str(&format!("999999999,{bad_lba},4096,R\n"));
+        prop_assert_eq!(
+            parse_csv(&text),
+            Err(ReplayError::BadLba { line: good.len() + 2, value: bad_lba })
+        );
+    }
+}
+
+#[test]
+fn empty_trace_is_a_typed_error() {
+    assert_eq!(parse_csv(""), Err(ReplayError::Empty));
+    assert_eq!(parse_csv("# only noise\n\n"), Err(ReplayError::Empty));
+}
